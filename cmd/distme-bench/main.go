@@ -1,0 +1,57 @@
+// Command distme-bench regenerates every table and figure of the paper's
+// evaluation (§6 and Appendix B).
+//
+// Usage:
+//
+//	distme-bench -exp table4          # one experiment
+//	distme-bench -exp fig6a,fig6d     # several
+//	distme-bench -exp all             # everything
+//	distme-bench -list                # list experiment IDs
+//
+// Paper-scale rows are produced by the cost-model plane at the testbed
+// constants; "-measured" experiments run the real engine at laptop scale.
+// EXPERIMENTS.md records each output against the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"distme/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID(s), comma-separated, or 'all'")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "all" {
+		ids = experiments.IDs()
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	exit := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		tables, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "distme-bench: %s: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+	}
+	os.Exit(exit)
+}

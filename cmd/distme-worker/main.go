@@ -1,0 +1,30 @@
+// Command distme-worker serves cuboid multiplications over TCP: the remote
+// executor of the distnet execution path. Start several (one per machine or
+// port) and point `distme rmul -workers ...` or distnet.Dial at them.
+//
+//	distme-worker -addr :7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"distme/internal/distnet"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("distme-worker: %v", err)
+	}
+	if _, err := distnet.Serve(l); err != nil {
+		log.Fatalf("distme-worker: %v", err)
+	}
+	fmt.Printf("distme-worker: serving cuboid multiplications on %s\n", l.Addr())
+	select {}
+}

@@ -1,0 +1,94 @@
+// GPU streaming: watch the §4 machinery — subcuboid optimization (Eq. 5–6),
+// the serialized H2D copy engine, per-stream kernels, and the C-resident
+// aggregation — by multiplying one cuboid under progressively tighter GPU
+// memory budgets θg.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"distme"
+	"distme/internal/gpu"
+	"distme/internal/metrics"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(9))
+	a := distme.RandomDense(rng, 512, 2048, 64)
+	b := distme.RandomDense(rng, 2048, 512, 64)
+	s := distme.ShapeOf(a, b)
+	fmt.Printf("cuboid: %d×%d×%d blocks; |A|=%s |B|=%s |C|=%s\n\n",
+		s.I, s.K, s.J,
+		metrics.FormatBytes(s.ABytes), metrics.FormatBytes(s.BBytes), metrics.FormatBytes(s.CBytes))
+
+	fmt.Printf("%-12s %-12s %-12s %-12s %-12s\n", "θg", "iterations", "H2D", "D2H", "utilization")
+	var ref *distme.Matrix
+	for _, θg := range []int64{
+		s.ABytes + s.BBytes + s.CBytes, // everything fits: 1 iteration
+		(s.ABytes + s.BBytes) / 2,      // k-axis streaming engages
+		(s.ABytes + s.BBytes) / 8,      // deep (1,1,R2) pipeline
+	} {
+		cfg := distme.LaptopCluster()
+		cfg.TaskMemBytes = 1 << 30
+		eng, err := distme.NewEngine(distme.EngineConfig{
+			Cluster: cfg,
+			UseGPU:  true,
+			GPUSpec: distme.GPUSpec{
+				MemPerTaskBytes: θg,
+				PCIEBandwidth:   2e8, // bus-constrained, like the testbed
+				Flops:           5e9,
+				MaxStreams:      32,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// One cuboid: force (1,1,1) so the subcuboid layer does the work.
+		c, report, err := eng.MultiplyOpt(a, b, distme.MulOptions{
+			Method: distme.MethodCuboid,
+			Params: distme.Params{P: 1, Q: 1, R: 1},
+		})
+		if err != nil {
+			fmt.Printf("%-12s %v\n", metrics.FormatBytes(θg), err)
+			continue
+		}
+		fmt.Printf("%-12s %-12d %-12s %-12s %.1f%%\n",
+			metrics.FormatBytes(θg),
+			report.GPU.Iterations,
+			metrics.FormatBytes(report.GPU.H2DBytes),
+			metrics.FormatBytes(report.GPU.D2HBytes),
+			100*report.GPU.Utilization())
+		if ref == nil {
+			ref = c
+		} else if !c.ToDense().EqualApprox(ref.ToDense(), 1e-9) {
+			log.Fatal("streamed result differs from unstreamed")
+		}
+	}
+	fmt.Println("\nD2H stays constant across budgets: the C buffer is resident on the")
+	fmt.Println("device across the k-axis and crosses the bus exactly once (Eq. 6's")
+	fmt.Println("missing R2 factor). Tighter θg only adds iterations, never wrong answers.")
+
+	// Finally, the Figure 5(b) view: trace one task's stream timeline.
+	cfg := distme.LaptopCluster()
+	cfg.TaskMemBytes = 1 << 30
+	eng, err := distme.NewEngine(distme.EngineConfig{
+		Cluster: cfg,
+		UseGPU:  true,
+		GPUSpec: distme.GPUSpec{MemPerTaskBytes: 1 << 22, PCIEBandwidth: 2e8, Flops: 5e9, MaxStreams: 8},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.Device().EnableTrace(24)
+	small := distme.RandomDense(rng, 128, 512, 64)
+	smallB := distme.RandomDense(rng, 512, 128, 64)
+	if _, _, err := eng.MultiplyOpt(small, smallB, distme.MulOptions{
+		Method: distme.MethodCuboid, Params: distme.Params{P: 1, Q: 1, R: 1},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfirst timeline events (the paper's Figure 5(b) view):")
+	fmt.Print(gpu.FormatTrace(eng.Device().Trace()))
+}

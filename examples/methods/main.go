@@ -1,0 +1,68 @@
+// Methods comparison: run the same multiplication with BMM, CPMM, RMM and
+// CuboidMM and compare the measured communication against the paper's
+// Table 2 closed forms — the laptop-scale counterpart of Figure 6.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"distme"
+	"distme/internal/metrics"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	// A skewed shape (common large dimension) where the methods differ
+	// sharply: A is 256×4096, B is 4096×256, blocks of 64.
+	a := distme.RandomDense(rng, 256, 4096, 64)
+	b := distme.RandomDense(rng, 4096, 256, 64)
+	s := distme.ShapeOf(a, b)
+	fmt.Printf("C = A×B with block grid %d×%d×%d\n\n", s.I, s.K, s.J)
+
+	fmt.Printf("%-10s %-12s %-14s %-14s %-10s\n", "method", "(P,Q,R)", "repartition", "aggregation", "elapsed")
+	var ref *distme.Matrix
+	for _, method := range []distme.Method{distme.MethodBMM, distme.MethodCPMM, distme.MethodRMM, distme.MethodAuto} {
+		cfg := distme.LaptopCluster()
+		cfg.LocalWorkers = runtime.GOMAXPROCS(0)
+		cfg.TaskMemBytes = 1 << 30
+		eng, err := distme.NewEngine(distme.EngineConfig{Cluster: cfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		c, report, err := eng.MultiplyOpt(a, b, distme.MulOptions{Method: method})
+		if err != nil {
+			fmt.Printf("%-10v %v\n", method, err)
+			continue
+		}
+		fmt.Printf("%-10v %-12v %-14s %-14s %-10v\n",
+			method, report.Params,
+			metrics.FormatBytes(report.Comm.RepartitionBytes),
+			metrics.FormatBytes(report.Comm.AggregationBytes),
+			time.Since(start).Round(time.Millisecond))
+		if ref == nil {
+			ref = c
+		} else if !c.ToDense().EqualApprox(ref.ToDense(), 1e-9) {
+			log.Fatalf("%v produced a different product", method)
+		}
+	}
+	fmt.Println("\nall methods produced identical results — CuboidMM generalizes them (paper §3.1)")
+
+	// The closed forms the engine's accounting matches byte-for-byte:
+	fmt.Println("\nTable 2 closed forms evaluated on this shape:")
+	for _, p := range []struct {
+		name   string
+		params distme.Params
+	}{
+		{"BMM", s.BMMParams()},
+		{"CPMM", s.CPMMParams()},
+		{"RMM", s.RMMParams()},
+	} {
+		fmt.Printf("  %-6s Cost%v = %s\n", p.name, p.params,
+			metrics.FormatBytes(int64(s.CostBytes(p.params))))
+	}
+}

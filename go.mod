@@ -1,0 +1,3 @@
+module distme
+
+go 1.22

@@ -1,0 +1,187 @@
+// Package bmat implements the distributed block matrix representation of
+// the paper's §2.1: a matrix is a grid of fixed-size square blocks (the last
+// block of an axis may be ragged), and a block is the basic unit of
+// distributed computation. The engine's partitioners, shuffles, cuboid
+// executors and GPU streaming all move these blocks around.
+package bmat
+
+import (
+	"fmt"
+
+	"distme/internal/matrix"
+)
+
+// BlockKey addresses a block within a block matrix: row block index I and
+// column block index J (the paper's A_{i,k} subscripts).
+type BlockKey struct {
+	I, J int
+}
+
+// String renders the key like the paper's subscripts.
+func (k BlockKey) String() string { return fmt.Sprintf("(%d,%d)", k.I, k.J) }
+
+// VoxelKey addresses one voxel v_{i,j,k} of the 3-dimensional multiplication
+// model (§2.2): the computation C^k_{i,j} = A_{i,k}·B_{k,j}.
+type VoxelKey struct {
+	I, J, K int
+}
+
+// String renders the key like the paper's subscripts.
+func (k VoxelKey) String() string { return fmt.Sprintf("(%d,%d,%d)", k.I, k.J, k.K) }
+
+// BlockMatrix is a Rows×Cols matrix stored as an IB×JB grid of blocks of
+// side BlockSize. Missing blocks are implicitly zero, which keeps sparse
+// matrices cheap.
+type BlockMatrix struct {
+	Rows, Cols int // element dimensions
+	BlockSize  int // block side length b (paper default 1000×1000)
+	IB, JB     int // grid dimensions: ceil(Rows/b) × ceil(Cols/b)
+
+	blocks map[BlockKey]matrix.Block
+}
+
+// New creates an empty (all-zero) block matrix.
+func New(rows, cols, blockSize int) *BlockMatrix {
+	if rows < 0 || cols < 0 || blockSize <= 0 {
+		panic(fmt.Sprintf("bmat: New(%d, %d, %d): invalid dimensions", rows, cols, blockSize))
+	}
+	return &BlockMatrix{
+		Rows:      rows,
+		Cols:      cols,
+		BlockSize: blockSize,
+		IB:        ceilDiv(rows, blockSize),
+		JB:        ceilDiv(cols, blockSize),
+		blocks:    make(map[BlockKey]matrix.Block),
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// BlockDims returns the element dimensions of the block at grid position
+// (i, j), accounting for ragged edge blocks.
+func (m *BlockMatrix) BlockDims(i, j int) (rows, cols int) {
+	if i < 0 || i >= m.IB || j < 0 || j >= m.JB {
+		panic(fmt.Sprintf("bmat: block (%d, %d) out of grid %dx%d", i, j, m.IB, m.JB))
+	}
+	rows = m.BlockSize
+	if r := m.Rows - i*m.BlockSize; r < rows {
+		rows = r
+	}
+	cols = m.BlockSize
+	if c := m.Cols - j*m.BlockSize; c < cols {
+		cols = c
+	}
+	return rows, cols
+}
+
+// Block returns the block at grid position (i, j), or nil when the block is
+// all zero.
+func (m *BlockMatrix) Block(i, j int) matrix.Block {
+	return m.blocks[BlockKey{i, j}]
+}
+
+// SetBlock stores a block at grid position (i, j). The block's dimensions
+// must match the grid slot; a nil block clears the slot to zero.
+func (m *BlockMatrix) SetBlock(i, j int, b matrix.Block) {
+	key := BlockKey{i, j}
+	if b == nil {
+		delete(m.blocks, key)
+		return
+	}
+	wr, wc := m.BlockDims(i, j)
+	br, bc := b.Dims()
+	if br != wr || bc != wc {
+		panic(fmt.Sprintf("bmat: SetBlock(%d, %d): block is %dx%d, slot wants %dx%d", i, j, br, bc, wr, wc))
+	}
+	m.blocks[key] = b
+}
+
+// NumBlocks returns the count of explicitly stored (non-zero) blocks.
+func (m *BlockMatrix) NumBlocks() int { return len(m.blocks) }
+
+// Keys returns the stored block keys in unspecified order.
+func (m *BlockMatrix) Keys() []BlockKey {
+	keys := make([]BlockKey, 0, len(m.blocks))
+	for k := range m.blocks {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// At returns the element at (i, j) in matrix coordinates.
+func (m *BlockMatrix) At(i, j int) float64 {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("bmat: element (%d, %d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	b := m.Block(i/m.BlockSize, j/m.BlockSize)
+	if b == nil {
+		return 0
+	}
+	return b.At(i%m.BlockSize, j%m.BlockSize)
+}
+
+// ElementCount returns Rows×Cols — the paper's |A| for dense matrices.
+func (m *BlockMatrix) ElementCount() int64 { return int64(m.Rows) * int64(m.Cols) }
+
+// NNZ returns the total stored non-zero count across blocks.
+func (m *BlockMatrix) NNZ() int64 {
+	var n int64
+	for _, b := range m.blocks {
+		n += int64(b.NNZ())
+	}
+	return n
+}
+
+// StoredBytes returns the total stored payload, which is what shuffling this
+// matrix actually costs — dense blocks charge their full extent, sparse
+// blocks their compressed size.
+func (m *BlockMatrix) StoredBytes() int64 {
+	var n int64
+	for _, b := range m.blocks {
+		n += b.SizeBytes()
+	}
+	return n
+}
+
+// DenseBytes returns the fully-dense payload estimate (8 bytes/element),
+// which the paper uses as the worst-case size of intermediate C matrices.
+func (m *BlockMatrix) DenseBytes() int64 { return m.ElementCount() * 8 }
+
+// IsSparse reports whether any stored block uses a sparse format.
+func (m *BlockMatrix) IsSparse() bool {
+	for _, b := range m.blocks {
+		if b.Format() != matrix.FormatDense {
+			return true
+		}
+	}
+	return false
+}
+
+// Sparsity returns NNZ / (Rows×Cols); an empty matrix reports 0.
+func (m *BlockMatrix) Sparsity() float64 {
+	if m.Rows == 0 || m.Cols == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / float64(m.ElementCount())
+}
+
+// Clone returns a deep copy (blocks are copied).
+func (m *BlockMatrix) Clone() *BlockMatrix {
+	out := New(m.Rows, m.Cols, m.BlockSize)
+	for k, b := range m.blocks {
+		switch v := b.(type) {
+		case *matrix.Dense:
+			out.blocks[k] = v.Clone()
+		default:
+			// Sparse blocks are treated as immutable by the engine; share.
+			out.blocks[k] = b
+		}
+	}
+	return out
+}
+
+// String summarizes the matrix.
+func (m *BlockMatrix) String() string {
+	return fmt.Sprintf("BlockMatrix{%dx%d, b=%d, grid=%dx%d, blocks=%d}",
+		m.Rows, m.Cols, m.BlockSize, m.IB, m.JB, len(m.blocks))
+}

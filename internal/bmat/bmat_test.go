@@ -1,0 +1,189 @@
+package bmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distme/internal/matrix"
+)
+
+func TestNewGridDimensions(t *testing.T) {
+	m := New(10, 7, 3)
+	if m.IB != 4 || m.JB != 3 {
+		t.Fatalf("grid = %dx%d, want 4x3", m.IB, m.JB)
+	}
+	r, c := m.BlockDims(3, 2) // ragged corner: 10-9=1 row, 7-6=1 col
+	if r != 1 || c != 1 {
+		t.Fatalf("corner block dims = %dx%d, want 1x1", r, c)
+	}
+	r, c = m.BlockDims(0, 0)
+	if r != 3 || c != 3 {
+		t.Fatalf("interior block dims = %dx%d, want 3x3", r, c)
+	}
+}
+
+func TestSetBlockDimensionCheck(t *testing.T) {
+	m := New(4, 4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-size block did not panic")
+		}
+	}()
+	m.SetBlock(0, 0, matrix.NewDense(3, 3))
+}
+
+func TestSetBlockNilClears(t *testing.T) {
+	m := New(4, 4, 2)
+	m.SetBlock(0, 0, matrix.NewDenseData(2, 2, []float64{1, 2, 3, 4}))
+	if m.NumBlocks() != 1 {
+		t.Fatal("block not stored")
+	}
+	m.SetBlock(0, 0, nil)
+	if m.NumBlocks() != 0 {
+		t.Fatal("nil set did not clear block")
+	}
+	if m.At(0, 0) != 0 {
+		t.Fatal("cleared block should read zero")
+	}
+}
+
+func TestAtAcrossBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	d := matrix.RandomDense(rng, 9, 11)
+	m := FromDense(d, 4)
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 11; j++ {
+			if m.At(i, j) != d.At(i, j) {
+				t.Fatalf("At(%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestFromDenseToDenseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		bs := 1 + rng.Intn(7)
+		d := matrix.RandomDense(rng, rows, cols)
+		return FromDense(d, bs).ToDense().Equal(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromDenseDropsZeroBlocks(t *testing.T) {
+	d := matrix.NewDense(4, 4)
+	d.Set(0, 0, 5) // only top-left block non-zero
+	m := FromDense(d, 2)
+	if m.NumBlocks() != 1 {
+		t.Fatalf("stored %d blocks, want 1", m.NumBlocks())
+	}
+}
+
+func TestRandomSparseBlockMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := RandomSparse(rng, 50, 40, 10, 0.1)
+	sp := m.Sparsity()
+	if sp < 0.05 || sp > 0.15 {
+		t.Fatalf("sparsity = %g, want ≈0.1", sp)
+	}
+	if !m.IsSparse() {
+		t.Fatal("CSR-backed matrix should report sparse")
+	}
+	if m.StoredBytes() >= m.DenseBytes() {
+		t.Fatal("sparse storage should be below dense estimate at 10% density")
+	}
+}
+
+func TestIdentityMultiplicative(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := RandomDense(rng, 6, 6, 2)
+	id := Identity(6, 2)
+	if id.NNZ() != 6 {
+		t.Fatalf("identity nnz = %d, want 6", id.NNZ())
+	}
+	// Identity behaves as neutral under naive block multiplication.
+	prod := naiveBlockMul(id, a)
+	if !EqualApprox(prod, a, 1e-12) {
+		t.Fatal("I×A != A")
+	}
+}
+
+// naiveBlockMul multiplies two block matrices directly, as a reference for
+// the distributed executors' tests.
+func naiveBlockMul(a, b *BlockMatrix) *BlockMatrix {
+	out := New(a.Rows, b.Cols, a.BlockSize)
+	for i := 0; i < a.IB; i++ {
+		for j := 0; j < b.JB; j++ {
+			var acc *matrix.Dense
+			for k := 0; k < a.JB; k++ {
+				ab := a.Block(i, k)
+				bb := b.Block(k, j)
+				if ab == nil || bb == nil {
+					continue
+				}
+				acc = matrix.MulAdd(acc, ab, bb)
+			}
+			if acc != nil {
+				out.SetBlock(i, j, acc)
+			}
+		}
+	}
+	return out
+}
+
+func TestNaiveBlockMulMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		bs := 1 + rng.Intn(5)
+		a := RandomDense(rng, m, k, bs)
+		b := RandomDense(rng, k, n, bs)
+		got := naiveBlockMul(a, b).ToDense()
+		want := matrix.Mul(a.ToDense(), b.ToDense()).Dense()
+		return got.EqualApprox(want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeBlockMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := RandomDense(rng, 9, 5, 2)
+	tr := m.Transpose()
+	if tr.Rows != 5 || tr.Cols != 9 {
+		t.Fatalf("transpose dims %dx%d", tr.Rows, tr.Cols)
+	}
+	if !tr.ToDense().Equal(m.ToDense().Transpose()) {
+		t.Fatal("block transpose mismatch")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	m := RandomDense(rng, 4, 4, 2)
+	cl := m.Clone()
+	m.Block(0, 0).(*matrix.Dense).Set(0, 0, 999)
+	if cl.At(0, 0) == 999 {
+		t.Fatal("clone shares dense block storage")
+	}
+}
+
+func TestElementCountAndNNZ(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	m := RandomSparse(rng, 30, 30, 8, 0.2)
+	if m.ElementCount() != 900 {
+		t.Fatalf("ElementCount = %d, want 900", m.ElementCount())
+	}
+	var want int64
+	for _, k := range m.Keys() {
+		want += int64(m.Block(k.I, k.J).NNZ())
+	}
+	if m.NNZ() != want {
+		t.Fatalf("NNZ = %d, want %d", m.NNZ(), want)
+	}
+}

@@ -1,0 +1,658 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"distme/internal/bmat"
+	"distme/internal/cluster"
+	"distme/internal/matrix"
+	"distme/internal/metrics"
+	"distme/internal/shuffle"
+)
+
+// Env is the execution environment of one distributed multiplication: the
+// cluster that runs the tasks, the recorder that the repartition /
+// local-multiplication / aggregation steps charge, and the local multiplier
+// that computes a cuboid's partial results (CPU by default; the gpu package
+// provides the accelerated implementation of §4).
+type Env struct {
+	Cluster    *cluster.Cluster
+	Recorder   *metrics.Recorder
+	Multiplier LocalMultiplier
+	// VoxelMultiplier computes single block-pair products for the RMM
+	// executor, whose hash partitioning prevents cuboid-level batching; the
+	// gpu package's BlockLevel provides the degraded GPU path the paper
+	// describes for RMM.
+	VoxelMultiplier VoxelMultiplier
+	// AColocated (BColocated) declares that A (B) is already partitioned in
+	// the layout the chosen method wants, so its base copy does not cross
+	// the network: one |A| (|B|) is deducted from the repartition charge.
+	// This is the matrix-dependency reuse of DMac/MatFast (§7) that the
+	// engine's layout tracker drives for iterative queries like GNMF.
+	AColocated, BColocated bool
+	// BalanceBySparsity schedules cuboids longest-estimated-work-first (the
+	// LPT rule) so skewed sparse inputs do not leave one straggler cuboid
+	// running after the rest of the wave drains — the load-balancing
+	// extension the paper's §8 names as future work.
+	BalanceBySparsity bool
+}
+
+// VoxelMultiplier multiplies one block pair — the local multiplication
+// granularity of RMM.
+type VoxelMultiplier interface {
+	MultiplyPair(a, b matrix.Block) (*matrix.Dense, error)
+}
+
+// CPUVoxelMultiplier is the default block-pair multiplier.
+type CPUVoxelMultiplier struct{}
+
+// MultiplyPair implements VoxelMultiplier.
+func (CPUVoxelMultiplier) MultiplyPair(a, b matrix.Block) (*matrix.Dense, error) {
+	return matrix.MulAdd(nil, a, b), nil
+}
+
+// voxelMultiplier returns the configured pair multiplier or the CPU default.
+func (e *Env) voxelMultiplier() VoxelMultiplier {
+	if e.VoxelMultiplier != nil {
+		return e.VoxelMultiplier
+	}
+	return CPUVoxelMultiplier{}
+}
+
+// recorder returns the explicit recorder, falling back to the cluster's.
+func (e *Env) recorder() *metrics.Recorder {
+	if e.Recorder != nil {
+		return e.Recorder
+	}
+	return e.Cluster.Recorder()
+}
+
+// multiplier returns the configured local multiplier or the CPU default.
+func (e *Env) multiplier() LocalMultiplier {
+	if e.Multiplier != nil {
+		return e.Multiplier
+	}
+	return CPUMultiplier{}
+}
+
+// Cuboid is one task's work unit D_{p,q,r}: the voxel box
+// [ILo,IHi)×[JLo,JHi)×[KLo,KHi) of the 3-dimensional model, with views of
+// the A and B source matrices. A local multiplier computes, for every (i,j)
+// in the box, the partial block sum over the box's k range.
+type Cuboid struct {
+	P, Q, R                      int // cuboid index (p,q,r)
+	ILo, IHi, JLo, JHi, KLo, KHi int // voxel box, block coordinates
+	A, B                         *bmat.BlockMatrix
+}
+
+// Name identifies the cuboid in errors and traces.
+func (c *Cuboid) Name() string { return fmt.Sprintf("cuboid(%d,%d,%d)", c.P, c.Q, c.R) }
+
+// Voxels returns the number of voxels in the box.
+func (c *Cuboid) Voxels() int {
+	return (c.IHi - c.ILo) * (c.JHi - c.JLo) * (c.KHi - c.KLo)
+}
+
+// Shape summarizes the cuboid for the subcuboid optimizer: grid extents and
+// payload sizes of this task's A^m, B^m and dense C^m estimate.
+func (c *Cuboid) Shape() CuboidShape {
+	return CuboidShape{
+		IB:     c.IHi - c.ILo,
+		JB:     c.JHi - c.JLo,
+		KB:     c.KHi - c.KLo,
+		ABytes: c.ABytes(),
+		BBytes: c.BBytes(),
+		CBytes: c.CDenseBytes(),
+	}
+}
+
+// ABytes returns the stored payload of the cuboid's A-side blocks.
+func (c *Cuboid) ABytes() int64 {
+	var n int64
+	for i := c.ILo; i < c.IHi; i++ {
+		for k := c.KLo; k < c.KHi; k++ {
+			if blk := c.A.Block(i, k); blk != nil {
+				n += blk.SizeBytes()
+			}
+		}
+	}
+	return n
+}
+
+// BBytes returns the stored payload of the cuboid's B-side blocks.
+func (c *Cuboid) BBytes() int64 {
+	var n int64
+	for k := c.KLo; k < c.KHi; k++ {
+		for j := c.JLo; j < c.JHi; j++ {
+			if blk := c.B.Block(k, j); blk != nil {
+				n += blk.SizeBytes()
+			}
+		}
+	}
+	return n
+}
+
+// CDenseBytes returns the dense estimate of the cuboid's C-side payload —
+// the worst case the paper uses for intermediate blocks.
+func (c *Cuboid) CDenseBytes() int64 {
+	var n int64
+	for i := c.ILo; i < c.IHi; i++ {
+		r, _ := c.A.BlockDims(i, 0)
+		for j := c.JLo; j < c.JHi; j++ {
+			_, cc := c.B.BlockDims(0, j)
+			n += int64(r) * int64(cc) * 8
+		}
+	}
+	return n
+}
+
+// MemEstimateBytes is the task working set charged against θt: inputs at
+// stored size plus the dense output estimate.
+func (c *Cuboid) MemEstimateBytes() int64 {
+	return c.ABytes() + c.BBytes() + c.CDenseBytes()
+}
+
+// FlopsEstimate predicts the cuboid's arithmetic from its actual blocks:
+// for each (i, k) pair of A, 2·work(A_{i,k})·(columns of B in range), with
+// work = nnz for sparse blocks and rows×cols for dense ones. Sparsity skew
+// across cuboids makes these estimates differ, which is what the §8
+// load-balancing extension exploits.
+func (c *Cuboid) FlopsEstimate() float64 {
+	var bCols float64
+	for j := c.JLo; j < c.JHi; j++ {
+		_, cc := c.B.BlockDims(0, j)
+		bCols += float64(cc)
+	}
+	var work float64
+	for i := c.ILo; i < c.IHi; i++ {
+		for k := c.KLo; k < c.KHi; k++ {
+			blk := c.A.Block(i, k)
+			if blk == nil {
+				continue
+			}
+			if blk.Format() == matrix.FormatDense {
+				r, cc := blk.Dims()
+				work += float64(r) * float64(cc)
+			} else {
+				work += float64(blk.NNZ())
+			}
+		}
+	}
+	return 2 * work * bCols
+}
+
+// LocalMultiplier computes the local multiplication step for one cuboid,
+// returning the partial C blocks keyed by global block position. The CPU
+// implementation multiplies directly; the GPU implementation (gpu package)
+// streams subcuboids through the simulated device per Algorithm 1.
+type LocalMultiplier interface {
+	Multiply(c *Cuboid) (map[bmat.BlockKey]*matrix.Dense, error)
+}
+
+// CPUMultiplier is the LAPACK-style local multiplication: for each (i,j) of
+// the cuboid, accumulate A_{i,k}·B_{k,j} over the cuboid's k range.
+type CPUMultiplier struct{}
+
+// Multiply implements LocalMultiplier.
+func (CPUMultiplier) Multiply(c *Cuboid) (map[bmat.BlockKey]*matrix.Dense, error) {
+	out := make(map[bmat.BlockKey]*matrix.Dense, (c.IHi-c.ILo)*(c.JHi-c.JLo))
+	for i := c.ILo; i < c.IHi; i++ {
+		for j := c.JLo; j < c.JHi; j++ {
+			var acc *matrix.Dense
+			for k := c.KLo; k < c.KHi; k++ {
+				ab := c.A.Block(i, k)
+				bb := c.B.Block(k, j)
+				if ab == nil || bb == nil {
+					continue
+				}
+				acc = matrix.MulAdd(acc, ab, bb)
+			}
+			if acc != nil {
+				out[bmat.BlockKey{I: i, J: j}] = acc
+			}
+		}
+	}
+	return out, nil
+}
+
+// checkOperands validates conformability of A and B.
+func checkOperands(a, b *bmat.BlockMatrix) error {
+	if a.Cols != b.Rows {
+		return fmt.Errorf("core: multiply: A is %dx%d, B is %dx%d: inner dimensions differ", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if a.BlockSize != b.BlockSize {
+		return fmt.Errorf("core: multiply: block sizes differ: %d vs %d", a.BlockSize, b.BlockSize)
+	}
+	return nil
+}
+
+// ShapeOf summarizes C = A×B for the optimizer: grid extents, stored input
+// payloads, dense output estimate — the worst case the paper (like
+// SystemML and DMac, §2.2.2) uses for intermediate blocks.
+func ShapeOf(a, b *bmat.BlockMatrix) Shape {
+	return Shape{
+		I:      a.IB,
+		J:      b.JB,
+		K:      a.JB,
+		ABytes: a.StoredBytes(),
+		BBytes: b.StoredBytes(),
+		CBytes: int64(a.Rows) * int64(b.Cols) * 8,
+	}
+}
+
+// ShapeOfEstimated is ShapeOf with a probabilistic output-density estimate
+// instead of the dense worst case: under the uniform-scatter model, a C
+// element is non-zero with probability 1 − (1 − spA·spB)^K over the K inner
+// elements, and a sparse C stores ≈16 B per non-zero. For genuinely sparse
+// products this admits far coarser (cheaper) cuboid partitionings than the
+// worst case — the estimation ablation the paper's §2.2.2 gestures at when
+// it notes "the actual cost may be lower".
+func ShapeOfEstimated(a, b *bmat.BlockMatrix) Shape {
+	s := ShapeOf(a, b)
+	spA, spB := a.Sparsity(), b.Sparsity()
+	pNZ := 1 - pow1m(spA*spB, a.Cols)
+	sparse := int64(pNZ*float64(a.Rows)*float64(b.Cols)) * 16
+	if sparse < s.CBytes {
+		s.CBytes = sparse
+	}
+	return s
+}
+
+// pow1m computes (1-p)^n stably for small p and large n via exp(n·log1p(-p)).
+func pow1m(p float64, n int) float64 {
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return 0
+	}
+	return math.Exp(float64(n) * math.Log1p(-p))
+}
+
+// MultiplyCuboid executes C = A×B with an explicit (P,Q,R)-cuboid
+// partitioning: the three steps of §3.1 — repartition (charged to the
+// recorder), local multiplication (one cluster task per cuboid), and
+// aggregation across the R cuboids of each (p,q) column (charged and
+// reduced). Passing BMMParams/CPMMParams/RMMParams reproduces the classical
+// methods' costs exactly (Table 2).
+func MultiplyCuboid(a, b *bmat.BlockMatrix, params Params, env Env) (*bmat.BlockMatrix, error) {
+	if err := checkOperands(a, b); err != nil {
+		return nil, err
+	}
+	s := ShapeOf(a, b)
+	if !params.valid(s) {
+		return nil, fmt.Errorf("core: multiply: params %v outside grid %dx%dx%d", params, s.I, s.J, s.K)
+	}
+	rec := env.recorder()
+	mult := env.multiplier()
+
+	// ---- Matrix repartition step -------------------------------------
+	// Build the P·Q·R cuboids and charge each one's input payload: every A
+	// block lands in exactly Q cuboids and every B block in exactly P, so
+	// the total equals Eq.(4)'s Q·|A| + P·|B| term exactly.
+	start := time.Now()
+	cuboids := make([]*Cuboid, 0, params.Tasks())
+	var repartitionBytes int64
+	for p := 0; p < params.P; p++ {
+		ilo, ihi := shuffle.GridSpan(p, s.I, params.P)
+		for q := 0; q < params.Q; q++ {
+			jlo, jhi := shuffle.GridSpan(q, s.J, params.Q)
+			for r := 0; r < params.R; r++ {
+				klo, khi := shuffle.GridSpan(r, s.K, params.R)
+				c := &Cuboid{
+					P: p, Q: q, R: r,
+					ILo: ilo, IHi: ihi, JLo: jlo, JHi: jhi, KLo: klo, KHi: khi,
+					A: a, B: b,
+				}
+				if c.Voxels() == 0 {
+					// Ceil-division spans can leave trailing tiles empty
+					// (e.g. 10 blocks over 7 partitions); they carry no
+					// work and no data.
+					continue
+				}
+				repartitionBytes += c.ABytes() + c.BBytes()
+				cuboids = append(cuboids, c)
+			}
+		}
+	}
+	if env.AColocated {
+		repartitionBytes -= a.StoredBytes()
+	}
+	if env.BColocated {
+		repartitionBytes -= b.StoredBytes()
+	}
+	if repartitionBytes < 0 {
+		repartitionBytes = 0
+	}
+	rec.AddBytes(metrics.StepRepartition, repartitionBytes)
+	if err := env.Cluster.ChargeSpill(repartitionBytes); err != nil {
+		return nil, err
+	}
+	rec.AddDuration(metrics.StepRepartition, time.Since(start))
+
+	// ---- Local multiplication step -----------------------------------
+	start = time.Now()
+	if env.BalanceBySparsity {
+		sortCuboidsByWork(cuboids)
+	}
+	partials := make([]map[bmat.BlockKey]*matrix.Dense, len(cuboids))
+	tasks := make([]cluster.Task, len(cuboids))
+	for idx, c := range cuboids {
+		idx, c := idx, c
+		tasks[idx] = cluster.Task{
+			Name:        c.Name(),
+			MemEstimate: c.MemEstimateBytes(),
+			Fn: func() error {
+				out, err := mult.Multiply(c)
+				if err != nil {
+					return err
+				}
+				partials[idx] = out
+				return nil
+			},
+		}
+	}
+	if err := env.Cluster.Run(tasks); err != nil {
+		return nil, err
+	}
+	rec.AddDuration(metrics.StepLocalMultiply, time.Since(start))
+
+	// ---- Matrix aggregation step -------------------------------------
+	// With R = 1 the local products are final blocks and no shuffle occurs
+	// (BMM's "-" in Table 2). With R > 1 every partial block crosses the
+	// shuffle, totalling R·|C| for dense partials — Eq.(4)'s last term.
+	start = time.Now()
+	out := bmat.New(a.Rows, b.Cols, a.BlockSize)
+	var aggregationBytes int64
+	for _, part := range partials {
+		if part == nil {
+			continue
+		}
+		for _, kb := range sortedPartials(part) {
+			if params.R > 1 {
+				// Intermediate blocks are serialized for the shuffle in
+				// their compact form: a mostly-zero partial travels as CSR
+				// (the format decision SystemML makes per block), which is
+				// why the actual aggregation cost of sparse products runs
+				// below the worst-case R·|C| (§2.2.2).
+				aggregationBytes += compactSizeBytes(kb.block)
+			}
+			if existing := out.Block(kb.key.I, kb.key.J); existing != nil {
+				matrix.AddInto(existing.(*matrix.Dense), kb.block)
+			} else {
+				out.SetBlock(kb.key.I, kb.key.J, kb.block)
+			}
+		}
+	}
+	compactOutput(out)
+	rec.AddBytes(metrics.StepAggregation, aggregationBytes)
+	if aggregationBytes > 0 {
+		if err := env.Cluster.ChargeSpill(aggregationBytes); err != nil {
+			return nil, err
+		}
+	}
+	rec.AddDuration(metrics.StepAggregation, time.Since(start))
+	return out, nil
+}
+
+// sparseFormatThreshold is the density below which a result block is stored
+// (and shipped) in CSR rather than dense: 16 B/nnz beats 8 B/element below
+// one half, with margin for the row-pointer array.
+const sparseFormatThreshold = 0.4
+
+// compactSizeBytes is the serialized size of a block in its best format.
+func compactSizeBytes(d *matrix.Dense) int64 {
+	if matrix.Sparsity(d) < sparseFormatThreshold {
+		nnz := int64(d.NNZ())
+		sparse := nnz*16 + int64(d.RowsN+1)*8
+		if sparse < d.SizeBytes() {
+			return sparse
+		}
+	}
+	return d.SizeBytes()
+}
+
+// compactOutput converts low-density dense result blocks to CSR — the
+// output-format selection step, so downstream operators see sparse blocks
+// when the product really is sparse.
+func compactOutput(m *bmat.BlockMatrix) {
+	for _, key := range m.Keys() {
+		blk := m.Block(key.I, key.J)
+		d, ok := blk.(*matrix.Dense)
+		if !ok {
+			continue
+		}
+		if matrix.Sparsity(d) < sparseFormatThreshold {
+			csr := matrix.NewCSRFromDense(d)
+			if csr.SizeBytes() < d.SizeBytes() {
+				m.SetBlock(key.I, key.J, csr)
+			}
+		}
+	}
+}
+
+// sortCuboidsByWork orders cuboids by descending flops estimate
+// (longest-processing-time-first), tie-broken by index for determinism.
+func sortCuboidsByWork(cs []*Cuboid) {
+	sort.SliceStable(cs, func(a, b int) bool {
+		wa, wb := cs[a].FlopsEstimate(), cs[b].FlopsEstimate()
+		if wa != wb {
+			return wa > wb
+		}
+		ka := [3]int{cs[a].P, cs[a].Q, cs[a].R}
+		kb := [3]int{cs[b].P, cs[b].Q, cs[b].R}
+		for i := range ka {
+			if ka[i] != kb[i] {
+				return ka[i] < kb[i]
+			}
+		}
+		return false
+	})
+}
+
+// keyedBlock pairs a key and block for deterministic iteration.
+type keyedBlock struct {
+	key   bmat.BlockKey
+	block *matrix.Dense
+}
+
+// sortedPartials returns the map's entries ordered by (I, J) so aggregation
+// is deterministic regardless of map iteration order.
+func sortedPartials(m map[bmat.BlockKey]*matrix.Dense) []keyedBlock {
+	out := make([]keyedBlock, 0, len(m))
+	for k, v := range m {
+		out = append(out, keyedBlock{k, v})
+	}
+	// insertion sort: partial maps are small per task.
+	for i := 1; i < len(out); i++ {
+		v := out[i]
+		j := i - 1
+		for j >= 0 && (out[j].key.I > v.key.I || (out[j].key.I == v.key.I && out[j].key.J > v.key.J)) {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = v
+	}
+	return out
+}
+
+// MultiplyBMM runs Broadcast Matrix Multiplication (§2.2.1): row-partition A
+// over T = I tasks and broadcast B — CuboidMM with (I,1,1).
+func MultiplyBMM(a, b *bmat.BlockMatrix, env Env) (*bmat.BlockMatrix, error) {
+	return MultiplyCuboid(a, b, ShapeOf(a, b).BMMParams(), env)
+}
+
+// MultiplyCPMM runs Cross-Product Matrix Multiplication (§2.2.2):
+// column-partition A, row-partition B over T = K tasks, aggregate T·|C| —
+// CuboidMM with (1,1,K).
+func MultiplyCPMM(a, b *bmat.BlockMatrix, env Env) (*bmat.BlockMatrix, error) {
+	return MultiplyCuboid(a, b, ShapeOf(a, b).CPMMParams(), env)
+}
+
+// MultiplyRMM runs Replication-based Matrix Multiplication (§2.2.3):
+// replicate every A block J times and every B block I times, hash-shuffle
+// voxels over tasks, multiply block pairs, then shuffle K·|C| intermediate
+// blocks by (i,j). T is the task count; the paper's best practical setting
+// is I·J (pass 0 to use it). Unlike the cuboid path, tasks hold
+// non-consecutive voxels, so no communication sharing is possible and every
+// voxel pays full replication — that difference is the point of Figure 6.
+func MultiplyRMM(a, b *bmat.BlockMatrix, tasks int, env Env) (*bmat.BlockMatrix, error) {
+	if err := checkOperands(a, b); err != nil {
+		return nil, err
+	}
+	s := ShapeOf(a, b)
+	if tasks <= 0 {
+		tasks = s.I * s.J
+	}
+	rec := env.recorder()
+
+	// ---- Matrix repartition step: replicate and hash-shuffle ----------
+	start := time.Now()
+	groups := make([][]bmat.VoxelKey, tasks)
+	var repartitionBytes int64
+	hp := shuffle.HashPartitioner{N: tasks}
+	memEstimates := make([]int64, tasks)
+	for i := 0; i < s.I; i++ {
+		for j := 0; j < s.J; j++ {
+			for k := 0; k < s.K; k++ {
+				ab := a.Block(i, k)
+				bb := b.Block(k, j)
+				// Replication cost is charged for every voxel the block is
+				// copied to, even when a block is zero the paper's formula
+				// counts stored payload only, so nil blocks cost nothing.
+				var vbytes int64
+				if ab != nil {
+					vbytes += ab.SizeBytes()
+				}
+				if bb != nil {
+					vbytes += bb.SizeBytes()
+				}
+				repartitionBytes += vbytes
+				t := hp.PartitionVoxel(bmat.VoxelKey{I: i, J: j, K: k})
+				r, _ := a.BlockDims(i, 0)
+				_, cc := b.BlockDims(0, j)
+				// A task streams its voxels from the shuffle one at a time,
+				// so its resident set is the largest single voxel — this is
+				// what lets RMM scale to any matrix size (§2.2.3).
+				if v := vbytes + int64(r)*int64(cc)*8; v > memEstimates[t] {
+					memEstimates[t] = v
+				}
+				if ab != nil && bb != nil {
+					groups[t] = append(groups[t], bmat.VoxelKey{I: i, J: j, K: k})
+				}
+			}
+		}
+	}
+	rec.AddBytes(metrics.StepRepartition, repartitionBytes)
+	if err := env.Cluster.ChargeSpill(repartitionBytes); err != nil {
+		return nil, err
+	}
+	rec.AddDuration(metrics.StepRepartition, time.Since(start))
+
+	// ---- Local multiplication step: one block pair per voxel ----------
+	start = time.Now()
+	vm := env.voxelMultiplier()
+	partials := make([]map[bmat.VoxelKey]*matrix.Dense, tasks)
+	var clusterTasks []cluster.Task
+	for t := 0; t < tasks; t++ {
+		t := t
+		if len(groups[t]) == 0 {
+			continue
+		}
+		clusterTasks = append(clusterTasks, cluster.Task{
+			Name:        fmt.Sprintf("rmm-task(%d)", t),
+			MemEstimate: memEstimates[t],
+			Fn: func() error {
+				out := make(map[bmat.VoxelKey]*matrix.Dense, len(groups[t]))
+				for _, vk := range groups[t] {
+					ab := a.Block(vk.I, vk.K)
+					bb := b.Block(vk.K, vk.J)
+					prod, err := vm.MultiplyPair(ab, bb)
+					if err != nil {
+						return err
+					}
+					out[vk] = prod
+				}
+				partials[t] = out
+				return nil
+			},
+		})
+	}
+	if err := env.Cluster.Run(clusterTasks); err != nil {
+		return nil, err
+	}
+	rec.AddDuration(metrics.StepLocalMultiply, time.Since(start))
+
+	// ---- Matrix aggregation step: shuffle K·|C| partials by (i,j) ------
+	start = time.Now()
+	out := bmat.New(a.Rows, b.Cols, a.BlockSize)
+	var aggregationBytes int64
+	for t := 0; t < tasks; t++ {
+		part := partials[t]
+		if part == nil {
+			continue
+		}
+		for _, kb := range sortedVoxelPartials(part) {
+			aggregationBytes += kb.block.SizeBytes()
+			if existing := out.Block(kb.key.I, kb.key.J); existing != nil {
+				matrix.AddInto(existing.(*matrix.Dense), kb.block)
+			} else {
+				out.SetBlock(kb.key.I, kb.key.J, kb.block)
+			}
+		}
+	}
+	rec.AddBytes(metrics.StepAggregation, aggregationBytes)
+	if err := env.Cluster.ChargeSpill(aggregationBytes); err != nil {
+		return nil, err
+	}
+	rec.AddDuration(metrics.StepAggregation, time.Since(start))
+	return out, nil
+}
+
+type keyedVoxelBlock struct {
+	key   bmat.VoxelKey
+	block *matrix.Dense
+}
+
+func sortedVoxelPartials(m map[bmat.VoxelKey]*matrix.Dense) []keyedVoxelBlock {
+	out := make([]keyedVoxelBlock, 0, len(m))
+	for k, v := range m {
+		out = append(out, keyedVoxelBlock{k, v})
+	}
+	for i := 1; i < len(out); i++ {
+		v := out[i]
+		j := i - 1
+		for j >= 0 && voxelLess(v.key, out[j].key) {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = v
+	}
+	return out
+}
+
+func voxelLess(a, b bmat.VoxelKey) bool {
+	if a.I != b.I {
+		return a.I < b.I
+	}
+	if a.J != b.J {
+		return a.J < b.J
+	}
+	return a.K < b.K
+}
+
+// MultiplyAuto optimizes (P,Q,R) for the cluster's budgets (Eq. 2) and runs
+// CuboidMM with the result. This is DistME's default multiplication path.
+func MultiplyAuto(a, b *bmat.BlockMatrix, env Env) (*bmat.BlockMatrix, Params, error) {
+	s := ShapeOf(a, b)
+	cfg := env.Cluster.Config()
+	params, err := Optimize(s, cfg.TaskMemBytes, cfg.Slots())
+	if err != nil {
+		return nil, Params{}, err
+	}
+	c, err := MultiplyCuboid(a, b, params, env)
+	return c, params, err
+}

@@ -1,0 +1,237 @@
+// Package core implements the paper's primary contribution: the
+// 3-dimensional voxel model of distributed matrix multiplication (§2.2),
+// (P,Q,R)-cuboid partitioning with its communication-cost optimizer (§3),
+// the (P2,Q2,R2)-subcuboid optimizer for GPU memory (§4.2), and executors
+// for CuboidMM and the baseline methods BMM, CPMM and RMM (Table 2).
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Shape describes one multiplication C = A×B in the block model: A is I×K
+// blocks, B is K×J blocks, C is I×J blocks. Sizes are payload bytes — stored
+// bytes for the inputs (so sparse matrices weigh their compressed size) and
+// the worst-case dense estimate for C, exactly as §3.2 prescribes.
+type Shape struct {
+	I, J, K int
+	// ABytes and BBytes are the stored payload sizes of the inputs.
+	ABytes, BBytes int64
+	// CBytes is the dense worst-case estimate of the output payload.
+	CBytes int64
+}
+
+// Validate reports a descriptive error for degenerate shapes.
+func (s Shape) Validate() error {
+	if s.I <= 0 || s.J <= 0 || s.K <= 0 {
+		return fmt.Errorf("core: shape: block grid %dx%dx%d must be positive", s.I, s.J, s.K)
+	}
+	if s.ABytes < 0 || s.BBytes < 0 || s.CBytes < 0 {
+		return fmt.Errorf("core: shape: negative payload size")
+	}
+	return nil
+}
+
+// Params is a (P,Q,R)-cuboid partitioning: the number of partitions on the
+// i-, j- and k-axes. Special values reproduce the classical methods —
+// (I,1,1) is BMM broadcasting B, (1,1,K) is CPMM, (I,J,K) is RMM.
+type Params struct {
+	P, Q, R int
+}
+
+// String renders the parameters as the paper writes them.
+func (p Params) String() string { return fmt.Sprintf("(%d,%d,%d)", p.P, p.Q, p.R) }
+
+// Tasks returns P·Q·R, the number of cuboids and hence tasks.
+func (p Params) Tasks() int { return p.P * p.Q * p.R }
+
+// valid reports whether p is inside the feasible box for shape s.
+func (p Params) valid(s Shape) bool {
+	return p.P >= 1 && p.P <= s.I && p.Q >= 1 && p.Q <= s.J && p.R >= 1 && p.R <= s.K
+}
+
+// MemBytes evaluates Eq.(3): the average per-task working set
+// |A|/(P·R) + |B|/(R·Q) + |C|/(P·Q), in bytes.
+func (s Shape) MemBytes(p Params) float64 {
+	return float64(s.ABytes)/float64(p.P*p.R) +
+		float64(s.BBytes)/float64(p.R*p.Q) +
+		float64(s.CBytes)/float64(p.P*p.Q)
+}
+
+// CostBytes evaluates Eq.(4): the network communication cost
+// Q·|A| + P·|B| + R·|C|, in bytes. The R·|C| term is charged only when R>1;
+// with R=1 the local products are final blocks and no aggregation shuffle
+// happens (Table 2 marks BMM's aggregation cost "-").
+func (s Shape) CostBytes(p Params) float64 {
+	cost := float64(p.Q)*float64(s.ABytes) + float64(p.P)*float64(s.BBytes)
+	if p.R > 1 {
+		cost += float64(p.R) * float64(s.CBytes)
+	}
+	return cost
+}
+
+// BMMParams returns the parameters that make CuboidMM behave like BMM
+// broadcasting B: (I,1,1).
+func (s Shape) BMMParams() Params { return Params{P: s.I, Q: 1, R: 1} }
+
+// CPMMParams returns the CPMM-equivalent parameters (1,1,K).
+func (s Shape) CPMMParams() Params { return Params{P: 1, Q: 1, R: s.K} }
+
+// RMMParams returns the RMM-equivalent parameters (I,J,K).
+func (s Shape) RMMParams() Params { return Params{P: s.I, Q: s.J, R: s.K} }
+
+// ErrInfeasible reports that no (P,Q,R) satisfies the memory budget — even a
+// single voxel exceeds θt, so the multiplication cannot run at all.
+var ErrInfeasible = errors.New("core: no cuboid partitioning fits the per-task memory budget")
+
+// Optimize solves Eq.(2): the feasible (P,Q,R) minimizing CostBytes subject
+// to MemBytes ≤ θt, pruning partitionings that cannot occupy every task slot
+// (P·Q·R ≥ slots, §3.2), with the paper's exceptional case: when the whole
+// voxel grid has fewer cells than slots, return (I,J,K) to maximize
+// parallelism (which behaves like RMM).
+//
+// The search is exhaustive over (P,R); for each pair the cost is monotone
+// increasing in Q, so the smallest feasible Q is optimal — an O(I·K)
+// procedure that returns exactly the argmin of the full O(I·J·K) scan (a
+// property the tests verify against a brute-force reference).
+func Optimize(s Shape, taskMemBytes int64, slots int) (Params, error) {
+	if err := s.Validate(); err != nil {
+		return Params{}, err
+	}
+	if taskMemBytes <= 0 {
+		return Params{}, fmt.Errorf("core: Optimize: task memory budget must be positive, got %d", taskMemBytes)
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	// Exceptional case (§3.2): fewer voxels than slots.
+	if s.I*s.J*s.K < slots {
+		return Params{P: s.I, Q: s.J, R: s.K}, nil
+	}
+
+	best := Params{}
+	bestCost := 0.0
+	found := false
+	θ := float64(taskMemBytes)
+	for p := 1; p <= s.I; p++ {
+		for r := 1; r <= s.K; r++ {
+			q, ok := minFeasibleQ(s, p, r, θ, slots)
+			if !ok {
+				continue
+			}
+			cand := Params{P: p, Q: q, R: r}
+			cost := s.CostBytes(cand)
+			if !found || cost < bestCost || (cost == bestCost && less(cand, best)) {
+				best, bestCost, found = cand, cost, true
+			}
+		}
+	}
+	if !found {
+		return Params{}, fmt.Errorf("%w: grid %dx%dx%d, θt=%d", ErrInfeasible, s.I, s.J, s.K, taskMemBytes)
+	}
+	return best, nil
+}
+
+// minFeasibleQ returns the smallest Q in [1, J] satisfying both the memory
+// budget and the parallelism prune for fixed (P, R).
+func minFeasibleQ(s Shape, p, r int, θ float64, slots int) (int, bool) {
+	// Memory: |A|/(P·R) + (|B|/R + |C|/P)/Q ≤ θ
+	head := float64(s.ABytes) / float64(p*r)
+	rem := θ - head
+	if rem < 0 {
+		return 0, false
+	}
+	q := 1
+	num := float64(s.BBytes)/float64(r) + float64(s.CBytes)/float64(p)
+	if num > 0 && rem == 0 {
+		return 0, false
+	}
+	if num > 0 {
+		q = int(ceilDivFloat(num, rem))
+		if q < 1 {
+			q = 1
+		}
+	}
+	// Parallelism prune: P·Q·R ≥ slots.
+	if pq := ceilDivInt(slots, p*r); pq > q {
+		q = pq
+	}
+	if q > s.J {
+		return 0, false
+	}
+	// Guard against float rounding at the boundary.
+	for q <= s.J && s.MemBytes(Params{P: p, Q: q, R: r}) > θ {
+		q++
+	}
+	if q > s.J {
+		return 0, false
+	}
+	return q, true
+}
+
+func ceilDivInt(a, b int) int { return (a + b - 1) / b }
+
+func ceilDivFloat(a, b float64) float64 {
+	q := a / b
+	iq := float64(int64(q))
+	if q > iq {
+		return iq + 1
+	}
+	return iq
+}
+
+// less orders parameter triples for deterministic tie-breaking: fewer tasks
+// first (cheaper scheduling), then lexicographic (P,Q,R).
+func less(a, b Params) bool {
+	if at, bt := a.Tasks(), b.Tasks(); at != bt {
+		return at < bt
+	}
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	if a.Q != b.Q {
+		return a.Q < b.Q
+	}
+	return a.R < b.R
+}
+
+// OptimizeBrute is the direct O(I·J·K) scan of Eq.(2); exported for tests
+// and for the Figure 9 parameter-sweep bench, which wants every candidate's
+// cost, not just the argmin.
+func OptimizeBrute(s Shape, taskMemBytes int64, slots int) (Params, error) {
+	if err := s.Validate(); err != nil {
+		return Params{}, err
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	if s.I*s.J*s.K < slots {
+		return Params{P: s.I, Q: s.J, R: s.K}, nil
+	}
+	θ := float64(taskMemBytes)
+	best := Params{}
+	bestCost := 0.0
+	found := false
+	for p := 1; p <= s.I; p++ {
+		for q := 1; q <= s.J; q++ {
+			for r := 1; r <= s.K; r++ {
+				cand := Params{P: p, Q: q, R: r}
+				if cand.Tasks() < slots {
+					continue
+				}
+				if s.MemBytes(cand) > θ {
+					continue
+				}
+				cost := s.CostBytes(cand)
+				if !found || cost < bestCost || (cost == bestCost && less(cand, best)) {
+					best, bestCost, found = cand, cost, true
+				}
+			}
+		}
+	}
+	if !found {
+		return Params{}, fmt.Errorf("%w: grid %dx%dx%d, θt=%d", ErrInfeasible, s.I, s.J, s.K, taskMemBytes)
+	}
+	return best, nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+)
+
+// CuboidShape describes a single cuboid from task tm's point of view, the
+// input of the subcuboid optimizer (§4.2): the cuboid spans IB×JB×KB voxels
+// and holds ABytes of A-side payload (A^m), BBytes of B-side payload (B^m)
+// and a CBytes dense output estimate (C^m). Different tasks have different
+// sizes and sparsities, so each task optimizes its own subcuboids.
+type CuboidShape struct {
+	IB, JB, KB     int
+	ABytes, BBytes int64
+	CBytes         int64
+}
+
+// SubParams is a (P2,Q2,R2)-subcuboid partitioning of a cuboid.
+type SubParams struct {
+	P2, Q2, R2 int
+}
+
+// String renders the parameters as the paper writes them.
+func (p SubParams) String() string { return fmt.Sprintf("(%d,%d,%d)", p.P2, p.Q2, p.R2) }
+
+// Subcuboids returns P2·Q2·R2, the iterations one task streams to the GPU.
+func (p SubParams) Subcuboids() int { return p.P2 * p.Q2 * p.R2 }
+
+// MemBytes evaluates Mem_m(): the per-iteration GPU working set
+// |A^m|/(P2·R2) + |B^m|/(R2·Q2) + |C^m|/(P2·Q2), in bytes.
+func (c CuboidShape) MemBytes(p SubParams) float64 {
+	return float64(c.ABytes)/float64(p.P2*p.R2) +
+		float64(c.BBytes)/float64(p.R2*p.Q2) +
+		float64(c.CBytes)/float64(p.P2*p.Q2)
+}
+
+// CostBytes evaluates Eq.(6): the PCI-E traffic Q2·|A^m| + P2·|B^m| + |C^m|.
+// The |C^m| term has no R2 factor because the C buffer stays resident in GPU
+// memory across the k-axis iterations and crosses the bus once.
+func (c CuboidShape) CostBytes(p SubParams) float64 {
+	return float64(p.Q2)*float64(c.ABytes) +
+		float64(p.P2)*float64(c.BBytes) +
+		float64(c.CBytes)
+}
+
+// OptimizeSub solves Eq.(5): the feasible (P2,Q2,R2) minimizing PCI-E cost
+// subject to Mem_m ≤ θg. Because Eq.(6) does not depend on R2, for each
+// (P2,Q2) the smallest feasible R2 is optimal; the optimizer therefore tends
+// to (1,1,R2) partitionings, exactly as §4.2 observes, growing P2 and Q2
+// only when C^m alone exceeds GPU memory.
+func OptimizeSub(c CuboidShape, gpuMemBytes int64) (SubParams, error) {
+	if c.IB <= 0 || c.JB <= 0 || c.KB <= 0 {
+		return SubParams{}, fmt.Errorf("core: OptimizeSub: cuboid grid %dx%dx%d must be positive", c.IB, c.JB, c.KB)
+	}
+	if gpuMemBytes <= 0 {
+		return SubParams{}, fmt.Errorf("core: OptimizeSub: GPU memory budget must be positive, got %d", gpuMemBytes)
+	}
+	θ := float64(gpuMemBytes)
+	best := SubParams{}
+	bestCost := 0.0
+	found := false
+	for p2 := 1; p2 <= c.IB; p2++ {
+		for q2 := 1; q2 <= c.JB; q2++ {
+			r2, ok := minFeasibleR2(c, p2, q2, θ)
+			if !ok {
+				continue
+			}
+			cand := SubParams{P2: p2, Q2: q2, R2: r2}
+			cost := c.CostBytes(cand)
+			if !found || cost < bestCost || (cost == bestCost && lessSub(cand, best)) {
+				best, bestCost, found = cand, cost, true
+			}
+		}
+	}
+	if !found {
+		return SubParams{}, fmt.Errorf("%w: cuboid %dx%dx%d, θg=%d", ErrInfeasible, c.IB, c.JB, c.KB, gpuMemBytes)
+	}
+	return best, nil
+}
+
+// minFeasibleR2 returns the smallest R2 in [1, KB] meeting the GPU memory
+// budget for fixed (P2, Q2).
+func minFeasibleR2(c CuboidShape, p2, q2 int, θ float64) (int, bool) {
+	// |C^m|/(P2·Q2) + (|A^m|/P2 + |B^m|/Q2)/R2 ≤ θ
+	head := float64(c.CBytes) / float64(p2*q2)
+	rem := θ - head
+	if rem < 0 {
+		return 0, false
+	}
+	r2 := 1
+	num := float64(c.ABytes)/float64(p2) + float64(c.BBytes)/float64(q2)
+	if num > 0 {
+		if rem == 0 {
+			return 0, false
+		}
+		r2 = int(ceilDivFloat(num, rem))
+		if r2 < 1 {
+			r2 = 1
+		}
+	}
+	if r2 > c.KB {
+		return 0, false
+	}
+	for r2 <= c.KB && c.MemBytes(SubParams{P2: p2, Q2: q2, R2: r2}) > θ {
+		r2++
+	}
+	if r2 > c.KB {
+		return 0, false
+	}
+	return r2, true
+}
+
+// lessSub tie-breaks subcuboid params: fewer iterations, then lexicographic.
+func lessSub(a, b SubParams) bool {
+	if ai, bi := a.Subcuboids(), b.Subcuboids(); ai != bi {
+		return ai < bi
+	}
+	if a.P2 != b.P2 {
+		return a.P2 < b.P2
+	}
+	if a.Q2 != b.Q2 {
+		return a.Q2 < b.Q2
+	}
+	return a.R2 < b.R2
+}

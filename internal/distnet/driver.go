@@ -1,0 +1,201 @@
+package distnet
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"sync/atomic"
+
+	"distme/internal/bmat"
+	"distme/internal/core"
+	"distme/internal/matrix"
+	"distme/internal/shuffle"
+)
+
+// Driver executes cuboid plans across remote workers. It owns one RPC
+// client per worker; cuboids are assigned round-robin and run concurrently,
+// and every byte that crosses a socket is counted — the measured-for-real
+// counterpart of the cluster substrate's accounting.
+type Driver struct {
+	clients []*rpc.Client
+	addrs   []string
+	wire    *wireCounter
+}
+
+// wireCounter meters real socket traffic in both directions.
+type wireCounter struct {
+	sent, received atomic.Int64
+}
+
+// countingConn wraps a net.Conn with the driver's byte meters.
+type countingConn struct {
+	net.Conn
+	wire *wireCounter
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.wire.received.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.wire.sent.Add(int64(n))
+	return n, err
+}
+
+// Dial connects to the workers. Every address must answer a Ping before the
+// driver is returned.
+func Dial(addrs []string) (*Driver, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("distnet: no worker addresses")
+	}
+	d := &Driver{addrs: addrs, wire: &wireCounter{}}
+	for _, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("distnet: dial %s: %w", addr, err)
+		}
+		client := rpc.NewClient(&countingConn{Conn: conn, wire: d.wire})
+		var pong PingReply
+		if err := client.Call(serviceName+".Ping", &PingArgs{}, &pong); err != nil {
+			client.Close()
+			d.Close()
+			return nil, fmt.Errorf("distnet: ping %s: %w", addr, err)
+		}
+		d.clients = append(d.clients, client)
+	}
+	return d, nil
+}
+
+// Close shuts every client connection.
+func (d *Driver) Close() {
+	for _, c := range d.clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+	d.clients = nil
+}
+
+// Workers returns the connected worker count.
+func (d *Driver) Workers() int { return len(d.clients) }
+
+// WireBytes reports the real bytes sent and received over the sockets since
+// Dial.
+func (d *Driver) WireBytes() (sent, received int64) {
+	return d.wire.sent.Load(), d.wire.received.Load()
+}
+
+// Multiply runs C = A×B with an explicit (P,Q,R)-cuboid partitioning, each
+// cuboid computed by a remote worker. The driver performs the repartition
+// (shipping each cuboid's blocks over its worker's socket) and the
+// aggregation (summing the partial C blocks that come back).
+func (d *Driver) Multiply(a, b *bmat.BlockMatrix, params core.Params) (*bmat.BlockMatrix, error) {
+	if len(d.clients) == 0 {
+		return nil, fmt.Errorf("distnet: driver closed")
+	}
+	if a.Cols != b.Rows || a.BlockSize != b.BlockSize {
+		return nil, fmt.Errorf("distnet: operands not conformable")
+	}
+	s := core.ShapeOf(a, b)
+	if params.P < 1 || params.P > s.I || params.Q < 1 || params.Q > s.J || params.R < 1 || params.R > s.K {
+		return nil, fmt.Errorf("distnet: params %v outside grid %dx%dx%d", params, s.I, s.J, s.K)
+	}
+
+	type job struct {
+		args  *MultiplyArgs
+		first int // preferred worker; failover walks the ring from here
+	}
+	var jobs []job
+	next := 0
+	for p := 0; p < params.P; p++ {
+		ilo, ihi := shuffle.GridSpan(p, s.I, params.P)
+		for q := 0; q < params.Q; q++ {
+			jlo, jhi := shuffle.GridSpan(q, s.J, params.Q)
+			for r := 0; r < params.R; r++ {
+				klo, khi := shuffle.GridSpan(r, s.K, params.R)
+				if ihi <= ilo || jhi <= jlo || khi <= klo {
+					continue
+				}
+				args := &MultiplyArgs{ILo: ilo, IHi: ihi, JLo: jlo, JHi: jhi, KLo: klo, KHi: khi}
+				for i := ilo; i < ihi; i++ {
+					for k := klo; k < khi; k++ {
+						if blk := a.Block(i, k); blk != nil {
+							args.ABlocks = append(args.ABlocks, BlockRec{Key: bmat.BlockKey{I: i, J: k}, Block: blk})
+						}
+					}
+				}
+				for k := klo; k < khi; k++ {
+					for j := jlo; j < jhi; j++ {
+						if blk := b.Block(k, j); blk != nil {
+							args.BBlocks = append(args.BBlocks, BlockRec{Key: bmat.BlockKey{I: k, J: j}, Block: blk})
+						}
+					}
+				}
+				jobs = append(jobs, job{args: args, first: next % len(d.clients)})
+				next++
+			}
+		}
+	}
+
+	replies := make([]*MultiplyReply, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for idx, jb := range jobs {
+		wg.Add(1)
+		go func(idx int, jb job) {
+			defer wg.Done()
+			// Failover: a dead worker's cuboids reassign around the ring —
+			// the driver-side analog of Spark re-running lost tasks.
+			var lastErr error
+			for attempt := 0; attempt < len(d.clients); attempt++ {
+				client := d.clients[(jb.first+attempt)%len(d.clients)]
+				var reply MultiplyReply
+				if err := client.Call(serviceName+".Multiply", jb.args, &reply); err != nil {
+					lastErr = err
+					continue
+				}
+				replies[idx] = &reply
+				return
+			}
+			errs[idx] = lastErr
+		}(idx, jb)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("distnet: all workers failed a cuboid: %w", err)
+		}
+	}
+
+	out := bmat.New(a.Rows, b.Cols, a.BlockSize)
+	for _, reply := range replies {
+		for _, rec := range reply.CBlocks {
+			dense, ok := rec.Block.(*matrix.Dense)
+			if !ok {
+				dense = rec.Block.Dense()
+			}
+			if existing := out.Block(rec.Key.I, rec.Key.J); existing != nil {
+				matrix.AddInto(existing.(*matrix.Dense), dense)
+			} else {
+				out.SetBlock(rec.Key.I, rec.Key.J, dense)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MultiplyAuto optimizes (P,Q,R) for the given per-worker memory budget —
+// one cuboid per worker round at minimum — then multiplies.
+func (d *Driver) MultiplyAuto(a, b *bmat.BlockMatrix, workerMemBytes int64) (*bmat.BlockMatrix, core.Params, error) {
+	params, err := core.Optimize(core.ShapeOf(a, b), workerMemBytes, len(d.clients))
+	if err != nil {
+		return nil, core.Params{}, err
+	}
+	c, err := d.Multiply(a, b, params)
+	return c, params, err
+}

@@ -1,0 +1,71 @@
+package distnet
+
+import (
+	"distme/internal/bmat"
+	"distme/internal/core"
+	"distme/internal/engine"
+	"distme/internal/ml"
+)
+
+// Hybrid runs multiplications on remote workers and everything else
+// (transpose, element-wise) on a local engine — the driver/executor split
+// of a real deployment, where only the heavy products leave the driver.
+// It satisfies ml.Ops, so the whole GNMF query (or PageRank) can run with
+// its multiplications crossing real sockets.
+type Hybrid struct {
+	// Driver executes multiplications remotely.
+	Driver *Driver
+	// Engine executes the remaining operators locally.
+	Engine *engine.Engine
+	// WorkerMemBytes is the per-worker budget handed to the optimizer.
+	WorkerMemBytes int64
+}
+
+// NewHybrid wires a driver and a local engine together.
+func NewHybrid(d *Driver, e *engine.Engine, workerMemBytes int64) *Hybrid {
+	if workerMemBytes <= 0 {
+		workerMemBytes = 1 << 30
+	}
+	return &Hybrid{Driver: d, Engine: e, WorkerMemBytes: workerMemBytes}
+}
+
+// Multiply optimizes (P,Q,R) for the worker pool and multiplies remotely.
+func (h *Hybrid) Multiply(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
+	params, err := core.Optimize(core.ShapeOf(a, b), h.WorkerMemBytes, h.Driver.Workers())
+	if err != nil {
+		return nil, err
+	}
+	return h.Driver.Multiply(a, b, params)
+}
+
+// Transpose runs locally.
+func (h *Hybrid) Transpose(a *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
+	return h.Engine.Transpose(a)
+}
+
+// Hadamard runs locally.
+func (h *Hybrid) Hadamard(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
+	return h.Engine.Hadamard(a, b)
+}
+
+// DivElem runs locally.
+func (h *Hybrid) DivElem(a, b *bmat.BlockMatrix, eps float64) (*bmat.BlockMatrix, error) {
+	return h.Engine.DivElem(a, b, eps)
+}
+
+var _ ml.Ops = (*Hybrid)(nil)
+
+// Add runs locally.
+func (h *Hybrid) Add(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
+	return h.Engine.Add(a, b)
+}
+
+// Sub runs locally.
+func (h *Hybrid) Sub(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
+	return h.Engine.Sub(a, b)
+}
+
+// Scale runs locally.
+func (h *Hybrid) Scale(s float64, a *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
+	return h.Engine.Scale(s, a)
+}

@@ -1,0 +1,54 @@
+// Package distnet is the over-the-wire execution path: a driver that runs
+// CuboidMM's local-multiplication step on remote worker processes over TCP
+// (net/rpc + gob), really serializing blocks onto sockets. The in-process
+// cluster substrate simulates Spark's accounting; this package complements
+// it with genuinely distributed execution — same cuboid plans, same
+// results, measured wire bytes — so the repartition/aggregation costs the
+// paper reasons about correspond to observable network traffic.
+package distnet
+
+import (
+	"encoding/gob"
+
+	"distme/internal/bmat"
+	"distme/internal/matrix"
+)
+
+func init() {
+	// The RPC payloads carry matrix.Block interface values; gob needs the
+	// concrete types registered once.
+	gob.Register(&matrix.Dense{})
+	gob.Register(&matrix.CSR{})
+	gob.Register(&matrix.CSC{})
+}
+
+// BlockRec is one keyed block on the wire.
+type BlockRec struct {
+	Key   bmat.BlockKey
+	Block matrix.Block
+}
+
+// MultiplyArgs ships one cuboid to a worker: the voxel box plus the A- and
+// B-side blocks it needs. Indices are global block coordinates so the reply
+// keys line up with the driver's output grid.
+type MultiplyArgs struct {
+	ILo, IHi, JLo, JHi, KLo, KHi int
+	ABlocks                      []BlockRec // A_{i,k} for the box
+	BBlocks                      []BlockRec // B_{k,j} for the box
+}
+
+// MultiplyReply returns the cuboid's partial C blocks.
+type MultiplyReply struct {
+	CBlocks []BlockRec
+}
+
+// PingArgs and PingReply implement the liveness probe.
+type PingArgs struct{}
+
+// PingReply reports the worker's identity.
+type PingReply struct {
+	Hostname string
+}
+
+// serviceName is the registered net/rpc service.
+const serviceName = "DistME"

@@ -1,0 +1,110 @@
+package distnet
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"os"
+	"sync"
+
+	"distme/internal/bmat"
+	"distme/internal/matrix"
+)
+
+// Worker serves cuboid multiplications over net/rpc. One worker process
+// plays the role of one cluster node's executor.
+type Worker struct {
+	mu         sync.Mutex
+	multiplies int
+}
+
+// Multiply computes the partial C blocks of one cuboid: for every (i, j) in
+// the box, the sum over the box's k range of A_{i,k}·B_{k,j} — the same
+// arithmetic as core.CPUMultiplier, against blocks that arrived over the
+// wire.
+func (w *Worker) Multiply(args *MultiplyArgs, reply *MultiplyReply) error {
+	if args.IHi < args.ILo || args.JHi < args.JLo || args.KHi < args.KLo {
+		return fmt.Errorf("distnet: malformed cuboid box")
+	}
+	aBlocks := make(map[bmat.BlockKey]matrix.Block, len(args.ABlocks))
+	for _, r := range args.ABlocks {
+		aBlocks[r.Key] = r.Block
+	}
+	bBlocks := make(map[bmat.BlockKey]matrix.Block, len(args.BBlocks))
+	for _, r := range args.BBlocks {
+		bBlocks[r.Key] = r.Block
+	}
+	for i := args.ILo; i < args.IHi; i++ {
+		for j := args.JLo; j < args.JHi; j++ {
+			var acc *matrix.Dense
+			for k := args.KLo; k < args.KHi; k++ {
+				ab := aBlocks[bmat.BlockKey{I: i, J: k}]
+				bb := bBlocks[bmat.BlockKey{I: k, J: j}]
+				if ab == nil || bb == nil {
+					continue
+				}
+				acc = matrix.MulAdd(acc, ab, bb)
+			}
+			if acc != nil {
+				reply.CBlocks = append(reply.CBlocks, BlockRec{
+					Key:   bmat.BlockKey{I: i, J: j},
+					Block: acc,
+				})
+			}
+		}
+	}
+	w.mu.Lock()
+	w.multiplies++
+	w.mu.Unlock()
+	return nil
+}
+
+// Ping answers the liveness probe.
+func (w *Worker) Ping(_ *PingArgs, reply *PingReply) error {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "unknown"
+	}
+	reply.Hostname = host
+	return nil
+}
+
+// Multiplies reports how many cuboids this worker has served.
+func (w *Worker) Multiplies() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.multiplies
+}
+
+// Serve registers a Worker on the listener and serves connections until the
+// listener closes. It returns the worker so tests can inspect it.
+func Serve(l net.Listener) (*Worker, error) {
+	w := &Worker{}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(serviceName, w); err != nil {
+		return nil, fmt.Errorf("distnet: register: %w", err)
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return w, nil
+}
+
+// ListenAndServe binds addr and serves a worker forever (the distme-worker
+// command's body).
+func ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if _, err := Serve(l); err != nil {
+		return err
+	}
+	select {} // Serve's accept loop owns the listener; block forever.
+}

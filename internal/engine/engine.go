@@ -1,0 +1,313 @@
+// Package engine implements the DistME engine of the paper's §5: block
+// matrices as the distributed data representation, operator execution
+// (multiply, transpose, element-wise) on the cluster substrate, strategy
+// selection among BMM / CPMM / RMM / CuboidMM, seamless CPU/GPU local
+// multiplication, and the matrix-dependency layout tracking that iterative
+// queries like GNMF exploit.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"distme/internal/bmat"
+	"distme/internal/cluster"
+	"distme/internal/core"
+	"distme/internal/gpu"
+	"distme/internal/metrics"
+)
+
+// Method selects the distributed multiplication strategy.
+type Method int
+
+const (
+	// MethodAuto runs the Eq.(2) optimizer and CuboidMM — DistME's default.
+	MethodAuto Method = iota
+	// MethodBMM forces Broadcast Matrix Multiplication.
+	MethodBMM
+	// MethodCPMM forces Cross-Product Matrix Multiplication.
+	MethodCPMM
+	// MethodRMM forces Replication-based Matrix Multiplication.
+	MethodRMM
+	// MethodCuboid forces CuboidMM with explicitly given parameters.
+	MethodCuboid
+)
+
+// String names the method as the paper does.
+func (m Method) String() string {
+	switch m {
+	case MethodAuto:
+		return "CuboidMM(auto)"
+	case MethodBMM:
+		return "BMM"
+	case MethodCPMM:
+		return "CPMM"
+	case MethodRMM:
+		return "RMM"
+	case MethodCuboid:
+		return "CuboidMM"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Config describes an engine instance.
+type Config struct {
+	// Cluster is the hardware envelope tasks run against.
+	Cluster cluster.Config
+	// UseGPU enables the §4 GPU acceleration for local multiplication.
+	UseGPU bool
+	// GPUSpec overrides the device model; the zero value derives a spec
+	// from the cluster config (θg, PCI-E and GPU flops split across Tc).
+	GPUSpec gpu.Spec
+	// TrackLayouts enables matrix-dependency reuse: operands already
+	// partitioned as the chosen method requires skip their base
+	// repartition copy (the DMac optimization, which DistME's GNMF plan
+	// shares).
+	TrackLayouts bool
+	// DefaultMethod is used by Multiply; MethodAuto unless set.
+	DefaultMethod Method
+	// RMMTasks overrides RMM's task count (0 → I·J, the paper's setting).
+	RMMTasks int
+	// BalanceBySparsity schedules cuboids longest-estimated-work-first,
+	// the §8 load-balancing extension for skewed sparse inputs.
+	BalanceBySparsity bool
+}
+
+// Engine is a DistME instance bound to a (simulated) cluster.
+type Engine struct {
+	cfg     Config
+	cluster *cluster.Cluster
+	device  *gpu.Device
+
+	mu      sync.Mutex
+	layouts map[*bmat.BlockMatrix]layoutTag
+}
+
+// layoutTag records how a matrix is currently partitioned across tasks.
+type layoutTag struct {
+	kind string // "row", "col", or "grid"
+	p, r int    // grid extents when kind == "grid"
+}
+
+// New creates an engine. The GPU device is instantiated even when UseGPU is
+// false so callers can toggle per-multiply.
+func New(cfg Config) (*Engine, error) {
+	cl, err := cluster.New(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	spec := cfg.GPUSpec
+	if spec == (gpu.Spec{}) {
+		// Each task's MPS slice of the node's devices: with G devices and
+		// Tc tasks, a task sees G/Tc of the aggregate memory, bus and cores
+		// (the multi-GPU extension; G = 1 reproduces the paper's testbed).
+		g := float64(cfg.Cluster.GPUs())
+		spec = gpu.Spec{
+			MemPerTaskBytes: cfg.Cluster.GPUMemPerTaskBytes * int64(cfg.Cluster.GPUs()),
+			PCIEBandwidth:   g * cfg.Cluster.PCIEBandwidth / float64(cfg.Cluster.TasksPerNode),
+			Flops:           g * cfg.Cluster.GPUFlops / float64(cfg.Cluster.TasksPerNode),
+			MaxStreams:      32,
+		}
+	}
+	return &Engine{
+		cfg:     cfg,
+		cluster: cl,
+		device:  gpu.NewDevice(spec),
+		layouts: make(map[*bmat.BlockMatrix]layoutTag),
+	}, nil
+}
+
+// Cluster exposes the underlying cluster (budgets, recorder).
+func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
+
+// Device exposes the simulated GPU (stats, utilization).
+func (e *Engine) Device() *gpu.Device { return e.device }
+
+// Recorder exposes the cumulative metrics recorder.
+func (e *Engine) Recorder() *metrics.Recorder { return e.cluster.Recorder() }
+
+// MulOptions tunes one multiplication.
+type MulOptions struct {
+	// Method selects the strategy; MethodAuto by default.
+	Method Method
+	// Params is required with MethodCuboid and ignored otherwise.
+	Params core.Params
+	// RMMTasks overrides the engine's RMM task count for this call.
+	RMMTasks int
+	// UseGPU overrides the engine default when non-nil.
+	UseGPU *bool
+}
+
+// Report describes what one multiplication did.
+type Report struct {
+	// Method is the strategy that ran.
+	Method Method
+	// Params is the (P,Q,R) used (zero for RMM, which is voxel-hashed).
+	Params core.Params
+	// Elapsed is the wall-clock duration of the whole multiplication.
+	Elapsed time.Duration
+	// Comm is the traffic of this multiplication only.
+	Comm metrics.Snapshot
+	// GPU holds device stats accumulated during this multiplication.
+	GPU gpu.Stats
+}
+
+// Multiply computes A×B with the engine's default method.
+func (e *Engine) Multiply(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
+	c, _, err := e.MultiplyOpt(a, b, MulOptions{Method: e.cfg.DefaultMethod})
+	return c, err
+}
+
+// MultiplyOpt computes A×B with explicit options and returns the execution
+// report alongside the product.
+func (e *Engine) MultiplyOpt(a, b *bmat.BlockMatrix, opts MulOptions) (*bmat.BlockMatrix, *Report, error) {
+	useGPU := e.cfg.UseGPU
+	if opts.UseGPU != nil {
+		useGPU = *opts.UseGPU
+	}
+	rec := e.Recorder()
+	before := rec.Snapshot()
+	gpuBefore := e.device.Stats()
+	start := time.Now()
+
+	env := core.Env{Cluster: e.cluster, Recorder: rec, BalanceBySparsity: e.cfg.BalanceBySparsity}
+	if useGPU {
+		env.Multiplier = &gpu.Multiplier{Device: e.device, Recorder: rec}
+		env.VoxelMultiplier = &gpu.BlockLevel{Device: e.device, Recorder: rec}
+	}
+
+	method := opts.Method
+	s := core.ShapeOf(a, b)
+	var params core.Params
+	var err error
+	switch method {
+	case MethodAuto:
+		params, err = core.Optimize(s, e.cfg.Cluster.TaskMemBytes, e.cfg.Cluster.Slots())
+		if err != nil {
+			return nil, nil, err
+		}
+	case MethodBMM:
+		params = s.BMMParams()
+	case MethodCPMM:
+		params = s.CPMMParams()
+	case MethodCuboid:
+		params = opts.Params
+	case MethodRMM:
+		// handled below; params stay zero
+	default:
+		return nil, nil, fmt.Errorf("engine: unknown method %d", int(method))
+	}
+
+	var c *bmat.BlockMatrix
+	if method == MethodRMM {
+		tasks := opts.RMMTasks
+		if tasks == 0 {
+			tasks = e.cfg.RMMTasks
+		}
+		c, err = core.MultiplyRMM(a, b, tasks, env)
+	} else {
+		if e.cfg.TrackLayouts {
+			env.AColocated, env.BColocated = e.colocation(a, b, params)
+		}
+		c, err = core.MultiplyCuboid(a, b, params, env)
+		// Eq.(3) sizes cuboids by averages; ragged grids and sparsity skew
+		// can make one cuboid exceed θt anyway. Under MethodAuto the engine
+		// stays elastic: re-optimize with a finer minimum partitioning and
+		// retry until the actual cuboids fit or no partitioning exists.
+		if method == MethodAuto {
+			for retry := 0; err != nil && errors.Is(err, cluster.ErrOutOfMemory) && retry < 8; retry++ {
+				minTasks := params.Tasks() * 2
+				params, err = core.Optimize(s, e.cfg.Cluster.TaskMemBytes, minTasks)
+				if err != nil {
+					break
+				}
+				if e.cfg.TrackLayouts {
+					env.AColocated, env.BColocated = e.colocation(a, b, params)
+				}
+				c, err = core.MultiplyCuboid(a, b, params, env)
+			}
+		}
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if e.cfg.TrackLayouts {
+		e.recordLayouts(a, b, c, method, params)
+	}
+
+	report := &Report{
+		Method:  method,
+		Params:  params,
+		Elapsed: time.Since(start),
+		Comm:    rec.Snapshot().Sub(before),
+		GPU:     subStats(e.device.Stats(), gpuBefore),
+	}
+	return c, report, nil
+}
+
+func subStats(a, b gpu.Stats) gpu.Stats {
+	return gpu.Stats{
+		H2DBytes:     a.H2DBytes - b.H2DBytes,
+		D2HBytes:     a.D2HBytes - b.D2HBytes,
+		KernelBusy:   a.KernelBusy - b.KernelBusy,
+		Makespan:     a.Makespan - b.Makespan,
+		Kernels:      a.Kernels - b.Kernels,
+		Iterations:   a.Iterations - b.Iterations,
+		MemHighWater: a.MemHighWater, // high-water is monotone; keep latest
+	}
+}
+
+// requiredLayouts returns the layouts a cuboid multiplication imposes on its
+// operands: A is grid-partitioned (P,R) over (i,k), B is (R,Q) over (k,j).
+// The classical corner cases degenerate to row/column partitioning.
+func requiredLayouts(params core.Params) (la, lb layoutTag) {
+	la = layoutTag{kind: "grid", p: params.P, r: params.R}
+	lb = layoutTag{kind: "grid", p: params.R, r: params.Q}
+	if params.Q == 1 && params.R == 1 {
+		la = layoutTag{kind: "row", p: params.P}
+	}
+	if params.P == 1 && params.Q == 1 {
+		la = layoutTag{kind: "col", p: params.R}
+		lb = layoutTag{kind: "row", p: params.R}
+	}
+	return la, lb
+}
+
+// colocation reports whether each operand already sits in the layout the
+// parameters require.
+func (e *Engine) colocation(a, b *bmat.BlockMatrix, params core.Params) (bool, bool) {
+	la, lb := requiredLayouts(params)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.layouts[a] == la, e.layouts[b] == lb
+}
+
+// recordLayouts notes where the operands and output live after a multiply:
+// the operands were just repartitioned to the method's layouts; the
+// aggregated output is written row-partitioned, the engine's convention.
+func (e *Engine) recordLayouts(a, b, c *bmat.BlockMatrix, method Method, params core.Params) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if method == MethodRMM {
+		// Hash-scattered; no reusable layout.
+		delete(e.layouts, a)
+		delete(e.layouts, b)
+	} else {
+		la, lb := requiredLayouts(params)
+		e.layouts[a] = la
+		e.layouts[b] = lb
+	}
+	e.layouts[c] = layoutTag{kind: "row", p: e.cfg.Cluster.Slots()}
+}
+
+// SetLayout declares a matrix's current partitioning, as a data source
+// (storage loader) would after writing it with a known partitioner.
+func (e *Engine) SetLayout(m *bmat.BlockMatrix, kind string, p, r int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.layouts[m] = layoutTag{kind: kind, p: p, r: r}
+}

@@ -1,0 +1,473 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"distme/internal/bmat"
+	"distme/internal/cluster"
+	"distme/internal/core"
+	"distme/internal/matrix"
+	"distme/internal/metrics"
+)
+
+func testConfig() Config {
+	cfg := cluster.LaptopConfig()
+	cfg.LocalWorkers = 4
+	cfg.TaskMemBytes = 1 << 30
+	cfg.DiskCapacityBytes = 0
+	return Config{Cluster: cfg}
+}
+
+func newTestEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineMultiplyAuto(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	e := newTestEngine(t, testConfig())
+	a := bmat.RandomDense(rng, 20, 24, 4)
+	b := bmat.RandomDense(rng, 24, 16, 4)
+	got, err := e.Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.Mul(a.ToDense(), b.ToDense()).Dense()
+	if !got.ToDense().EqualApprox(want, 1e-9) {
+		t.Fatal("auto multiply wrong")
+	}
+}
+
+func TestEngineEveryMethodAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	a := bmat.RandomSparse(rng, 18, 12, 3, 0.4)
+	b := bmat.RandomDense(rng, 12, 18, 3)
+	want := matrix.Mul(a.ToDense(), b.ToDense()).Dense()
+	for _, m := range []Method{MethodAuto, MethodBMM, MethodCPMM, MethodRMM} {
+		e := newTestEngine(t, testConfig())
+		got, rep, err := e.MultiplyOpt(a, b, MulOptions{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !got.ToDense().EqualApprox(want, 1e-9) {
+			t.Fatalf("%v: wrong product", m)
+		}
+		if rep.Method != m {
+			t.Fatalf("report method %v, want %v", rep.Method, m)
+		}
+	}
+	// Explicit cuboid params.
+	e := newTestEngine(t, testConfig())
+	got, rep, err := e.MultiplyOpt(a, b, MulOptions{Method: MethodCuboid, Params: core.Params{P: 2, Q: 3, R: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ToDense().EqualApprox(want, 1e-9) {
+		t.Fatal("cuboid params: wrong product")
+	}
+	if rep.Params != (core.Params{P: 2, Q: 3, R: 2}) {
+		t.Fatalf("report params %v", rep.Params)
+	}
+}
+
+func TestEngineGPUMatchesCPU(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	a := bmat.RandomDense(rng, 16, 16, 4)
+	b := bmat.RandomDense(rng, 16, 16, 4)
+
+	cpuCfg := testConfig()
+	ec := newTestEngine(t, cpuCfg)
+	wantC, _, err := ec.MultiplyOpt(a, b, MulOptions{Method: MethodCPMM})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gpuCfg := testConfig()
+	gpuCfg.UseGPU = true
+	eg := newTestEngine(t, gpuCfg)
+	gotG, rep, err := eg.MultiplyOpt(a, b, MulOptions{Method: MethodCPMM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotG.ToDense().EqualApprox(wantC.ToDense(), 1e-9) {
+		t.Fatal("GPU product differs from CPU")
+	}
+	if rep.GPU.Kernels == 0 {
+		t.Fatal("GPU path ran no kernels")
+	}
+	if rep.Comm.PCIEBytes == 0 {
+		t.Fatal("GPU path recorded no PCI-E traffic")
+	}
+	if rep.GPU.Utilization() <= 0 {
+		t.Fatal("GPU utilization missing")
+	}
+}
+
+func TestEnginePerCallGPUOverride(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	a := bmat.RandomDense(rng, 8, 8, 4)
+	b := bmat.RandomDense(rng, 8, 8, 4)
+	e := newTestEngine(t, testConfig()) // GPU off by default
+	on := true
+	_, rep, err := e.MultiplyOpt(a, b, MulOptions{UseGPU: &on})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GPU.Kernels == 0 {
+		t.Fatal("per-call GPU override ignored")
+	}
+}
+
+func TestEngineReportCommDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	a := bmat.RandomDense(rng, 12, 12, 3)
+	b := bmat.RandomDense(rng, 12, 12, 3)
+	e := newTestEngine(t, testConfig())
+	_, rep1, err := e.MultiplyOpt(a, b, MulOptions{Method: MethodCPMM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep2, err := e.MultiplyOpt(a, b, MulOptions{Method: MethodCPMM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The per-op deltas must match each other, not accumulate.
+	if rep1.Comm.CommunicationBytes() != rep2.Comm.CommunicationBytes() {
+		t.Fatalf("per-op comm deltas differ: %d vs %d",
+			rep1.Comm.CommunicationBytes(), rep2.Comm.CommunicationBytes())
+	}
+	s := core.ShapeOf(a, b)
+	if got := float64(rep1.Comm.CommunicationBytes()); got != s.CostBytes(s.CPMMParams()) {
+		t.Fatalf("per-op delta %g, want Eq.(4) %g", got, s.CostBytes(s.CPMMParams()))
+	}
+}
+
+func TestLayoutTrackingSavesRepartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	cfg := testConfig()
+	cfg.TrackLayouts = true
+	e := newTestEngine(t, cfg)
+	a := bmat.RandomDense(rng, 16, 16, 4)
+	b := bmat.RandomDense(rng, 16, 16, 4)
+
+	_, rep1, err := e.MultiplyOpt(a, b, MulOptions{Method: MethodCPMM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second identical multiply: A is now column-partitioned, B
+	// row-partitioned — both base copies are free.
+	_, rep2, err := e.MultiplyOpt(a, b, MulOptions{Method: MethodCPMM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := a.StoredBytes() + b.StoredBytes()
+	if got := rep1.Comm.RepartitionBytes - rep2.Comm.RepartitionBytes; got != saved {
+		t.Fatalf("layout reuse saved %d, want %d", got, saved)
+	}
+}
+
+func TestLayoutTrackingOffNoSaving(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	e := newTestEngine(t, testConfig()) // TrackLayouts false
+	a := bmat.RandomDense(rng, 8, 8, 4)
+	b := bmat.RandomDense(rng, 8, 8, 4)
+	_, rep1, _ := e.MultiplyOpt(a, b, MulOptions{Method: MethodCPMM})
+	_, rep2, _ := e.MultiplyOpt(a, b, MulOptions{Method: MethodCPMM})
+	if rep1.Comm.RepartitionBytes != rep2.Comm.RepartitionBytes {
+		t.Fatal("layout saving applied with tracking disabled")
+	}
+}
+
+func TestTransposeDistributed(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	e := newTestEngine(t, testConfig())
+	a := bmat.RandomSparse(rng, 14, 10, 3, 0.3)
+	tr, err := e.Transpose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.ToDense().Equal(a.ToDense().Transpose()) {
+		t.Fatal("distributed transpose wrong")
+	}
+}
+
+func TestTransposeFlipsTrackedLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	cfg := testConfig()
+	cfg.TrackLayouts = true
+	e := newTestEngine(t, cfg)
+	a := bmat.RandomDense(rng, 8, 8, 4)
+	e.SetLayout(a, "row", 2, 0)
+	tr, err := e.Transpose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mu.Lock()
+	l := e.layouts[tr]
+	e.mu.Unlock()
+	if l.kind != "col" {
+		t.Fatalf("transpose layout = %q, want col", l.kind)
+	}
+}
+
+func TestElementWiseOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	e := newTestEngine(t, testConfig())
+	a := bmat.RandomDense(rng, 10, 10, 3)
+	b := bmat.RandomDense(rng, 10, 10, 3)
+
+	sum, err := e.Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.ToDense().EqualApprox(matrix.Add(a.ToDense(), b.ToDense()), 1e-12) {
+		t.Fatal("Add wrong")
+	}
+	diff, err := e.Sub(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.ToDense().EqualApprox(matrix.Sub(a.ToDense(), b.ToDense()), 1e-12) {
+		t.Fatal("Sub wrong")
+	}
+	had, err := e.Hadamard(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !had.ToDense().EqualApprox(matrix.Hadamard(a.ToDense(), b.ToDense()), 1e-12) {
+		t.Fatal("Hadamard wrong")
+	}
+	div, err := e.DivElem(a, b, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !div.ToDense().EqualApprox(matrix.DivElem(a.ToDense(), b.ToDense(), 1e-12), 1e-12) {
+		t.Fatal("DivElem wrong")
+	}
+	sc, err := e.Scale(2, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.ToDense().EqualApprox(matrix.Scale(2, a.ToDense()), 1e-12) {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestZipShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	e := newTestEngine(t, testConfig())
+	a := bmat.RandomDense(rng, 4, 4, 2)
+	b := bmat.RandomDense(rng, 4, 6, 2)
+	if _, err := e.Add(a, b); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestEngineRecorderAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	e := newTestEngine(t, testConfig())
+	a := bmat.RandomDense(rng, 8, 8, 4)
+	b := bmat.RandomDense(rng, 8, 8, 4)
+	if _, _, err := e.MultiplyOpt(a, b, MulOptions{Method: MethodCPMM}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Recorder().Bytes(metrics.StepRepartition) == 0 {
+		t.Fatal("engine recorder did not accumulate")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	for m, want := range map[Method]string{
+		MethodAuto:   "CuboidMM(auto)",
+		MethodBMM:    "BMM",
+		MethodCPMM:   "CPMM",
+		MethodRMM:    "RMM",
+		MethodCuboid: "CuboidMM",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", int(m), m.String())
+		}
+	}
+}
+
+func TestEngineUnknownMethod(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	e := newTestEngine(t, testConfig())
+	a := bmat.RandomDense(rng, 4, 4, 2)
+	if _, _, err := e.MultiplyOpt(a, a, MulOptions{Method: Method(99)}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestAutoRetriesOnRaggedOOM(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	// 12×12×12 blocks with θt chosen so that Eq.(3)'s average-based
+	// feasibility admits parameters whose ragged cuboids exceed the budget:
+	// MethodAuto must re-optimize finer instead of failing.
+	a := bmat.RandomDense(rng, 768, 768, 64)
+	b := bmat.RandomDense(rng, 768, 768, 64)
+	cfg := cluster.LaptopConfig()
+	cfg.LocalWorkers = 4
+	cfg.Nodes, cfg.TasksPerNode = 3, 3
+	cfg.TaskMemBytes = 256 << 10
+	cfg.DiskCapacityBytes = 0
+	e := newTestEngine(t, Config{Cluster: cfg})
+	got, rep, err := e.MultiplyOpt(a, b, MulOptions{Method: MethodAuto})
+	if err != nil {
+		t.Fatalf("elastic retry failed: %v", err)
+	}
+	if !got.ToDense().EqualApprox(matrix.Mul(a.ToDense(), b.ToDense()).Dense(), 1e-9) {
+		t.Fatal("retried multiply wrong")
+	}
+	if rep.Params.Tasks() <= cfg.Slots() {
+		t.Fatalf("retry should have refined the partitioning, got %v", rep.Params)
+	}
+}
+
+func TestEngineConcurrentMultiplies(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	cfg := testConfig()
+	cfg.TrackLayouts = true
+	e := newTestEngine(t, cfg)
+	a := bmat.RandomDense(rng, 16, 16, 4)
+	b := bmat.RandomDense(rng, 16, 16, 4)
+	want := matrix.Mul(a.ToDense(), b.ToDense()).Dense()
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got, _, err := e.MultiplyOpt(a, b, MulOptions{Method: MethodCPMM})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if !got.ToDense().EqualApprox(want, 1e-9) {
+				errs[g] = errNotEqual
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errNotEqual = errors.New("concurrent multiply produced wrong product")
+
+func TestEngineMultiGPUSpecScaling(t *testing.T) {
+	cfg := testConfig()
+	cfg.Cluster.GPUsPerNode = 4
+	e := newTestEngine(t, cfg)
+	spec := e.Device().Spec()
+	want := cfg.Cluster.GPUMemPerTaskBytes * 4
+	if spec.MemPerTaskBytes != want {
+		t.Fatalf("multi-GPU θg = %d, want %d", spec.MemPerTaskBytes, want)
+	}
+}
+
+func TestExplainMatchesExecution(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	e := newTestEngine(t, testConfig())
+	a := bmat.RandomDense(rng, 24, 24, 4)
+	b := bmat.RandomDense(rng, 24, 24, 4)
+	for _, m := range []Method{MethodAuto, MethodBMM, MethodCPMM} {
+		ex, err := e.Explain(a, b, MulOptions{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		_, rep, err := e.MultiplyOpt(a, b, MulOptions{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if ex.Params != rep.Params {
+			t.Fatalf("%v: explain params %v, executed %v", m, ex.Params, rep.Params)
+		}
+		if ex.RepartitionBytes != rep.Comm.RepartitionBytes {
+			t.Fatalf("%v: explain repartition %d, executed %d", m, ex.RepartitionBytes, rep.Comm.RepartitionBytes)
+		}
+		if ex.AggregationBytes != rep.Comm.AggregationBytes {
+			t.Fatalf("%v: explain aggregation %d, executed %d", m, ex.AggregationBytes, rep.Comm.AggregationBytes)
+		}
+	}
+}
+
+func TestExplainRMMAndGPU(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	cfg := testConfig()
+	cfg.UseGPU = true
+	e := newTestEngine(t, cfg)
+	a := bmat.RandomDense(rng, 16, 16, 4)
+	b := bmat.RandomDense(rng, 16, 16, 4)
+	ex, err := e.Explain(a, b, MulOptions{Method: MethodRMM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Method != MethodRMM || ex.Tasks != 16 {
+		t.Fatalf("RMM explanation wrong: %+v", ex)
+	}
+	exAuto, err := e.Explain(a, b, MulOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exAuto.GPUIterations < 1 {
+		t.Fatal("GPU engine explanation missing subcuboid plan")
+	}
+	if exAuto.String() == "" {
+		t.Fatal("explanation should render")
+	}
+}
+
+func TestSparseOutputPipeline(t *testing.T) {
+	// A sparse product comes back CSR-blocked (output-format selection);
+	// the element-wise operators must consume it transparently.
+	rng := rand.New(rand.NewSource(87))
+	e := newTestEngine(t, testConfig())
+	a := bmat.RandomSparse(rng, 100, 100, 25, 0.003)
+	b := bmat.RandomSparse(rng, 100, 100, 25, 0.003)
+	c, err := e.Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := matrix.Mul(a.ToDense(), b.ToDense()).Dense()
+
+	sum, err := e.Add(c, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.ToDense().EqualApprox(matrix.Scale(2, ref), 1e-9) {
+		t.Fatal("Add over sparse product wrong")
+	}
+	had, err := e.Hadamard(c, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !had.ToDense().EqualApprox(matrix.Hadamard(ref, ref), 1e-9) {
+		t.Fatal("Hadamard over sparse product wrong")
+	}
+	tr, err := e.Transpose(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.ToDense().EqualApprox(ref.Transpose(), 1e-9) {
+		t.Fatal("Transpose over sparse product wrong")
+	}
+	// And it must multiply again (chained products on compacted outputs).
+	sq, err := e.Multiply(c, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sq.ToDense().EqualApprox(matrix.Mul(ref, ref).Dense(), 1e-6) {
+		t.Fatal("chained multiply over sparse product wrong")
+	}
+}

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"distme/internal/bmat"
+	"distme/internal/core"
+	"distme/internal/metrics"
+)
+
+// Explanation describes what a multiplication WOULD do, without running it:
+// the strategy, the chosen parameters, and the Table 2 predictions for
+// communication and per-task memory — the engine's EXPLAIN.
+type Explanation struct {
+	// Method is the strategy that would run.
+	Method Method
+	// Params is the (P,Q,R) partitioning (zero for RMM).
+	Params core.Params
+	// Tasks is the task count of the local multiplication step.
+	Tasks int
+	// RepartitionBytes and AggregationBytes are the Eq.(4) predictions.
+	RepartitionBytes, AggregationBytes int64
+	// MemPerTaskBytes is the Eq.(3) prediction.
+	MemPerTaskBytes int64
+	// TaskMemBytes is the budget θt it is checked against.
+	TaskMemBytes int64
+	// Subcuboid carries the GPU plan for the average cuboid when the
+	// engine would use the device; zero otherwise.
+	Subcuboid core.SubParams
+	// GPUIterations is the subcuboids one task would stream.
+	GPUIterations int
+}
+
+// Explain computes the plan for A×B under the given options without
+// executing anything.
+func (e *Engine) Explain(a, b *bmat.BlockMatrix, opts MulOptions) (*Explanation, error) {
+	s := core.ShapeOf(a, b)
+	method := opts.Method
+	var params core.Params
+	switch method {
+	case MethodAuto:
+		p, err := core.Optimize(s, e.cfg.Cluster.TaskMemBytes, e.cfg.Cluster.Slots())
+		if err != nil {
+			return nil, err
+		}
+		params = p
+	case MethodBMM:
+		params = s.BMMParams()
+	case MethodCPMM:
+		params = s.CPMMParams()
+	case MethodCuboid:
+		params = opts.Params
+	case MethodRMM:
+		tasks := opts.RMMTasks
+		if tasks == 0 {
+			tasks = s.I * s.J
+		}
+		return &Explanation{
+			Method:           MethodRMM,
+			Tasks:            tasks,
+			RepartitionBytes: int64(s.J)*s.ABytes + int64(s.I)*s.BBytes,
+			AggregationBytes: int64(s.K) * s.CBytes,
+			MemPerTaskBytes:  0, // voxel-streamed
+			TaskMemBytes:     e.cfg.Cluster.TaskMemBytes,
+		}, nil
+	default:
+		return nil, fmt.Errorf("engine: Explain: unknown method %d", int(method))
+	}
+
+	ex := &Explanation{
+		Method:           method,
+		Params:           params,
+		Tasks:            params.Tasks(),
+		RepartitionBytes: int64(float64(params.Q)*float64(s.ABytes) + float64(params.P)*float64(s.BBytes)),
+		MemPerTaskBytes:  int64(s.MemBytes(params)),
+		TaskMemBytes:     e.cfg.Cluster.TaskMemBytes,
+	}
+	if params.R > 1 {
+		ex.AggregationBytes = int64(params.R) * s.CBytes
+	}
+
+	useGPU := e.cfg.UseGPU
+	if opts.UseGPU != nil {
+		useGPU = *opts.UseGPU
+	}
+	if useGPU {
+		cs := core.CuboidShape{
+			IB:     (s.I + params.P - 1) / params.P,
+			JB:     (s.J + params.Q - 1) / params.Q,
+			KB:     (s.K + params.R - 1) / params.R,
+			ABytes: s.ABytes / int64(params.P*params.R),
+			BBytes: s.BBytes / int64(params.R*params.Q),
+			CBytes: s.CBytes / int64(params.P*params.Q),
+		}
+		if sub, err := core.OptimizeSub(cs, e.device.Spec().MemPerTaskBytes); err == nil {
+			ex.Subcuboid = sub
+			ex.GPUIterations = sub.Subcuboids()
+		}
+	}
+	return ex, nil
+}
+
+// String renders the explanation like a query plan.
+func (x *Explanation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "multiply via %v", x.Method)
+	if x.Params != (core.Params{}) {
+		fmt.Fprintf(&sb, " %v", x.Params)
+	}
+	fmt.Fprintf(&sb, "\n  tasks:        %d\n", x.Tasks)
+	fmt.Fprintf(&sb, "  repartition:  %s (Q·|A| + P·|B|)\n", metrics.FormatBytes(x.RepartitionBytes))
+	fmt.Fprintf(&sb, "  aggregation:  %s (R·|C|)\n", metrics.FormatBytes(x.AggregationBytes))
+	fmt.Fprintf(&sb, "  mem/task:     %s of θt=%s\n",
+		metrics.FormatBytes(x.MemPerTaskBytes), metrics.FormatBytes(x.TaskMemBytes))
+	if x.GPUIterations > 0 {
+		fmt.Fprintf(&sb, "  gpu plan:     %v subcuboids, %d iterations/task\n", x.Subcuboid, x.GPUIterations)
+	}
+	return sb.String()
+}

@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+
+	"distme/internal/bmat"
+	"distme/internal/cluster"
+	"distme/internal/core"
+	"distme/internal/costmodel"
+	"distme/internal/engine"
+	"distme/internal/gpu"
+	"distme/internal/systems"
+)
+
+// sysEstimate models one system (profile) on one workload: the profile's
+// chooser picks the method, the cost model executes it.
+func sysEstimate(p systems.Profile, w costmodel.Workload, m costmodel.Model) costmodel.Estimate {
+	opts := p.Choose(w.Shape(), m.Cfg)
+	var est costmodel.Estimate
+	switch opts.Method {
+	case engine.MethodBMM:
+		est = m.EstimateBMM(w, p.UseGPU)
+	case engine.MethodCPMM:
+		est = m.EstimateCPMM(w, p.UseGPU)
+	case engine.MethodRMM:
+		est = m.EstimateRMM(w, 0, p.UseGPU)
+	default:
+		est = m.EstimateAuto(w, p.UseGPU)
+	}
+	est.Label = p.Name
+	return est
+}
+
+// fig7Systems is the column order of Figure 7(a–d).
+func fig7Systems() []systems.Profile {
+	return []systems.Profile{
+		systems.MatFastC, systems.MatFastG,
+		systems.SystemMLC, systems.SystemMLG,
+		systems.DistMEC, systems.DistMEG,
+	}
+}
+
+// fig7Table builds one systems-comparison subfigure.
+func fig7Table(id, title, nLabel string, workloads map[string]costmodel.Workload, order []string) *Table {
+	t := &Table{ID: id, Title: title}
+	t.Columns = []string{nLabel}
+	for _, p := range fig7Systems() {
+		t.Columns = append(t.Columns, p.Name)
+	}
+	m := costmodel.NewPaperModel()
+	m.Timeout = 0 // §6.3 has no 4000 s cap (Fig 7(c) runs for hours)
+	for _, label := range order {
+		w := workloads[label]
+		row := []interface{}{label}
+		for _, p := range fig7Systems() {
+			row = append(row, estCell(sysEstimate(p, w, m)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig7a regenerates Figure 7(a): two large (general) matrices.
+func Fig7a() *Table {
+	ws := map[string]costmodel.Workload{}
+	var order []string
+	for _, n := range []int64{30_000, 40_000, 50_000} {
+		l := fmtN(n)
+		order = append(order, l)
+		ws[l] = costmodel.Workload{M: n, K: n, N: n, BlockSize: 1000}
+	}
+	return fig7Table("fig7a", "systems on two general matrices (N x N x N)", "N", ws, order)
+}
+
+// Fig7b regenerates Figure 7(b): common large dimension 5K×N×5K.
+func Fig7b() *Table {
+	ws := map[string]costmodel.Workload{}
+	var order []string
+	for _, n := range []int64{5_000_000, 10_000_000, 20_000_000} {
+		l := fmtN(n)
+		order = append(order, l)
+		ws[l] = costmodel.Workload{M: 5_000, K: n, N: 5_000, BlockSize: 1000}
+	}
+	t := fig7Table("fig7b", "systems on a common large dimension (5K x N x 5K)", "N", ws, order)
+	t.Notes = append(t.Notes, "at N=20M the paper's SystemML/MatFast exceed 36TB of disk (E.D.C.) while DistME spills only ~1.5TB")
+	return t
+}
+
+// Fig7c regenerates Figure 7(c): two large dimensions N×1K×1M.
+func Fig7c() *Table {
+	ws := map[string]costmodel.Workload{}
+	var order []string
+	for _, n := range []int64{1_000_000, 1_500_000, 2_000_000} {
+		l := fmtN(n)
+		order = append(order, l)
+		ws[l] = costmodel.Workload{M: n, K: 1_000, N: 1_000_000, BlockSize: 1000}
+	}
+	t := fig7Table("fig7c", "systems on two large dimensions (N x 1K x 1M)", "N", ws, order)
+	t.Notes = append(t.Notes, "paper: MatFast O.O.M. everywhere (CPMM), SystemML picks RMM and hits E.D.C. from 1.5M, DistME runs all sizes")
+	return t
+}
+
+// Fig7d regenerates Figure 7(d): one large sparse matrix times one small
+// dense matrix, sweeping sparsity.
+func Fig7d() *Table {
+	ws := map[string]costmodel.Workload{}
+	var order []string
+	for _, sp := range []float64{0.0001, 0.001, 0.01} {
+		l := fmt.Sprintf("%g", sp)
+		order = append(order, l)
+		ws[l] = costmodel.Workload{M: 500_000, K: 1_000_000, N: 1_000, BlockSize: 1000, SparsityA: sp}
+	}
+	return fig7Table("fig7d", "sparse x dense (500K x 1M x 1K) vs sparsity", "sparsity", ws, order)
+}
+
+// Fig7e regenerates Figure 7(e): the time ratio of the three steps for
+// MatFast, SystemML and DistME on the 40K³ and 5K×5M×5K workloads.
+func Fig7e() *Table {
+	t := &Table{
+		ID:      "fig7e",
+		Title:   "time ratios of the three steps (%)",
+		Columns: []string{"workload", "system", "repartition", "local multiply", "aggregation"},
+	}
+	m := costmodel.NewPaperModel()
+	m.Timeout = 0
+	cases := map[string]costmodel.Workload{
+		"40Kx40Kx40K": {M: 40_000, K: 40_000, N: 40_000, BlockSize: 1000},
+		"5Kx5Mx5K":    {M: 5_000, K: 5_000_000, N: 5_000, BlockSize: 1000},
+	}
+	for _, wl := range []string{"40Kx40Kx40K", "5Kx5Mx5K"} {
+		for _, p := range []systems.Profile{systems.MatFastC, systems.SystemMLC, systems.DistMEC} {
+			est := sysEstimate(p, cases[wl], m)
+			if est.Verdict != costmodel.VerdictOK {
+				t.AddRow(wl, p.Name, string(est.Verdict), "-", "-")
+				continue
+			}
+			r, l, a := est.StepRatios()
+			t.AddRow(wl, p.Name,
+				fmt.Sprintf("%.1f", 100*r), fmt.Sprintf("%.1f", 100*l), fmt.Sprintf("%.1f", 100*a))
+		}
+	}
+	t.Notes = append(t.Notes, "paper shape: DistME's repartition+aggregation share is the smallest of the three systems")
+	return t
+}
+
+// Fig7f regenerates Figure 7(f): communication volume (GB) per system on
+// four workloads.
+func Fig7f() *Table {
+	t := &Table{
+		ID:      "fig7f",
+		Title:   "communication cost per system (GB)",
+		Columns: []string{"workload", "MatFast", "SystemML", "DistME"},
+	}
+	m := costmodel.NewPaperModel()
+	m.Timeout = 0
+	cases := []struct {
+		label string
+		w     costmodel.Workload
+	}{
+		{"40Kx40Kx40K", costmodel.Workload{M: 40_000, K: 40_000, N: 40_000, BlockSize: 1000}},
+		{"5Kx5Mx5K", costmodel.Workload{M: 5_000, K: 5_000_000, N: 5_000, BlockSize: 1000}},
+		{"1Mx1Kx1M", costmodel.Workload{M: 1_000_000, K: 1_000, N: 1_000_000, BlockSize: 1000}},
+		{"500Kx1Mx1K(0.0001)", costmodel.Workload{M: 500_000, K: 1_000_000, N: 1_000, BlockSize: 1000, SparsityA: 0.0001}},
+	}
+	for _, c := range cases {
+		row := []interface{}{c.label}
+		for _, p := range []systems.Profile{systems.MatFastC, systems.SystemMLC, systems.DistMEC} {
+			est := sysEstimate(p, c.w, m)
+			if est.Verdict != costmodel.VerdictOK {
+				row = append(row, string(est.Verdict))
+			} else {
+				row = append(row, gb(est.CommunicationBytes()))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig7g regenerates Figure 7(g): GPU core utilization for dense and sparse
+// inputs, measured on the simulated device by really streaming subcuboids
+// (DistME) versus block-level pairs (the RMM-style path the retrofitted
+// systems degrade to under hash partitioning).
+func Fig7g(seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "fig7g",
+		Title:   "GPU core utilization (%), measured on the simulated device",
+		Columns: []string{"input", "block-level (MatFast/SystemML-style)", "streamed subcuboids (DistME)"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Constants scaled so one dense block-pair kernel takes ≈30× one block
+	// copy — the compute/bus balance of dgemm on the testbed GPU, where the
+	// streamed path keeps cores nearly saturated while per-voxel copies
+	// starve them.
+	spec := gpu.Spec{
+		MemPerTaskBytes: 1 << 20,
+		PCIEBandwidth:   1e9,
+		Flops:           1e9,
+		MaxStreams:      32,
+	}
+	type input struct {
+		name string
+		a, b *bmat.BlockMatrix
+	}
+	inputs := []input{
+		{"dense", bmat.RandomDense(rng, 128, 128, 16), bmat.RandomDense(rng, 128, 128, 16)},
+		{"sparse", bmat.RandomSparse(rng, 128, 128, 16, 0.05), bmat.RandomDense(rng, 128, 128, 16)},
+	}
+	for _, in := range inputs {
+		cuboid := &core.Cuboid{ILo: 0, IHi: in.a.IB, JLo: 0, JHi: in.b.JB, KLo: 0, KHi: in.a.JB, A: in.a, B: in.b}
+
+		streamed := gpu.NewMultiplier(spec, nil)
+		if _, err := streamed.Multiply(cuboid); err != nil {
+			return nil, err
+		}
+
+		blockLevel := &gpu.BlockLevel{Device: gpu.NewDevice(spec)}
+		for i := 0; i < in.a.IB; i++ {
+			for k := 0; k < in.a.JB; k++ {
+				ab := in.a.Block(i, k)
+				if ab == nil {
+					continue
+				}
+				for j := 0; j < in.b.JB; j++ {
+					bb := in.b.Block(k, j)
+					if bb == nil {
+						continue
+					}
+					if _, err := blockLevel.MultiplyPair(ab, bb); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		t.AddRow(in.name,
+			fmt.Sprintf("%.1f", 100*blockLevel.Device.Stats().Utilization()),
+			fmt.Sprintf("%.1f", 100*streamed.Device.Stats().Utilization()))
+	}
+	t.Notes = append(t.Notes, "paper: DistME 98.4% dense / 79.7% sparse vs 40-73% for the retrofitted systems; the shape to match is streamed > block-level on both inputs")
+	return t, nil
+}
+
+// Fig7Measured runs the three CPU systems for real at laptop scale on a
+// general workload and reports measured communication — the measured-plane
+// counterpart of Figures 7(a)/(f).
+func Fig7Measured(seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "fig7-measured",
+		Title:   "systems on two general matrices (measured at laptop scale)",
+		Columns: []string{"system", "method chosen", "comm bytes", "result"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	a := bmat.RandomDense(rng, 36*8, 36*8, 8)
+	b := bmat.RandomDense(rng, 36*8, 36*8, 8)
+	cfg := cluster.LaptopConfig()
+	cfg.LocalWorkers = runtime.GOMAXPROCS(0)
+	cfg.TaskMemBytes = 3 << 20 // tight enough that strategies diverge
+	cfg.DiskCapacityBytes = 0
+
+	var ref *bmat.BlockMatrix
+	for _, p := range []systems.Profile{systems.MatFastC, systems.SystemMLC, systems.DistMEC} {
+		sys, err := systems.New(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		c, rep, err := sys.MultiplyReport(a, b)
+		if err != nil {
+			t.AddRow(p.Name, "-", "-", err.Error())
+			continue
+		}
+		verdict := "ok"
+		if ref == nil {
+			ref = c
+		} else if !bmat.EqualApprox(ref, c, 1e-9) {
+			verdict = "MISMATCH"
+		}
+		t.AddRow(p.Name, rep.Method.String(),
+			fmt.Sprintf("%d", rep.Comm.CommunicationBytes()), verdict)
+	}
+	return t, nil
+}

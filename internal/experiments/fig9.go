@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distme/internal/cluster"
+	"distme/internal/core"
+	"distme/internal/costmodel"
+)
+
+// Fig9 regenerates Appendix B (Figure 9): the elapsed time and transferred
+// data while varying (P,Q,R) around the optimum for the 70K×70K×70K
+// dataset. The paper sweeps (P,R) at fixed Q values and shows the optimizer
+// landing on the minimum of both curves.
+func Fig9() *Table {
+	t := &Table{
+		ID:      "fig9",
+		Title:   "optimization of (P,Q,R) on 70K x 70K x 70K",
+		Columns: []string{"(P,Q,R)", "feasible(Eq.3)", "Cost() [GB]", "modeled elapsed", "modeled comm [GB]"},
+	}
+	m := costmodel.NewPaperModel()
+	m.Timeout = 0
+	w := costmodel.Workload{M: 70_000, K: 70_000, N: 70_000, BlockSize: 1000}
+	s := w.Shape()
+	cfg := cluster.PaperConfig()
+
+	opt, err := core.Optimize(s, cfg.TaskMemBytes, cfg.Slots())
+	if err != nil {
+		t.Notes = append(t.Notes, "optimizer infeasible: "+err.Error())
+		return t
+	}
+
+	// Sweep each axis around the optimum, as Figure 9 perturbs (P,R) and Q.
+	seen := map[core.Params]bool{}
+	var sweep []core.Params
+	add := func(p core.Params) {
+		if p.P < 1 || p.Q < 1 || p.R < 1 || p.P > s.I || p.Q > s.J || p.R > s.K || seen[p] {
+			return
+		}
+		seen[p] = true
+		sweep = append(sweep, p)
+	}
+	add(opt)
+	for d := 1; d <= 3; d++ {
+		add(core.Params{P: opt.P + d, Q: opt.Q, R: opt.R})
+		add(core.Params{P: opt.P - d, Q: opt.Q, R: opt.R})
+		add(core.Params{P: opt.P, Q: opt.Q + d, R: opt.R})
+		add(core.Params{P: opt.P, Q: opt.Q - d, R: opt.R})
+		add(core.Params{P: opt.P, Q: opt.Q, R: opt.R + d})
+		add(core.Params{P: opt.P, Q: opt.Q, R: opt.R - d})
+	}
+
+	bestCost := s.CostBytes(opt)
+	for _, p := range sweep {
+		feasible := s.MemBytes(p) <= float64(cfg.TaskMemBytes)
+		est := m.EstimateCuboid(w, p, true)
+		label := p.String()
+		if p == opt {
+			label += " *optimal"
+		}
+		t.AddRow(label,
+			fmt.Sprintf("%v", feasible),
+			fmt.Sprintf("%.1f", s.CostBytes(p)/1e9),
+			estCell(est),
+			gb(est.CommunicationBytes()))
+		if feasible && p.Tasks() >= cfg.Slots() && s.CostBytes(p) < bestCost {
+			t.Notes = append(t.Notes, fmt.Sprintf("REGRESSION: %v beats the optimizer's %v", p, opt))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: the starred parameters minimize both Cost() and the measured transfer; neighbors cost more or violate the memory budget")
+	return t
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"distme/internal/workload"
+)
+
+// Runner produces the tables of one experiment.
+type Runner func() ([]*Table, error)
+
+// defaultSeed keeps every registry run deterministic.
+const defaultSeed = 42
+
+// registry maps experiment IDs to runners, in the paper's order.
+func registry() map[string]Runner {
+	one := func(t *Table) ([]*Table, error) { return []*Table{t}, nil }
+	return map[string]Runner{
+		"table2": func() ([]*Table, error) { return one(Table2()) },
+		"table3": func() ([]*Table, error) { return one(Table3()) },
+		"table4": func() ([]*Table, error) { return one(Table4()) },
+		"table5": func() ([]*Table, error) { return one(Table5()) },
+		"fig6a":  func() ([]*Table, error) { return one(Fig6Elapsed(workload.General)) },
+		"fig6b":  func() ([]*Table, error) { return one(Fig6Elapsed(workload.CommonLargeDim)) },
+		"fig6c":  func() ([]*Table, error) { return one(Fig6Elapsed(workload.TwoLargeDims)) },
+		"fig6d":  func() ([]*Table, error) { return one(Fig6Comm(workload.General)) },
+		"fig6e":  func() ([]*Table, error) { return one(Fig6Comm(workload.CommonLargeDim)) },
+		"fig6f":  func() ([]*Table, error) { return one(Fig6Comm(workload.TwoLargeDims)) },
+		"fig6-measured": func() ([]*Table, error) {
+			var out []*Table
+			for _, f := range []workload.Family{workload.General, workload.CommonLargeDim, workload.TwoLargeDims} {
+				t, err := Fig6Measured(f, defaultSeed)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, t)
+			}
+			return out, nil
+		},
+		"fig7a": func() ([]*Table, error) { return one(Fig7a()) },
+		"fig7b": func() ([]*Table, error) { return one(Fig7b()) },
+		"fig7c": func() ([]*Table, error) { return one(Fig7c()) },
+		"fig7d": func() ([]*Table, error) { return one(Fig7d()) },
+		"fig7e": func() ([]*Table, error) { return one(Fig7e()) },
+		"fig7f": func() ([]*Table, error) { return one(Fig7f()) },
+		"fig7g": func() ([]*Table, error) {
+			t, err := Fig7g(defaultSeed)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{t}, nil
+		},
+		"fig7-measured": func() ([]*Table, error) {
+			t, err := Fig7Measured(defaultSeed)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{t}, nil
+		},
+		"fig8a": fig8Runner(workload.MovieLens),
+		"fig8b": fig8Runner(workload.Netflix),
+		"fig8c": fig8Runner(workload.YahooMusic),
+		"fig8d": func() ([]*Table, error) {
+			t, err := Fig8d(0, defaultSeed)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{t}, nil
+		},
+		"fig9":         func() ([]*Table, error) { return one(Fig9()) },
+		"ext-multigpu": func() ([]*Table, error) { return one(ExtMultiGPU()) },
+		"ext-balance": func() ([]*Table, error) {
+			t, err := ExtLoadBalance(defaultSeed)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{t}, nil
+		},
+		"ext-crmm": func() ([]*Table, error) {
+			t, err := ExtCRMM(defaultSeed)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{t}, nil
+		},
+		"ext-cest": func() ([]*Table, error) {
+			t, err := ExtSparseCEstimate(defaultSeed)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{t}, nil
+		},
+		"ext-chain": func() ([]*Table, error) {
+			t, err := ExtChainOrder()
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{t}, nil
+		},
+		"ext-blocksize": func() ([]*Table, error) { return one(ExtBlockSize()) },
+		"ext-wire": func() ([]*Table, error) {
+			t, err := ExtWire(defaultSeed)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{t}, nil
+		},
+		"ext-mps": func() ([]*Table, error) {
+			t, err := ExtMPSContention(defaultSeed)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{t}, nil
+		},
+	}
+}
+
+func fig8Runner(d workload.Dataset) Runner {
+	return func() ([]*Table, error) {
+		t, err := Fig8(d, 0, 10, defaultSeed)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	}
+}
+
+// IDs lists every registered experiment in a stable order.
+func IDs() []string {
+	m := registry()
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by ID.
+func Run(id string) ([]*Table, error) {
+	r, ok := registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r()
+}
+
+// RunAll executes every experiment in order.
+func RunAll() ([]*Table, error) {
+	var out []*Table
+	for _, id := range IDs() {
+		ts, err := Run(id)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6 and Appendix B). Each experiment returns a Table that the
+// distme-bench command prints and the repository's benchmarks execute.
+// Paper-scale rows come from the costmodel plane (the matrices do not fit a
+// laptop); measured rows run the real engine at scaled-down sizes — both
+// planes share the optimizer and the Table 2 cost formulas, so the paper's
+// qualitative results (who wins, by what factor, where the O.O.M. /
+// E.D.C. / T.O. boundaries fall) are reproduced by executable code.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one regenerated table or figure, as rows of formatted cells.
+type Table struct {
+	// ID is the experiment identifier, e.g. "fig6a" or "table4".
+	ID string
+	// Title describes the experiment as the paper captions it.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, one slice per row.
+	Rows [][]string
+	// Notes carry reproduction caveats shown under the table.
+	Notes []string
+}
+
+// AddRow appends a row of cells, formatting each with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	if v >= 100 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(widths) && len(cell) < widths[i] {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	printRow(t.Columns)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+// secOrVerdict renders a modeled outcome the way the paper's figures do.
+func secOrVerdict(ok bool, verdict string, sec float64) string {
+	if !ok {
+		return verdict
+	}
+	return fmt.Sprintf("%.0fs", sec)
+}
+
+// mb renders bytes as whole megabytes, the unit of Figures 6(d–f).
+func mb(n int64) string {
+	return fmt.Sprintf("%d", n/1e6)
+}
+
+// gb renders bytes as gigabytes, the unit of Figure 7(f).
+func gb(n int64) string {
+	return fmt.Sprintf("%.1f", float64(n)/1e9)
+}

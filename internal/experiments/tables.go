@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distme/internal/cluster"
+	"distme/internal/core"
+	"distme/internal/costmodel"
+	"distme/internal/workload"
+)
+
+// Table2 renders the comparison of the four methods' closed forms (paper
+// Table 2) and evaluates each on a concrete shape so the formulas are
+// exercised by code, not just typeset.
+func Table2() *Table {
+	t := &Table{
+		ID:      "table2",
+		Title:   "Comparison among matrix multiplication methods",
+		Columns: []string{"method", "repartition cost", "aggregation cost", "memory/task", "max tasks", "example cost (I=J=K=8, |A|=|B|=|C|=1GB)"},
+	}
+	s := core.Shape{I: 8, J: 8, K: 8, ABytes: 1e9, BBytes: 1e9, CBytes: 1e9}
+	rows := []struct {
+		name             string
+		repart, agg, mem string
+		maxTasks         string
+		params           core.Params
+	}{
+		{"BMM", "|A| + T·|B|", "-", "|A|/T + |B| + |C|/T", "I", s.BMMParams()},
+		{"CPMM", "|A| + |B|", "T·|C|", "|A|/T + |B|/T + |C|", "K", s.CPMMParams()},
+		{"RMM", "J·|A| + I·|B|", "K·|C|", "J·|A|/T + I·|B|/T + K·|C|/T", "I·J·K", s.RMMParams()},
+		{"CuboidMM", "Q·|A| + P·|B|", "R·|C|", "|A|/(P·R) + |B|/(R·Q) + |C|/(P·Q)", "I·J·K", core.Params{P: 2, Q: 2, R: 2}},
+	}
+	for _, r := range rows {
+		t.AddRow(r.name, r.repart, r.agg, r.mem, r.maxTasks,
+			fmt.Sprintf("%.1f GB at %v", s.CostBytes(r.params)/1e9, r.params))
+	}
+	t.Notes = append(t.Notes, "example column evaluates Eq.(4) through core.Shape.CostBytes")
+	return t
+}
+
+// Table3 renders the real-dataset statistics (paper Table 3) from the
+// workload profiles that generate their synthetic stand-ins.
+func Table3() *Table {
+	t := &Table{
+		ID:      "table3",
+		Title:   "Statistics of real datasets",
+		Columns: []string{"dataset", "ratings", "users", "items", "density"},
+	}
+	for _, d := range workload.Datasets() {
+		t.AddRow(d.Name, d.Ratings, d.Users, d.Items, fmt.Sprintf("%.5f", d.Density()))
+	}
+	t.Notes = append(t.Notes,
+		"proprietary rating values are substituted by uniform random non-zeros with identical dimensions and density (DESIGN.md §2)")
+	return t
+}
+
+// table4Row describes one Table 4 input.
+type table4Row struct {
+	label   string
+	m, k, n int64
+}
+
+// table4Rows lists the paper's Table 4 inputs: three families at the
+// evaluated sizes (K = thousand, M = million).
+func table4Rows() []table4Row {
+	return []table4Row{
+		{"70K x 70K x 70K", 70_000, 70_000, 70_000},
+		{"80K x 80K x 80K", 80_000, 80_000, 80_000},
+		{"90K x 90K x 90K", 90_000, 90_000, 90_000},
+		{"100K x 100K x 100K", 100_000, 100_000, 100_000},
+		{"10K x 100K x 10K", 10_000, 100_000, 10_000},
+		{"10K x 500K x 10K", 10_000, 500_000, 10_000},
+		{"10K x 1M x 10K", 10_000, 1_000_000, 10_000},
+		{"10K x 5M x 10K", 10_000, 5_000_000, 10_000},
+		{"100K x 1K x 100K", 100_000, 1_000, 100_000},
+		{"250K x 1K x 250K", 250_000, 1_000, 250_000},
+		{"500K x 1K x 500K", 500_000, 1_000, 500_000},
+		{"750K x 1K x 750K", 750_000, 1_000, 750_000},
+	}
+}
+
+// paperTable4 is the published column of optimal parameters, kept for
+// side-by-side comparison in the output.
+var paperTable4 = map[string]core.Params{
+	"70K x 70K x 70K":    {P: 4, Q: 7, R: 4},
+	"80K x 80K x 80K":    {P: 6, Q: 7, R: 4},
+	"90K x 90K x 90K":    {P: 10, Q: 5, R: 5},
+	"100K x 100K x 100K": {P: 7, Q: 9, R: 5},
+	"10K x 100K x 10K":   {P: 1, Q: 1, R: 9},
+	"10K x 500K x 10K":   {P: 1, Q: 1, R: 18},
+	"10K x 1M x 10K":     {P: 1, Q: 1, R: 36},
+	"10K x 5M x 10K":     {P: 1, Q: 1, R: 176},
+	"100K x 1K x 100K":   {P: 9, Q: 10, R: 1},
+	"250K x 1K x 250K":   {P: 8, Q: 13, R: 1},
+	"500K x 1K x 500K":   {P: 17, Q: 24, R: 1},
+	"750K x 1K x 750K":   {P: 26, Q: 35, R: 1},
+}
+
+// Table4 runs the Eq.(2) optimizer on the paper's twelve input shapes at
+// the testbed budgets and prints our parameters next to the published ones,
+// with both evaluated under Eq.(4) so the comparison is quantitative.
+func Table4() *Table {
+	t := &Table{
+		ID:      "table4",
+		Title:   "Sizes of input matrices and the optimal parameters of CuboidMM",
+		Columns: []string{"input matrices", "(P*,Q*,R*) ours", "paper", "Eq.(4) ours [GB]", "Eq.(4) paper [GB]"},
+	}
+	cfg := cluster.PaperConfig()
+	for _, r := range table4Rows() {
+		w := costmodel.Workload{M: r.m, K: r.k, N: r.n, BlockSize: 1000}
+		s := w.Shape()
+		ours, err := core.Optimize(s, cfg.TaskMemBytes, cfg.Slots())
+		oursCell, oursCost := "infeasible", "-"
+		if err == nil {
+			oursCell = ours.String()
+			oursCost = fmt.Sprintf("%.1f", s.CostBytes(ours)/1e9)
+		}
+		paper := paperTable4[r.label]
+		t.AddRow(r.label, oursCell, paper.String(),
+			oursCost, fmt.Sprintf("%.1f", s.CostBytes(paper)/1e9))
+	}
+	t.Notes = append(t.Notes,
+		"tie-breaking differs from the paper's unspecified search order; our parameters never cost more under the paper's own Eq.(4)",
+		"the paper's 10K×N×10K rows violate its own §3.2 slot prune (P·Q·R ≥ M·Tc); we apply the stated rule, so those rows differ in R")
+	return t
+}
+
+// Table5 reproduces §6.5: ScaLAPACK, SciDB and DistME(C) on three shape
+// families at the testbed constants, modeled.
+func Table5() *Table {
+	t := &Table{
+		ID:      "table5",
+		Title:   "Comparison with ScaLAPACK and SciDB",
+		Columns: []string{"type", "N", "ScaLAPACK", "SciDB", "DistME(C)", "DistME params"},
+	}
+	spark := costmodel.NewPaperModel()
+	spark.Timeout = 0
+	mpi := costmodel.NewMPIModel()
+	mpi.Timeout = 0
+	cases := []struct {
+		family  string
+		n       string
+		m, k, j int64
+	}{
+		{"N x N x N", "10K", 10_000, 10_000, 10_000},
+		{"N x N x N", "50K", 50_000, 50_000, 50_000},
+		{"5K x N x 5K", "1M", 5_000, 1_000_000, 5_000},
+		{"5K x N x 5K", "5M", 5_000, 5_000_000, 5_000},
+		{"N x 1K x N", "100K", 100_000, 1_000, 100_000},
+		{"N x 1K x N", "500K", 500_000, 1_000, 500_000},
+	}
+	for _, c := range cases {
+		w := costmodel.Workload{M: c.m, K: c.k, N: c.j, BlockSize: 1000}
+		scal := mpi.EstimateSUMMA(w, 9, 10, "ScaLAPACK")
+		scidb := mpi.EstimateSciDB(w, 9, 10)
+		distme := spark.EstimateAuto(w, false)
+		t.AddRow(c.family, c.n,
+			secOrVerdict(scal.Verdict == costmodel.VerdictOK, string(scal.Verdict), scal.TotalSec()),
+			secOrVerdict(scidb.Verdict == costmodel.VerdictOK, string(scidb.Verdict), scidb.TotalSec()),
+			secOrVerdict(distme.Verdict == costmodel.VerdictOK, string(distme.Verdict), distme.TotalSec()),
+			distme.Params.String())
+	}
+	t.Notes = append(t.Notes,
+		"paper shapes: ScaLAPACK wins small N×N×N on overhead, loses ≈3x on the common large dimension, and both HPC systems O.O.M. on 500K×1K×500K")
+	return t
+}

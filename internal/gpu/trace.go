@@ -1,0 +1,94 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"distme/internal/vclock"
+)
+
+// TraceEvent is one operation on the device timeline — the rows of the
+// paper's Figure 5(b): H2D copies, kernel launches K_{i,k*k,j}, D2H copies.
+type TraceEvent struct {
+	// Task is the merge-order index of the task that issued the event.
+	Task int
+	// Stream is the stream index within the task (-1 for copy-engine ops).
+	Stream int
+	// Kind is "h2d", "kernel" or "d2h".
+	Kind string
+	// Label describes the operand, e.g. "B(2,0)" or "K(1,2*2,0)".
+	Label string
+	// Start and End are virtual seconds on the task's timeline.
+	Start, End vclock.Time
+	// Bytes is the payload for copies; Flops the work for kernels.
+	Bytes int64
+	Flops float64
+}
+
+// EnableTrace starts recording up to limit events per device (0 disables).
+func (d *Device) EnableTrace(limit int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.traceLimit = limit
+	d.trace = nil
+}
+
+// Trace returns the recorded events, ordered by task then start time.
+func (d *Device) Trace() []TraceEvent {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]TraceEvent, len(d.trace))
+	copy(out, d.trace)
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Task != out[b].Task {
+			return out[a].Task < out[b].Task
+		}
+		if out[a].Start != out[b].Start {
+			return out[a].Start < out[b].Start
+		}
+		return out[a].Label < out[b].Label
+	})
+	return out
+}
+
+// recordTrace appends a task's events under the device lock (called from
+// merge, which already holds ordering responsibilities).
+func (d *Device) recordTrace(taskIdx int, events []TraceEvent) {
+	if d.traceLimit <= 0 {
+		return
+	}
+	for _, ev := range events {
+		if len(d.trace) >= d.traceLimit {
+			return
+		}
+		ev.Task = taskIdx
+		d.trace = append(d.trace, ev)
+	}
+}
+
+// FormatTrace renders events in Figure 5(b)'s spirit: one line per event,
+// grouped by task and stream, with virtual microsecond timestamps.
+func FormatTrace(events []TraceEvent) string {
+	var sb strings.Builder
+	lastTask := -1
+	for _, ev := range events {
+		if ev.Task != lastTask {
+			fmt.Fprintf(&sb, "task t%d:\n", ev.Task)
+			lastTask = ev.Task
+		}
+		lane := "copy "
+		if ev.Stream >= 0 {
+			lane = fmt.Sprintf("str %2d", ev.Stream)
+		}
+		switch ev.Kind {
+		case "kernel":
+			fmt.Fprintf(&sb, "  [%s] %8.1fµs–%8.1fµs  %-14s (%.0f flops)\n",
+				lane, 1e6*float64(ev.Start), 1e6*float64(ev.End), ev.Label, ev.Flops)
+		default:
+			fmt.Fprintf(&sb, "  [%s] %8.1fµs–%8.1fµs  %-14s (%d B %s)\n",
+				lane, 1e6*float64(ev.Start), 1e6*float64(ev.End), ev.Label, ev.Bytes, ev.Kind)
+		}
+	}
+	return sb.String()
+}

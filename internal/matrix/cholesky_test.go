@@ -1,0 +1,87 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// spdMatrix builds a random symmetric positive-definite matrix M·Mᵀ + n·I.
+func spdMatrix(rng *rand.Rand, n int) *Dense {
+	m := RandomDense(rng, n, n)
+	a := NewDense(n, n)
+	Gemm(a, m, m.Transpose())
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(180))
+	a := spdMatrix(rng, 8)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L must be lower-triangular.
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			if l.At(i, j) != 0 {
+				t.Fatalf("L[%d,%d] = %g above the diagonal", i, j, l.At(i, j))
+			}
+		}
+	}
+	// L·Lᵀ = A.
+	rec := NewDense(8, 8)
+	Gemm(rec, l, l.Transpose())
+	if !rec.EqualApprox(a, 1e-9) {
+		t.Fatal("L·Lᵀ does not reconstruct A")
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, −1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+	if _, err := Cholesky(NewDense(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestSolveCholeskyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		cols := 1 + rng.Intn(4)
+		a := spdMatrix(rng, n)
+		want := RandomDense(rng, n, cols)
+		// B = A·X for a known X; the solve must recover X.
+		b := NewDense(n, cols)
+		Gemm(b, a, want)
+		got, err := SolveSPD(a, b)
+		if err != nil {
+			return false
+		}
+		return got.EqualApprox(want, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveCholeskyShapeChecks(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	a := spdMatrix(rng, 4)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveCholesky(l, NewDense(5, 1)); err == nil {
+		t.Fatal("mismatched B accepted")
+	}
+	if _, err := SolveCholesky(NewDense(3, 4), NewDense(3, 1)); err == nil {
+		t.Fatal("non-square factor accepted")
+	}
+}

@@ -1,0 +1,194 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	a := RandomDense(rng, 9, 9)
+	l, u, perm, err := LU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L·U must equal P·A.
+	lu := NewDense(9, 9)
+	Gemm(lu, l, u)
+	pa := NewDense(9, 9)
+	for i := 0; i < 9; i++ {
+		copy(pa.Row(i), a.Row(perm[i]))
+	}
+	if !lu.EqualApprox(pa, 1e-9) {
+		t.Fatal("L·U != P·A")
+	}
+	// Shape checks: L unit lower, U upper.
+	for i := 0; i < 9; i++ {
+		if l.At(i, i) != 1 {
+			t.Fatalf("L[%d,%d] = %g, want 1", i, i, l.At(i, i))
+		}
+		for j := i + 1; j < 9; j++ {
+			if l.At(i, j) != 0 {
+				t.Fatal("L not lower triangular")
+			}
+			if u.At(j, i) != 0 {
+				t.Fatal("U not upper triangular")
+			}
+		}
+	}
+}
+
+func TestLUSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := RandomDense(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonally dominant → nonsingular
+		}
+		want := RandomDense(rng, n, 2)
+		b := NewDense(n, 2)
+		Gemm(b, a, want)
+		l, u, perm, err := LU(a)
+		if err != nil {
+			return false
+		}
+		got, err := SolveLU(l, u, perm, b)
+		if err != nil {
+			return false
+		}
+		return got.EqualApprox(want, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLURejectsSingular(t *testing.T) {
+	if _, _, _, err := LU(NewDense(3, 3)); err == nil {
+		t.Fatal("zero matrix accepted")
+	}
+	if _, _, _, err := LU(NewDense(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestLUPivotingHandlesZeroDiagonal(t *testing.T) {
+	// A matrix that needs pivoting: zero on the first diagonal entry.
+	a := NewDenseData(2, 2, []float64{0, 1, 1, 0})
+	l, u, perm, err := LU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewDenseData(2, 1, []float64{3, 7})
+	x, err := SolveLU(l, u, perm, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A swaps coordinates: x = (7, 3).
+	if math.Abs(x.At(0, 0)-7) > 1e-12 || math.Abs(x.At(1, 0)-3) > 1e-12 {
+		t.Fatalf("x = (%g, %g), want (7, 3)", x.At(0, 0), x.At(1, 0))
+	}
+}
+
+func TestJacobiEigenDiagonalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	a := spdMatrix(rng, 6)
+	vals, vecs, err := JacobiEigen(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Descending eigenvalues.
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Fatal("eigenvalues not descending")
+		}
+	}
+	// A·v = λ·v for each pair.
+	for j := 0; j < 6; j++ {
+		for i := 0; i < 6; i++ {
+			var av float64
+			for k := 0; k < 6; k++ {
+				av += a.At(i, k) * vecs.At(k, j)
+			}
+			if math.Abs(av-vals[j]*vecs.At(i, j)) > 1e-8 {
+				t.Fatalf("A·v != λ·v at (%d, %d)", i, j)
+			}
+		}
+	}
+	// Eigenvectors orthonormal.
+	for p := 0; p < 6; p++ {
+		for q := 0; q < 6; q++ {
+			var dot float64
+			for k := 0; k < 6; k++ {
+				dot += vecs.At(k, p) * vecs.At(k, q)
+			}
+			want := 0.0
+			if p == q {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-9 {
+				t.Fatalf("eigenvectors not orthonormal at (%d, %d): %g", p, q, dot)
+			}
+		}
+	}
+}
+
+func TestJacobiEigenTraceInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := spdMatrix(rng, n)
+		var trace float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+		}
+		vals, _, err := JacobiEigen(a, 0)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		return math.Abs(sum-trace) < 1e-8*math.Abs(trace)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGramSchmidtQROrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	a := RandomDense(rng, 12, 5)
+	q := GramSchmidtQR(a)
+	r, c := q.Dims()
+	if r != 12 || c != 5 {
+		t.Fatalf("Q is %dx%d", r, c)
+	}
+	for p := 0; p < c; p++ {
+		for s := 0; s < c; s++ {
+			var dot float64
+			for i := 0; i < r; i++ {
+				dot += q.At(i, p) * q.At(i, s)
+			}
+			want := 0.0
+			if p == s {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-9 {
+				t.Fatalf("QᵀQ[%d,%d] = %g", p, s, dot)
+			}
+		}
+	}
+}
+
+func TestGramSchmidtQRDropsDependentColumns(t *testing.T) {
+	a := NewDenseData(3, 2, []float64{1, 2, 1, 2, 1, 2}) // col2 = 2·col1
+	q := GramSchmidtQR(a)
+	if _, c := q.Dims(); c != 1 {
+		t.Fatalf("rank-1 input kept %d columns", c)
+	}
+}

@@ -1,0 +1,136 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewDenseZeroed(t *testing.T) {
+	d := NewDense(3, 4)
+	r, c := d.Dims()
+	if r != 3 || c != 4 {
+		t.Fatalf("Dims() = %d, %d, want 3, 4", r, c)
+	}
+	if d.NNZ() != 0 {
+		t.Fatalf("new dense has %d non-zeros, want 0", d.NNZ())
+	}
+	if d.SizeBytes() != 3*4*8 {
+		t.Fatalf("SizeBytes() = %d, want %d", d.SizeBytes(), 3*4*8)
+	}
+}
+
+func TestDenseSetAt(t *testing.T) {
+	d := NewDense(2, 3)
+	d.Set(1, 2, 42)
+	if got := d.At(1, 2); got != 42 {
+		t.Fatalf("At(1,2) = %g, want 42", got)
+	}
+	if got := d.At(0, 0); got != 0 {
+		t.Fatalf("At(0,0) = %g, want 0", got)
+	}
+	if d.NNZ() != 1 {
+		t.Fatalf("NNZ() = %d, want 1", d.NNZ())
+	}
+}
+
+func TestDenseOutOfRangePanics(t *testing.T) {
+	d := NewDense(2, 2)
+	for _, tc := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d,%d) did not panic", tc[0], tc[1])
+				}
+			}()
+			d.At(tc[0], tc[1])
+		}()
+	}
+}
+
+func TestNewDenseDataLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDenseData with wrong length did not panic")
+		}
+	}()
+	NewDenseData(2, 2, []float64{1, 2, 3})
+}
+
+func TestDenseTranspose(t *testing.T) {
+	d := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := d.Transpose()
+	r, c := tr.Dims()
+	if r != 3 || c != 2 {
+		t.Fatalf("transpose dims = %dx%d, want 3x2", r, c)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if d.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestDenseTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := RandomDense(rng, 7, 5)
+	if !d.Transpose().Transpose().Equal(d) {
+		t.Fatal("transpose twice is not identity")
+	}
+}
+
+func TestDenseCloneIndependent(t *testing.T) {
+	d := NewDenseData(1, 2, []float64{1, 2})
+	cl := d.Clone()
+	cl.Set(0, 0, 99)
+	if d.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestDenseEqualApprox(t *testing.T) {
+	a := NewDenseData(1, 2, []float64{1, 2})
+	b := NewDenseData(1, 2, []float64{1.0000001, 2})
+	if a.Equal(b) {
+		t.Fatal("Equal should be exact")
+	}
+	if !a.EqualApprox(b, 1e-5) {
+		t.Fatal("EqualApprox(1e-5) should accept tiny diff")
+	}
+	if a.EqualApprox(b, 1e-9) {
+		t.Fatal("EqualApprox(1e-9) should reject the diff")
+	}
+	c := NewDense(2, 1)
+	if a.EqualApprox(c, 1) {
+		t.Fatal("EqualApprox must reject shape mismatch")
+	}
+}
+
+func TestDenseFrobeniusNorm(t *testing.T) {
+	d := NewDenseData(1, 2, []float64{3, 4})
+	if got := d.FrobeniusNorm(); got != 5 {
+		t.Fatalf("FrobeniusNorm = %g, want 5", got)
+	}
+}
+
+func TestDenseRow(t *testing.T) {
+	d := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	row := d.Row(1)
+	if row[0] != 3 || row[1] != 4 {
+		t.Fatalf("Row(1) = %v, want [3 4]", row)
+	}
+	row[0] = 9 // subslice aliases the matrix
+	if d.At(1, 0) != 9 {
+		t.Fatal("Row must alias matrix storage")
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if FormatDense.String() != "dense" || FormatCSR.String() != "csr" || FormatCSC.String() != "csc" {
+		t.Fatal("format names wrong")
+	}
+	if Format(99).String() == "" {
+		t.Fatal("unknown format should still render")
+	}
+}

@@ -1,0 +1,409 @@
+package matrix
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// gemmBlock is the cache-tiling factor of the dense kernel. 64×64 float64
+// tiles (32 KiB per operand tile) sit comfortably in L1/L2.
+const gemmBlock = 64
+
+// parallelThreshold is the minimum result-element count before the dense
+// kernel fans out across goroutines; below it the spawn overhead dominates.
+const parallelThreshold = 64 * 64 * 4
+
+// Gemm computes C += A×B for dense blocks. It is the stand-in for the
+// cublasDgemm / LAPACK dgemm call in the paper's local-multiplication step.
+// Dimensions must agree: A is m×k, B is k×n, C is m×n.
+func Gemm(c, a, b *Dense) {
+	m, ka := a.Dims()
+	kb, n := b.Dims()
+	cm, cn := c.Dims()
+	if ka != kb || cm != m || cn != n {
+		panic(fmt.Sprintf("matrix: Gemm: dimension mismatch %dx%d × %dx%d -> %dx%d", m, ka, kb, n, cm, cn))
+	}
+	if m == 0 || n == 0 || ka == 0 {
+		return
+	}
+	if m*n >= parallelThreshold && m >= 2 {
+		gemmParallel(c, a, b)
+		return
+	}
+	gemmRange(c, a, b, 0, m)
+}
+
+// gemmParallel splits the row range of C across GOMAXPROCS workers.
+func gemmParallel(c, a, b *Dense) {
+	m := a.RowsN
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmRange(c, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmRange computes rows [lo, hi) of C += A×B with i-k-j loop order and
+// k-tiling, which keeps the B row stream sequential.
+func gemmRange(c, a, b *Dense, lo, hi int) {
+	k := a.ColsN
+	n := b.ColsN
+	for kk := 0; kk < k; kk += gemmBlock {
+		kmax := kk + gemmBlock
+		if kmax > k {
+			kmax = k
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := c.Data[i*n : (i+1)*n]
+			for p := kk; p < kmax; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// CSRMulDense computes C += A×B where A is CSR and B dense — the
+// cusparseDcsrmm stand-in. A is m×k, B is k×n, C is m×n dense.
+func CSRMulDense(c *Dense, a *CSR, b *Dense) {
+	m, ka := a.Dims()
+	kb, n := b.Dims()
+	cm, cn := c.Dims()
+	if ka != kb || cm != m || cn != n {
+		panic(fmt.Sprintf("matrix: CSRMulDense: dimension mismatch %dx%d × %dx%d -> %dx%d", m, ka, kb, n, cm, cn))
+	}
+	for i := 0; i < m; i++ {
+		crow := c.Data[i*n : (i+1)*n]
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			av := a.Val[p]
+			brow := b.Data[a.ColIdx[p]*n : (a.ColIdx[p]+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// DenseMulCSC computes C += A×B where A is dense and B is CSC. A is m×k,
+// B is k×n, C is m×n dense.
+func DenseMulCSC(c *Dense, a *Dense, b *CSC) {
+	m, ka := a.Dims()
+	kb, n := b.Dims()
+	cm, cn := c.Dims()
+	if ka != kb || cm != m || cn != n {
+		panic(fmt.Sprintf("matrix: DenseMulCSC: dimension mismatch %dx%d × %dx%d -> %dx%d", m, ka, kb, n, cm, cn))
+	}
+	for j := 0; j < n; j++ {
+		for p := b.ColPtr[j]; p < b.ColPtr[j+1]; p++ {
+			bk := b.RowIdx[p]
+			bv := b.Val[p]
+			for i := 0; i < m; i++ {
+				c.Data[i*n+j] += a.Data[i*ka+bk] * bv
+			}
+		}
+	}
+}
+
+// CSRMulCSR computes A×B for two CSR operands, returning a CSR result. The
+// classical Gustavson row-merge algorithm; used when both inputs are sparse.
+func CSRMulCSR(a, b *CSR) *CSR {
+	m, ka := a.Dims()
+	kb, n := b.Dims()
+	if ka != kb {
+		panic(fmt.Sprintf("matrix: CSRMulCSR: dimension mismatch %dx%d × %dx%d", m, ka, kb, n))
+	}
+	out := &CSR{RowsN: m, ColsN: n, RowPtr: make([]int, m+1)}
+	acc := make([]float64, n)
+	marker := make([]int, n)
+	for i := range marker {
+		marker[i] = -1
+	}
+	var cols []int
+	for i := 0; i < m; i++ {
+		cols = cols[:0]
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			k := a.ColIdx[p]
+			av := a.Val[p]
+			for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+				j := b.ColIdx[q]
+				if marker[j] != i {
+					marker[j] = i
+					acc[j] = 0
+					cols = append(cols, j)
+				}
+				acc[j] += av * b.Val[q]
+			}
+		}
+		// Deterministic output: ascending column order within the row.
+		insertionSortInts(cols)
+		for _, j := range cols {
+			if acc[j] != 0 {
+				out.ColIdx = append(out.ColIdx, j)
+				out.Val = append(out.Val, acc[j])
+			}
+		}
+		out.RowPtr[i+1] = len(out.Val)
+	}
+	return out
+}
+
+func insertionSortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// Mul multiplies two blocks of any formats into a fresh block, densifying as
+// the formats require. Sparse×sparse stays sparse; any dense operand makes
+// the result dense. This is the dispatch used by the engine's local
+// multiplication step when a task multiplies a pair of blocks.
+func Mul(a, b Block) Block {
+	switch av := a.(type) {
+	case *Dense:
+		switch bv := b.(type) {
+		case *Dense:
+			_, n := bv.Dims()
+			m, _ := av.Dims()
+			c := NewDense(m, n)
+			Gemm(c, av, bv)
+			return c
+		case *CSC:
+			m, _ := av.Dims()
+			_, n := bv.Dims()
+			c := NewDense(m, n)
+			DenseMulCSC(c, av, bv)
+			return c
+		case *CSR:
+			m, _ := av.Dims()
+			_, n := bv.Dims()
+			c := NewDense(m, n)
+			DenseMulCSC(c, av, NewCSCFromCSR(bv))
+			return c
+		}
+	case *CSR:
+		switch bv := b.(type) {
+		case *Dense:
+			m, _ := av.Dims()
+			_, n := bv.Dims()
+			c := NewDense(m, n)
+			CSRMulDense(c, av, bv)
+			return c
+		case *CSR:
+			return CSRMulCSR(av, bv)
+		case *CSC:
+			return CSRMulCSR(av, cscToCSR(bv))
+		}
+	case *CSC:
+		return Mul(cscToCSR(av), b)
+	}
+	panic(fmt.Sprintf("matrix: Mul: unsupported operand formats %v × %v", a.Format(), b.Format()))
+}
+
+// MulAdd multiplies a×b and accumulates into the dense accumulator c
+// (allocating it when nil), returning the accumulator. This is the shape the
+// k-axis aggregation in a cuboid wants: one resident C buffer, many += calls.
+func MulAdd(c *Dense, a, b Block) *Dense {
+	m, _ := a.Dims()
+	_, n := b.Dims()
+	if c == nil {
+		c = NewDense(m, n)
+	} else if cm, cn := c.Dims(); cm != m || cn != n {
+		panic(fmt.Sprintf("matrix: MulAdd: accumulator %dx%d does not match product %dx%d", cm, cn, m, n))
+	}
+	switch av := a.(type) {
+	case *Dense:
+		switch bv := b.(type) {
+		case *Dense:
+			Gemm(c, av, bv)
+		case *CSC:
+			DenseMulCSC(c, av, bv)
+		case *CSR:
+			DenseMulCSC(c, av, NewCSCFromCSR(bv))
+		}
+	case *CSR:
+		switch bv := b.(type) {
+		case *Dense:
+			CSRMulDense(c, av, bv)
+		default:
+			AddInto(c, Mul(a, b))
+		}
+	default:
+		AddInto(c, Mul(a, b))
+	}
+	return c
+}
+
+func cscToCSR(m *CSC) *CSR {
+	// The CSC arrays reinterpreted are the CSR of the transpose; transposing
+	// that CSR recovers the original matrix in CSR form.
+	t := &CSR{RowsN: m.ColsN, ColsN: m.RowsN, RowPtr: m.ColPtr, ColIdx: m.RowIdx, Val: m.Val}
+	return t.Transpose()
+}
+
+// AddInto accumulates src into dst element-wise; dst must be dense and the
+// dimensions must match.
+func AddInto(dst *Dense, src Block) {
+	sr, sc := src.Dims()
+	if dst.RowsN != sr || dst.ColsN != sc {
+		panic(fmt.Sprintf("matrix: AddInto: dimension mismatch %dx%d += %dx%d", dst.RowsN, dst.ColsN, sr, sc))
+	}
+	switch s := src.(type) {
+	case *Dense:
+		for i, v := range s.Data {
+			dst.Data[i] += v
+		}
+	case *CSR:
+		for i := 0; i < s.RowsN; i++ {
+			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+				dst.Data[i*dst.ColsN+s.ColIdx[p]] += s.Val[p]
+			}
+		}
+	case *CSC:
+		for j := 0; j < s.ColsN; j++ {
+			for p := s.ColPtr[j]; p < s.ColPtr[j+1]; p++ {
+				dst.Data[s.RowIdx[p]*dst.ColsN+j] += s.Val[p]
+			}
+		}
+	default:
+		for i := 0; i < sr; i++ {
+			for j := 0; j < sc; j++ {
+				dst.Data[i*dst.ColsN+j] += src.At(i, j)
+			}
+		}
+	}
+}
+
+// Add returns a+b as a fresh dense block.
+func Add(a, b Block) *Dense {
+	ar, ac := a.Dims()
+	br, bc := b.Dims()
+	if ar != br || ac != bc {
+		panic(fmt.Sprintf("matrix: Add: dimension mismatch %dx%d + %dx%d", ar, ac, br, bc))
+	}
+	out := a.Dense()
+	AddInto(out, b)
+	return out
+}
+
+// Sub returns a-b as a fresh dense block.
+func Sub(a, b Block) *Dense {
+	ar, ac := a.Dims()
+	br, bc := b.Dims()
+	if ar != br || ac != bc {
+		panic(fmt.Sprintf("matrix: Sub: dimension mismatch %dx%d - %dx%d", ar, ac, br, bc))
+	}
+	out := a.Dense()
+	switch s := b.(type) {
+	case *Dense:
+		for i, v := range s.Data {
+			out.Data[i] -= v
+		}
+	default:
+		bd := b.Dense()
+		for i, v := range bd.Data {
+			out.Data[i] -= v
+		}
+	}
+	return out
+}
+
+// Hadamard returns the element-wise product a∘b as a fresh dense block.
+func Hadamard(a, b Block) *Dense {
+	ar, ac := a.Dims()
+	br, bc := b.Dims()
+	if ar != br || ac != bc {
+		panic(fmt.Sprintf("matrix: Hadamard: dimension mismatch %dx%d ∘ %dx%d", ar, ac, br, bc))
+	}
+	out := a.Dense()
+	switch s := b.(type) {
+	case *Dense:
+		for i, v := range s.Data {
+			out.Data[i] *= v
+		}
+	default:
+		bd := b.Dense()
+		for i, v := range bd.Data {
+			out.Data[i] *= v
+		}
+	}
+	return out
+}
+
+// DivElem returns a⊘b element-wise; denominators with magnitude below eps are
+// clamped to eps to keep GNMF updates finite, matching the common epsilon
+// guard in NMF implementations.
+func DivElem(a, b Block, eps float64) *Dense {
+	ar, ac := a.Dims()
+	br, bc := b.Dims()
+	if ar != br || ac != bc {
+		panic(fmt.Sprintf("matrix: DivElem: dimension mismatch %dx%d / %dx%d", ar, ac, br, bc))
+	}
+	out := a.Dense()
+	bd, ok := b.(*Dense)
+	if !ok {
+		bd = b.Dense()
+	}
+	for i, v := range bd.Data {
+		den := v
+		if den < eps && den > -eps {
+			den = eps
+		}
+		out.Data[i] /= den
+	}
+	return out
+}
+
+// Scale returns s·a as a fresh dense block.
+func Scale(s float64, a Block) *Dense {
+	out := a.Dense()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// Transpose returns the transpose of any block, preserving sparsity: sparse
+// inputs yield CSR, dense inputs yield dense.
+func Transpose(a Block) Block {
+	switch v := a.(type) {
+	case *Dense:
+		return v.Transpose()
+	case *CSR:
+		return v.Transpose()
+	case *CSC:
+		return cscToCSR(v).Transpose()
+	default:
+		return a.Dense().Transpose()
+	}
+}

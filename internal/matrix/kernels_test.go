@@ -1,0 +1,307 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMul is the reference O(mnk) product used to check every kernel.
+func naiveMul(a, b *Dense) *Dense {
+	m, k := a.Dims()
+	_, n := b.Dims()
+	c := NewDense(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {7, 7, 7}, {16, 8, 32}, {65, 130, 67}} {
+		a := RandomDense(rng, dims[0], dims[1])
+		b := RandomDense(rng, dims[1], dims[2])
+		c := NewDense(dims[0], dims[2])
+		Gemm(c, a, b)
+		if !c.EqualApprox(naiveMul(a, b), 1e-9) {
+			t.Fatalf("Gemm mismatch for %v", dims)
+		}
+	}
+}
+
+func TestGemmParallelPathMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Force the parallel path: result must exceed parallelThreshold.
+	a := RandomDense(rng, 160, 90)
+	b := RandomDense(rng, 90, 140)
+	c := NewDense(160, 140)
+	Gemm(c, a, b)
+	if !c.EqualApprox(naiveMul(a, b), 1e-9) {
+		t.Fatal("parallel Gemm mismatch")
+	}
+}
+
+func TestGemmAccumulates(t *testing.T) {
+	a := NewDenseData(1, 1, []float64{2})
+	b := NewDenseData(1, 1, []float64{3})
+	c := NewDenseData(1, 1, []float64{10})
+	Gemm(c, a, b)
+	if c.At(0, 0) != 16 {
+		t.Fatalf("Gemm must accumulate: got %g, want 16", c.At(0, 0))
+	}
+}
+
+func TestGemmDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Gemm did not panic")
+		}
+	}()
+	Gemm(NewDense(2, 2), NewDense(2, 3), NewDense(2, 2))
+}
+
+func TestCSRMulDenseMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := RandomSparse(rng, 20, 30, 0.2)
+	b := RandomDense(rng, 30, 10)
+	c := NewDense(20, 10)
+	CSRMulDense(c, a, b)
+	if !c.EqualApprox(naiveMul(a.Dense(), b), 1e-9) {
+		t.Fatal("CSRMulDense mismatch")
+	}
+}
+
+func TestDenseMulCSCMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := RandomDense(rng, 12, 18)
+	b := NewCSCFromDense(RandomSparse(rng, 18, 9, 0.3).Dense())
+	c := NewDense(12, 9)
+	DenseMulCSC(c, a, b)
+	if !c.EqualApprox(naiveMul(a, b.Dense()), 1e-9) {
+		t.Fatal("DenseMulCSC mismatch")
+	}
+}
+
+func TestCSRMulCSRMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := RandomSparse(rng, 15, 25, 0.15)
+	b := RandomSparse(rng, 25, 10, 0.2)
+	got := CSRMulCSR(a, b)
+	if !got.Dense().EqualApprox(naiveMul(a.Dense(), b.Dense()), 1e-9) {
+		t.Fatal("CSRMulCSR mismatch")
+	}
+	// Column indices must be sorted within rows for downstream kernels.
+	for i := 0; i < got.RowsN; i++ {
+		for p := got.RowPtr[i] + 1; p < got.RowPtr[i+1]; p++ {
+			if got.ColIdx[p-1] >= got.ColIdx[p] {
+				t.Fatalf("row %d column indices not strictly increasing", i)
+			}
+		}
+	}
+}
+
+// TestMulAllFormatPairs is the paper's format matrix: every combination of
+// dense/CSR/CSC operands must produce the same product.
+func TestMulAllFormatPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	ad := RandomSparse(rng, 9, 13, 0.4).Dense()
+	bd := RandomSparse(rng, 13, 7, 0.4).Dense()
+	want := naiveMul(ad, bd)
+	as := []Block{ad, NewCSRFromDense(ad), NewCSCFromDense(ad)}
+	bs := []Block{bd, NewCSRFromDense(bd), NewCSCFromDense(bd)}
+	for _, a := range as {
+		for _, b := range bs {
+			got := Mul(a, b)
+			if !got.Dense().EqualApprox(want, 1e-9) {
+				t.Errorf("Mul(%v, %v) mismatch", a.Format(), b.Format())
+			}
+		}
+	}
+}
+
+func TestMulAddAccumulatesAcrossK(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	// C = A1×B1 + A2×B2 computed through the accumulator path.
+	a1, b1 := RandomDense(rng, 6, 4), RandomDense(rng, 4, 5)
+	a2, b2 := RandomDense(rng, 6, 3), RandomDense(rng, 3, 5)
+	acc := MulAdd(nil, a1, b1)
+	acc = MulAdd(acc, a2, b2)
+	want := Add(naiveMul(a1, b1), naiveMul(a2, b2))
+	if !acc.EqualApprox(want, 1e-9) {
+		t.Fatal("MulAdd accumulation mismatch")
+	}
+}
+
+func TestMulAddSparseLeft(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := RandomSparse(rng, 8, 10, 0.3)
+	b := RandomDense(rng, 10, 6)
+	acc := MulAdd(nil, a, b)
+	if !acc.EqualApprox(naiveMul(a.Dense(), b), 1e-9) {
+		t.Fatal("MulAdd sparse-left mismatch")
+	}
+}
+
+func TestMulAddWrongAccumulatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-shape accumulator did not panic")
+		}
+	}()
+	MulAdd(NewDense(2, 2), NewDense(3, 3), NewDense(3, 3))
+}
+
+func TestAddSubHadamard(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseData(2, 2, []float64{5, 6, 7, 8})
+	if got := Add(a, b); !got.Equal(NewDenseData(2, 2, []float64{6, 8, 10, 12})) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a); !got.Equal(NewDenseData(2, 2, []float64{4, 4, 4, 4})) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Hadamard(a, b); !got.Equal(NewDenseData(2, 2, []float64{5, 12, 21, 32})) {
+		t.Fatalf("Hadamard = %v", got)
+	}
+}
+
+func TestAddIntoSparseFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	base := RandomDense(rng, 6, 6)
+	s := RandomSparse(rng, 6, 6, 0.3)
+	want := Add(base, s.Dense())
+
+	gotCSR := base.Clone()
+	AddInto(gotCSR, s)
+	if !gotCSR.EqualApprox(want, 1e-12) {
+		t.Fatal("AddInto CSR mismatch")
+	}
+	gotCSC := base.Clone()
+	AddInto(gotCSC, NewCSCFromCSR(s))
+	if !gotCSC.EqualApprox(want, 1e-12) {
+		t.Fatal("AddInto CSC mismatch")
+	}
+}
+
+func TestDivElemEpsilonGuard(t *testing.T) {
+	a := NewDenseData(1, 3, []float64{1, 2, 3})
+	b := NewDenseData(1, 3, []float64{2, 0, 1e-12})
+	eps := 1e-9
+	got := DivElem(a, b, eps)
+	if got.At(0, 0) != 0.5 {
+		t.Fatalf("plain division wrong: %g", got.At(0, 0))
+	}
+	if want := 2 / eps; got.At(0, 1) != want {
+		t.Fatalf("zero denominator not clamped: %g, want %g", got.At(0, 1), want)
+	}
+	if want := 3 / eps; got.At(0, 2) != want {
+		t.Fatalf("tiny denominator not clamped: %g, want %g", got.At(0, 2), want)
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := NewDenseData(1, 2, []float64{3, -4})
+	if got := Scale(-2, a); !got.Equal(NewDenseData(1, 2, []float64{-6, 8})) {
+		t.Fatalf("Scale = %v", got)
+	}
+}
+
+func TestTransposeAllFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	d := RandomSparse(rng, 5, 9, 0.4).Dense()
+	want := d.Transpose()
+	for _, b := range []Block{d, NewCSRFromDense(d), NewCSCFromDense(d)} {
+		got := Transpose(b)
+		if !got.Dense().Equal(want) {
+			t.Errorf("Transpose(%v) mismatch", b.Format())
+		}
+	}
+}
+
+// Property: (A×B)ᵀ = Bᵀ×Aᵀ across random shapes and formats.
+func TestMulTransposeIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a := RandomSparse(rng, m, k, 0.5)
+		b := RandomDense(rng, k, n)
+		left := Transpose(Mul(a, b)).Dense()
+		right := Mul(Transpose(b), Transpose(a)).Dense()
+		return left.EqualApprox(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: A×(B+C) = A×B + A×C (distributivity) for dense operands.
+func TestMulDistributivityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := RandomDense(rng, m, k)
+		b := RandomDense(rng, k, n)
+		c := RandomDense(rng, k, n)
+		left := Mul(a, Add(b, c)).Dense()
+		right := Add(Mul(a, b), Mul(a, c))
+		return left.EqualApprox(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identity is neutral: I×A = A×I = A.
+func TestMulIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(10), 1+rng.Intn(10)
+		a := RandomDense(rng, m, n)
+		im := identity(m)
+		in := identity(n)
+		return Mul(im, a).Dense().EqualApprox(a, 1e-12) &&
+			Mul(a, in).Dense().EqualApprox(a, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func identity(n int) *Dense {
+	d := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		d.Set(i, i, 1)
+	}
+	return d
+}
+
+func BenchmarkGemm256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandomDense(rng, 256, 256)
+	y := RandomDense(rng, 256, 256)
+	c := NewDense(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Zero()
+		Gemm(c, x, y)
+	}
+}
+
+func BenchmarkCSRMulDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := RandomSparse(rng, 512, 512, 0.01)
+	y := RandomDense(rng, 512, 128)
+	c := NewDense(512, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Zero()
+		CSRMulDense(c, x, y)
+	}
+}

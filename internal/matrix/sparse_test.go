@@ -1,0 +1,181 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCSRFromTriplets(t *testing.T) {
+	m := NewCSR(3, 3,
+		[]int{2, 0, 0, 1},
+		[]int{1, 2, 0, 1},
+		[]float64{5, 3, 1, 4})
+	want := NewDenseData(3, 3, []float64{
+		1, 0, 3,
+		0, 4, 0,
+		0, 5, 0,
+	})
+	if !m.Dense().Equal(want) {
+		t.Fatalf("CSR from triplets = %v, want %v", m.Dense(), want)
+	}
+	if m.NNZ() != 4 {
+		t.Fatalf("NNZ = %d, want 4", m.NNZ())
+	}
+}
+
+func TestNewCSRDuplicatesSummed(t *testing.T) {
+	m := NewCSR(2, 2, []int{0, 0, 1}, []int{1, 1, 0}, []float64{2, 3, -1})
+	if got := m.At(0, 1); got != 5 {
+		t.Fatalf("duplicate sum = %g, want 5", got)
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", m.NNZ())
+	}
+}
+
+func TestNewCSRCancellationDropped(t *testing.T) {
+	m := NewCSR(1, 1, []int{0, 0}, []int{0, 0}, []float64{2, -2})
+	if m.NNZ() != 0 {
+		t.Fatalf("cancelled entry still stored: nnz=%d", m.NNZ())
+	}
+}
+
+func TestNewCSROutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range triplet did not panic")
+		}
+	}()
+	NewCSR(2, 2, []int{2}, []int{0}, []float64{1})
+}
+
+func TestCSRDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := RandomSparse(rng, 10, 8, 0.3).Dense()
+	back := NewCSRFromDense(d).Dense()
+	if !d.Equal(back) {
+		t.Fatal("dense→CSR→dense is not identity")
+	}
+}
+
+func TestCSCDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := RandomSparse(rng, 9, 11, 0.25).Dense()
+	back := NewCSCFromDense(d).Dense()
+	if !d.Equal(back) {
+		t.Fatal("dense→CSC→dense is not identity")
+	}
+}
+
+func TestCSCFromCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := RandomSparse(rng, 6, 7, 0.4)
+	c := NewCSCFromCSR(s)
+	if !s.Dense().Equal(c.Dense()) {
+		t.Fatal("CSR→CSC changed values")
+	}
+	if s.NNZ() != c.NNZ() {
+		t.Fatalf("nnz changed: %d vs %d", s.NNZ(), c.NNZ())
+	}
+}
+
+func TestCSRTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(12)
+		cols := 1 + rng.Intn(12)
+		s := RandomSparse(rng, rows, cols, 0.35)
+		return s.Transpose().Dense().Equal(s.Dense().Transpose())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := RandomSparse(rng, 1+rng.Intn(10), 1+rng.Intn(10), 0.5)
+		return s.Transpose().Transpose().Dense().Equal(s.Dense())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := RandomSparse(rng, 8, 8, 0.3)
+	d := s.Dense()
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if s.At(i, j) != d.At(i, j) {
+				t.Fatalf("CSR At(%d,%d) = %g, dense %g", i, j, s.At(i, j), d.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCSCAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := RandomSparse(rng, 8, 8, 0.3).Dense()
+	s := NewCSCFromDense(d)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if s.At(i, j) != d.At(i, j) {
+				t.Fatalf("CSC At(%d,%d) = %g, dense %g", i, j, s.At(i, j), d.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSparsity(t *testing.T) {
+	d := NewDense(4, 5)
+	d.Set(0, 0, 1)
+	d.Set(1, 1, 2)
+	if got := Sparsity(d); got != 0.1 {
+		t.Fatalf("Sparsity = %g, want 0.1", got)
+	}
+	if got := Sparsity(NewDense(0, 5)); got != 0 {
+		t.Fatalf("Sparsity of empty = %g, want 0", got)
+	}
+}
+
+func TestRandomSparseStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, sp := range []float64{0.01, 0.1, 0.5, 0.9} {
+		m := RandomSparse(rng, 200, 200, sp)
+		got := Sparsity(m)
+		if got < sp*0.8-0.005 || got > sp*1.2+0.005 {
+			t.Errorf("sparsity %g produced %g, outside ±20%%", sp, got)
+		}
+	}
+}
+
+func TestRandomSparseExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	if m := RandomSparse(rng, 10, 10, 0); m.NNZ() != 0 {
+		t.Fatal("sparsity 0 must produce empty matrix")
+	}
+	if m := RandomSparse(rng, 10, 10, 1); m.NNZ() != 100 {
+		t.Fatalf("sparsity 1 produced %d non-zeros, want 100", m.NNZ())
+	}
+}
+
+func TestRandomSparseInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sparsity > 1 did not panic")
+		}
+	}()
+	RandomSparse(rand.New(rand.NewSource(1)), 2, 2, 1.5)
+}
+
+func TestCSRSizeBytesSmallerThanDenseWhenSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := RandomSparse(rng, 100, 100, 0.01)
+	if s.SizeBytes() >= s.Dense().SizeBytes() {
+		t.Fatalf("CSR at 1%% density not smaller than dense: %d vs %d", s.SizeBytes(), s.Dense().SizeBytes())
+	}
+}

@@ -1,0 +1,182 @@
+// Package metrics provides the communication and timing accounting that the
+// paper's evaluation reports: bytes moved in the matrix-repartition and
+// matrix-aggregation steps, time spent in each of the three steps of
+// distributed matrix multiplication, and GPU PCI-E traffic. Counters are
+// safe for concurrent use by task goroutines.
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Step identifies one of the three steps of distributed matrix
+// multiplication (paper §2.2) plus the GPU transfer channel.
+type Step int
+
+const (
+	// StepRepartition is the matrix repartition step (input shuffle /
+	// broadcast / replication).
+	StepRepartition Step = iota
+	// StepLocalMultiply is the per-task local multiplication step.
+	StepLocalMultiply
+	// StepAggregation is the matrix aggregation step (intermediate-block
+	// shuffle and reduce).
+	StepAggregation
+	// StepPCIE is host↔device traffic in the GPU acceleration path.
+	StepPCIE
+	numSteps
+)
+
+// String names the step as the paper's figures do.
+func (s Step) String() string {
+	switch s {
+	case StepRepartition:
+		return "matrix repartition"
+	case StepLocalMultiply:
+		return "local multiplication"
+	case StepAggregation:
+		return "matrix aggregation"
+	case StepPCIE:
+		return "pci-e transfer"
+	default:
+		return fmt.Sprintf("step(%d)", int(s))
+	}
+}
+
+// Recorder accumulates per-step bytes and durations for one job. The zero
+// value is ready to use.
+type Recorder struct {
+	bytes [numSteps]atomic.Int64
+	nanos [numSteps]atomic.Int64
+
+	mu     sync.Mutex
+	spills int64 // bytes written to disk (E.D.C. accounting)
+}
+
+// AddBytes records n bytes of traffic attributed to step s.
+func (r *Recorder) AddBytes(s Step, n int64) { r.bytes[s].Add(n) }
+
+// AddDuration records wall or virtual time attributed to step s.
+func (r *Recorder) AddDuration(s Step, d time.Duration) { r.nanos[s].Add(int64(d)) }
+
+// Bytes returns the bytes recorded for step s.
+func (r *Recorder) Bytes(s Step) int64 { return r.bytes[s].Load() }
+
+// Duration returns the time recorded for step s.
+func (r *Recorder) Duration(s Step) time.Duration { return time.Duration(r.nanos[s].Load()) }
+
+// CommunicationBytes is the paper's "communication cost": repartition plus
+// aggregation traffic.
+func (r *Recorder) CommunicationBytes() int64 {
+	return r.Bytes(StepRepartition) + r.Bytes(StepAggregation)
+}
+
+// AddSpill records intermediate data written to disk; the engine compares
+// the running total against cluster disk capacity to reproduce the paper's
+// E.D.C. (exceeded disk capacity) failures.
+func (r *Recorder) AddSpill(n int64) {
+	r.mu.Lock()
+	r.spills += n
+	r.mu.Unlock()
+}
+
+// SpillBytes returns the accumulated spill volume.
+func (r *Recorder) SpillBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spills
+}
+
+// Reset zeroes every counter.
+func (r *Recorder) Reset() {
+	for i := range r.bytes {
+		r.bytes[i].Store(0)
+		r.nanos[i].Store(0)
+	}
+	r.mu.Lock()
+	r.spills = 0
+	r.mu.Unlock()
+}
+
+// StepRatios returns the fraction of total recorded time spent in the three
+// multiplication steps, as plotted in Figure 7(e). The fractions sum to 1
+// when any time was recorded; otherwise all are 0.
+func (r *Recorder) StepRatios() (repartition, local, aggregation float64) {
+	rp := float64(r.nanos[StepRepartition].Load())
+	lm := float64(r.nanos[StepLocalMultiply].Load())
+	ag := float64(r.nanos[StepAggregation].Load())
+	total := rp + lm + ag
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return rp / total, lm / total, ag / total
+}
+
+// Snapshot is an immutable copy of a Recorder's counters, convenient for
+// reporting after a run.
+type Snapshot struct {
+	RepartitionBytes int64
+	AggregationBytes int64
+	PCIEBytes        int64
+	Repartition      time.Duration
+	LocalMultiply    time.Duration
+	Aggregation      time.Duration
+	PCIE             time.Duration
+	SpillBytes       int64
+}
+
+// Snapshot captures the current counter values.
+func (r *Recorder) Snapshot() Snapshot {
+	return Snapshot{
+		RepartitionBytes: r.Bytes(StepRepartition),
+		AggregationBytes: r.Bytes(StepAggregation),
+		PCIEBytes:        r.Bytes(StepPCIE),
+		Repartition:      r.Duration(StepRepartition),
+		LocalMultiply:    r.Duration(StepLocalMultiply),
+		Aggregation:      r.Duration(StepAggregation),
+		PCIE:             r.Duration(StepPCIE),
+		SpillBytes:       r.SpillBytes(),
+	}
+}
+
+// CommunicationBytes is repartition + aggregation traffic of the snapshot.
+func (s Snapshot) CommunicationBytes() int64 { return s.RepartitionBytes + s.AggregationBytes }
+
+// Sub returns the counter-wise difference s − o, used to isolate the traffic
+// of one operation from a cumulative recorder.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		RepartitionBytes: s.RepartitionBytes - o.RepartitionBytes,
+		AggregationBytes: s.AggregationBytes - o.AggregationBytes,
+		PCIEBytes:        s.PCIEBytes - o.PCIEBytes,
+		Repartition:      s.Repartition - o.Repartition,
+		LocalMultiply:    s.LocalMultiply - o.LocalMultiply,
+		Aggregation:      s.Aggregation - o.Aggregation,
+		PCIE:             s.PCIE - o.PCIE,
+		SpillBytes:       s.SpillBytes - o.SpillBytes,
+	}
+}
+
+// String renders the snapshot compactly for logs and example output.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("repartition=%s aggregation=%s pcie=%s comm=%s",
+		FormatBytes(s.RepartitionBytes), FormatBytes(s.AggregationBytes),
+		FormatBytes(s.PCIEBytes), FormatBytes(s.CommunicationBytes()))
+}
+
+// FormatBytes renders a byte count with a binary-prefix unit, e.g. "1.50 GiB".
+func FormatBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.2f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}

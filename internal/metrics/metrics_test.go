@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderBytesAndDurations(t *testing.T) {
+	var r Recorder
+	r.AddBytes(StepRepartition, 100)
+	r.AddBytes(StepRepartition, 50)
+	r.AddBytes(StepAggregation, 25)
+	r.AddDuration(StepLocalMultiply, time.Second)
+	if r.Bytes(StepRepartition) != 150 {
+		t.Fatalf("repartition bytes = %d", r.Bytes(StepRepartition))
+	}
+	if r.CommunicationBytes() != 175 {
+		t.Fatalf("communication = %d, want 175", r.CommunicationBytes())
+	}
+	if r.Duration(StepLocalMultiply) != time.Second {
+		t.Fatal("duration lost")
+	}
+}
+
+func TestRecorderConcurrentSafety(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.AddBytes(StepPCIE, 1)
+				r.AddSpill(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Bytes(StepPCIE) != 16000 {
+		t.Fatalf("lost updates: %d", r.Bytes(StepPCIE))
+	}
+	if r.SpillBytes() != 16000 {
+		t.Fatalf("lost spills: %d", r.SpillBytes())
+	}
+}
+
+func TestStepRatiosSumToOne(t *testing.T) {
+	var r Recorder
+	r.AddDuration(StepRepartition, 1*time.Second)
+	r.AddDuration(StepLocalMultiply, 2*time.Second)
+	r.AddDuration(StepAggregation, 1*time.Second)
+	a, b, c := r.StepRatios()
+	if a != 0.25 || b != 0.5 || c != 0.25 {
+		t.Fatalf("ratios = %g, %g, %g", a, b, c)
+	}
+}
+
+func TestStepRatiosEmpty(t *testing.T) {
+	var r Recorder
+	a, b, c := r.StepRatios()
+	if a != 0 || b != 0 || c != 0 {
+		t.Fatal("empty recorder should report zero ratios")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var r Recorder
+	r.AddBytes(StepRepartition, 5)
+	r.AddDuration(StepRepartition, time.Second)
+	r.AddSpill(7)
+	r.Reset()
+	if r.Bytes(StepRepartition) != 0 || r.Duration(StepRepartition) != 0 || r.SpillBytes() != 0 {
+		t.Fatal("Reset left residue")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	var r Recorder
+	r.AddBytes(StepRepartition, 10)
+	r.AddBytes(StepAggregation, 20)
+	r.AddBytes(StepPCIE, 30)
+	s := r.Snapshot()
+	if s.RepartitionBytes != 10 || s.AggregationBytes != 20 || s.PCIEBytes != 30 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.CommunicationBytes() != 30 {
+		t.Fatalf("snapshot communication = %d", s.CommunicationBytes())
+	}
+	if s.String() == "" {
+		t.Fatal("snapshot should render")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		0:        "0 B",
+		512:      "512 B",
+		1024:     "1.00 KiB",
+		1536:     "1.50 KiB",
+		1 << 20:  "1.00 MiB",
+		1 << 30:  "1.00 GiB",
+		36 << 40: "36.00 TiB",
+		3 << 50:  "3.00 PiB",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestStepString(t *testing.T) {
+	if StepRepartition.String() != "matrix repartition" {
+		t.Fatal("step name wrong")
+	}
+	if Step(42).String() == "" {
+		t.Fatal("unknown step should render")
+	}
+}

@@ -1,0 +1,275 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dims is an element-dimension hint (rows × cols) for a plan input,
+// supplied to CompileWithShapes so the compiler can cost-order
+// multiplication chains.
+type Dims struct {
+	Rows, Cols int64
+}
+
+// CompileWithShapes compiles like Compile but additionally re-associates
+// multiplication chains by the classical matrix-chain dynamic program:
+// A×B×C×… is parenthesized to minimize Σ m·k·n scalar work, which on the
+// engine also minimizes the intermediate matrices that must be shuffled.
+// Shapes must cover every Var that participates in a chain of length ≥ 3;
+// other expressions pass through unchanged. Inconsistent dimensions
+// (inner mismatch along a chain) are reported as errors at compile time —
+// the planner's static type check.
+func CompileWithShapes(e Expr, shapes map[string]Dims) (*Program, error) {
+	if e == nil {
+		return nil, fmt.Errorf("plan: nil expression")
+	}
+	rewritten, err := reassociate(rewrite(e), shapes)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(rewritten)
+}
+
+// reassociate walks the tree bottom-up, flattening MatMul chains and
+// re-parenthesizing any chain of length ≥ 3 whose factor shapes are all
+// known.
+func reassociate(e Expr, shapes map[string]Dims) (Expr, error) {
+	switch v := e.(type) {
+	case *Var:
+		return v, nil
+	case *MatMul:
+		factors, err := flattenChain(e, shapes)
+		if err != nil {
+			return nil, err
+		}
+		if factors == nil {
+			// Shapes unavailable somewhere in the chain: recurse plainly.
+			l, err := reassociate(v.L, shapes)
+			if err != nil {
+				return nil, err
+			}
+			r, err := reassociate(v.R, shapes)
+			if err != nil {
+				return nil, err
+			}
+			return &MatMul{L: l, R: r}, nil
+		}
+		if len(factors) < 3 {
+			return e, nil
+		}
+		return chainOrder(factors)
+	case *Add:
+		return reassocBinary(v.L, v.R, shapes, func(l, r Expr) Expr { return &Add{L: l, R: r} })
+	case *Sub:
+		return reassocBinary(v.L, v.R, shapes, func(l, r Expr) Expr { return &Sub{L: l, R: r} })
+	case *Hadamard:
+		return reassocBinary(v.L, v.R, shapes, func(l, r Expr) Expr { return &Hadamard{L: l, R: r} })
+	case *DivElem:
+		return reassocBinary(v.L, v.R, shapes, func(l, r Expr) Expr { return &DivElem{L: l, R: r, Eps: v.Eps} })
+	case *Transpose:
+		x, err := reassociate(v.X, shapes)
+		if err != nil {
+			return nil, err
+		}
+		return &Transpose{X: x}, nil
+	case *Scale:
+		x, err := reassociate(v.X, shapes)
+		if err != nil {
+			return nil, err
+		}
+		return &Scale{S: v.S, X: x}, nil
+	default:
+		return nil, fmt.Errorf("plan: unknown expression %T", e)
+	}
+}
+
+func reassocBinary(l, r Expr, shapes map[string]Dims, mk func(l, r Expr) Expr) (Expr, error) {
+	nl, err := reassociate(l, shapes)
+	if err != nil {
+		return nil, err
+	}
+	nr, err := reassociate(r, shapes)
+	if err != nil {
+		return nil, err
+	}
+	return mk(nl, nr), nil
+}
+
+// factor is one chain element with its resolved dimensions.
+type factor struct {
+	expr Expr
+	dims Dims
+}
+
+// flattenChain collects the factors of a left/right-nested MatMul chain.
+// It returns nil (no error) when some factor's shape cannot be resolved,
+// and an error when shapes are known but inconsistent.
+func flattenChain(e Expr, shapes map[string]Dims) ([]factor, error) {
+	var out []factor
+	var walk func(e Expr) (bool, error)
+	walk = func(e Expr) (bool, error) {
+		if m, ok := e.(*MatMul); ok {
+			okL, err := walk(m.L)
+			if err != nil || !okL {
+				return okL, err
+			}
+			return walk(m.R)
+		}
+		d, ok := shapeOfExpr(e, shapes)
+		if !ok {
+			return false, nil
+		}
+		// Recurse into the factor itself (it may contain nested chains).
+		f, err := reassociate(e, shapes)
+		if err != nil {
+			return false, err
+		}
+		out = append(out, factor{expr: f, dims: d})
+		return true, nil
+	}
+	ok, err := walk(e)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].dims.Cols != out[i].dims.Rows {
+			return nil, fmt.Errorf("plan: chain factor %d is %dx%d but the next needs %d rows",
+				i-1, out[i-1].dims.Rows, out[i-1].dims.Cols, out[i].dims.Rows)
+		}
+	}
+	return out, nil
+}
+
+// shapeOfExpr resolves the dimensions of a non-MatMul chain factor.
+func shapeOfExpr(e Expr, shapes map[string]Dims) (Dims, bool) {
+	switch v := e.(type) {
+	case *Var:
+		d, ok := shapes[v.Name]
+		return d, ok
+	case *Transpose:
+		d, ok := shapeOfExpr(v.X, shapes)
+		return Dims{Rows: d.Cols, Cols: d.Rows}, ok
+	case *Scale:
+		return shapeOfExpr(v.X, shapes)
+	case *Add:
+		d, ok := shapeOfExpr(v.L, shapes)
+		return d, ok
+	case *Sub:
+		d, ok := shapeOfExpr(v.L, shapes)
+		return d, ok
+	case *Hadamard:
+		d, ok := shapeOfExpr(v.L, shapes)
+		return d, ok
+	case *DivElem:
+		d, ok := shapeOfExpr(v.L, shapes)
+		return d, ok
+	case *MatMul:
+		l, okL := shapeOfExpr(v.L, shapes)
+		r, okR := shapeOfExpr(v.R, shapes)
+		return Dims{Rows: l.Rows, Cols: r.Cols}, okL && okR
+	default:
+		return Dims{}, false
+	}
+}
+
+// chainOrder runs the O(n³) matrix-chain DP and rebuilds the optimal tree.
+func chainOrder(factors []factor) (Expr, error) {
+	n := len(factors)
+	// dims[i] = rows of factor i; dims[n] = cols of the last factor.
+	dims := make([]int64, n+1)
+	for i, f := range factors {
+		dims[i] = f.dims.Rows
+	}
+	dims[n] = factors[n-1].dims.Cols
+
+	cost := make([][]float64, n)
+	split := make([][]int, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		split[i] = make([]int, n)
+	}
+	for length := 2; length <= n; length++ {
+		for i := 0; i+length-1 < n; i++ {
+			j := i + length - 1
+			cost[i][j] = math.Inf(1)
+			for k := i; k < j; k++ {
+				c := cost[i][k] + cost[k+1][j] +
+					float64(dims[i])*float64(dims[k+1])*float64(dims[j+1])
+				if c < cost[i][j] {
+					cost[i][j] = c
+					split[i][j] = k
+				}
+			}
+		}
+	}
+	var build func(i, j int) Expr
+	build = func(i, j int) Expr {
+		if i == j {
+			return factors[i].expr
+		}
+		k := split[i][j]
+		return &MatMul{L: build(i, k), R: build(k+1, j)}
+	}
+	return build(0, n-1), nil
+}
+
+// ChainCost exposes the DP's predicted scalar-operation count for a compiled
+// ordering, for tests and EXPLAIN-style reporting: the Σ m·k·n of the
+// multiplications the expression tree performs, given leaf shapes.
+func ChainCost(e Expr, shapes map[string]Dims) (float64, error) {
+	switch v := e.(type) {
+	case *MatMul:
+		lc, err := ChainCost(v.L, shapes)
+		if err != nil {
+			return 0, err
+		}
+		rc, err := ChainCost(v.R, shapes)
+		if err != nil {
+			return 0, err
+		}
+		l, okL := shapeOfExpr(v.L, shapes)
+		r, okR := shapeOfExpr(v.R, shapes)
+		if !okL || !okR {
+			return 0, fmt.Errorf("plan: ChainCost: unresolved shape")
+		}
+		return lc + rc + float64(l.Rows)*float64(l.Cols)*float64(r.Cols), nil
+	case *Transpose:
+		return ChainCost(v.X, shapes)
+	case *Scale:
+		return ChainCost(v.X, shapes)
+	case *Add:
+		lc, err := ChainCost(v.L, shapes)
+		if err != nil {
+			return 0, err
+		}
+		rc, err := ChainCost(v.R, shapes)
+		return lc + rc, err
+	case *Sub:
+		lc, err := ChainCost(v.L, shapes)
+		if err != nil {
+			return 0, err
+		}
+		rc, err := ChainCost(v.R, shapes)
+		return lc + rc, err
+	case *Hadamard:
+		lc, err := ChainCost(v.L, shapes)
+		if err != nil {
+			return 0, err
+		}
+		rc, err := ChainCost(v.R, shapes)
+		return lc + rc, err
+	case *DivElem:
+		lc, err := ChainCost(v.L, shapes)
+		if err != nil {
+			return 0, err
+		}
+		rc, err := ChainCost(v.R, shapes)
+		return lc + rc, err
+	default:
+		return 0, nil
+	}
+}

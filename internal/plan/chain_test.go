@@ -1,0 +1,172 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distme/internal/bmat"
+	"distme/internal/matrix"
+)
+
+func TestChainOrderClassic(t *testing.T) {
+	// The textbook case: A(10×100)·B(100×5)·C(5×50). Left-to-right costs
+	// 10·100·5 + 10·5·50 = 7500; the bad order costs 100·5·50 + 10·100·50 =
+	// 75000. The DP must pick (A·B)·C.
+	shapes := map[string]Dims{
+		"A": {10, 100}, "B": {100, 5}, "C": {5, 50},
+	}
+	e := Mul(Mul(V("A"), V("B")), V("C"))
+	bad := Mul(V("A"), Mul(V("B"), V("C")))
+
+	goodCost, err := ChainCost(e, shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badCost, err := ChainCost(bad, shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goodCost != 7500 || badCost != 75000 {
+		t.Fatalf("costs = %g, %g; want 7500, 75000", goodCost, badCost)
+	}
+
+	// Compile the bad ordering with shapes: the DP must recover the good one.
+	p, err := CompileWithShapes(bad, shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p
+	re, err := reassociate(rewrite(bad), shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reCost, err := ChainCost(re, shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reCost != 7500 {
+		t.Fatalf("reassociated cost = %g, want 7500 (got tree %s)", reCost, re)
+	}
+}
+
+func TestChainOrderInnerMismatchRejected(t *testing.T) {
+	shapes := map[string]Dims{"A": {4, 5}, "B": {6, 7}, "C": {7, 8}}
+	_, err := CompileWithShapes(Mul(Mul(V("A"), V("B")), V("C")), shapes)
+	if err == nil {
+		t.Fatal("inner-dimension mismatch accepted")
+	}
+}
+
+func TestChainOrderMissingShapesPassThrough(t *testing.T) {
+	// Without shapes for B the chain must compile unreordered, not error.
+	shapes := map[string]Dims{"A": {4, 4}, "C": {4, 4}}
+	p, err := CompileWithShapes(Mul(Mul(V("A"), V("B")), V("C")), shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNodes() == 0 {
+		t.Fatal("empty program")
+	}
+}
+
+func TestChainOrderHandlesTransposedFactors(t *testing.T) {
+	// Aᵀ (100×10 → 10×100 transposed) chains correctly with shape inference.
+	shapes := map[string]Dims{"A": {100, 10}, "B": {100, 5}, "C": {5, 50}}
+	e := Mul(Mul(T(V("A")), V("B")), V("C"))
+	re, err := reassociate(rewrite(e), shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := ChainCost(re, shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 7500 {
+		t.Fatalf("transposed chain cost = %g, want 7500", cost)
+	}
+}
+
+// TestChainOrderPreservesValueProperty: reordering must never change the
+// product — associativity executed for real on the engine.
+func TestChainOrderPreservesValueProperty(t *testing.T) {
+	eng := testEngineQuick()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random chain of 3–5 conformable factors with varied dimensions.
+		n := 3 + rng.Intn(3)
+		dims := make([]int, n+1)
+		for i := range dims {
+			dims[i] = 2 + rng.Intn(10)
+		}
+		shapes := map[string]Dims{}
+		binds := map[string]*bmat.BlockMatrix{}
+		dense := map[string]*matrix.Dense{}
+		var expr Expr
+		for i := 0; i < n; i++ {
+			name := string(rune('A' + i))
+			d := matrix.RandomDense(rng, dims[i], dims[i+1])
+			dense[name] = d
+			binds[name] = bmat.FromDense(d, 3)
+			shapes[name] = Dims{Rows: int64(dims[i]), Cols: int64(dims[i+1])}
+			if expr == nil {
+				expr = V(name)
+			} else {
+				expr = Mul(expr, V(name))
+			}
+		}
+		p, err := CompileWithShapes(expr, shapes)
+		if err != nil {
+			return false
+		}
+		got, err := p.Eval(eng, binds)
+		if err != nil {
+			return false
+		}
+		want := naiveEval(expr, dense)
+		return got.ToDense().EqualApprox(want, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChainOrderNeverWorse: the DP ordering's predicted cost is ≤ the
+// left-to-right ordering's for random chains.
+func TestChainOrderNeverWorseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		dims := make([]int64, n+1)
+		for i := range dims {
+			dims[i] = int64(1 + rng.Intn(50))
+		}
+		shapes := map[string]Dims{}
+		var expr Expr
+		for i := 0; i < n; i++ {
+			name := string(rune('A' + i))
+			shapes[name] = Dims{Rows: dims[i], Cols: dims[i+1]}
+			if expr == nil {
+				expr = V(name)
+			} else {
+				expr = Mul(expr, V(name))
+			}
+		}
+		naiveCost, err := ChainCost(expr, shapes)
+		if err != nil {
+			return false
+		}
+		re, err := reassociate(rewrite(expr), shapes)
+		if err != nil {
+			return false
+		}
+		optCost, err := ChainCost(re, shapes)
+		if err != nil {
+			return false
+		}
+		return optCost <= naiveCost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package plan is the query-plan layer of DistME's §5: users describe
+// matrix computations as expressions (the paper's Scala API over SparkSQL),
+// the compiler rewrites them into an optimized physical plan — pushing
+// transposes to the leaves where they are cheap re-key maps, folding
+// scalars, and deduplicating common subexpressions into a DAG so shared
+// terms (e.g. Wᵀ in both Gram products of a GNMF update) execute once —
+// and the program evaluates on an engine with memoization.
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a logical matrix expression node.
+type Expr interface {
+	// key returns a structural identity used for hash-consing; two
+	// expressions with equal keys compute the same value.
+	key() string
+	// String renders the expression tree.
+	String() string
+}
+
+// Var is a named input matrix bound at evaluation time.
+type Var struct{ Name string }
+
+func (v *Var) key() string    { return "$" + v.Name }
+func (v *Var) String() string { return v.Name }
+
+// MatMul is distributed matrix multiplication L×R.
+type MatMul struct{ L, R Expr }
+
+func (m *MatMul) key() string    { return "(mul " + m.L.key() + " " + m.R.key() + ")" }
+func (m *MatMul) String() string { return "(" + m.L.String() + " × " + m.R.String() + ")" }
+
+// Add is element-wise addition.
+type Add struct{ L, R Expr }
+
+func (a *Add) key() string    { return "(add " + a.L.key() + " " + a.R.key() + ")" }
+func (a *Add) String() string { return "(" + a.L.String() + " + " + a.R.String() + ")" }
+
+// Sub is element-wise subtraction.
+type Sub struct{ L, R Expr }
+
+func (s *Sub) key() string    { return "(sub " + s.L.key() + " " + s.R.key() + ")" }
+func (s *Sub) String() string { return "(" + s.L.String() + " - " + s.R.String() + ")" }
+
+// Hadamard is the element-wise product.
+type Hadamard struct{ L, R Expr }
+
+func (h *Hadamard) key() string    { return "(had " + h.L.key() + " " + h.R.key() + ")" }
+func (h *Hadamard) String() string { return "(" + h.L.String() + " ∘ " + h.R.String() + ")" }
+
+// DivElem is element-wise division with an epsilon denominator guard.
+type DivElem struct {
+	L, R Expr
+	Eps  float64
+}
+
+func (d *DivElem) key() string    { return fmt.Sprintf("(div %s %s %g)", d.L.key(), d.R.key(), d.Eps) }
+func (d *DivElem) String() string { return "(" + d.L.String() + " ⊘ " + d.R.String() + ")" }
+
+// Transpose is matrix transposition.
+type Transpose struct{ X Expr }
+
+func (t *Transpose) key() string    { return "(t " + t.X.key() + ")" }
+func (t *Transpose) String() string { return t.X.String() + "ᵀ" }
+
+// Scale multiplies every element by S.
+type Scale struct {
+	S float64
+	X Expr
+}
+
+func (s *Scale) key() string    { return fmt.Sprintf("(scale %g %s)", s.S, s.X.key()) }
+func (s *Scale) String() string { return fmt.Sprintf("%g·%s", s.S, s.X.String()) }
+
+// Constructors — the user-facing expression DSL.
+
+// V references the input matrix bound to name at evaluation time.
+func V(name string) Expr { return &Var{Name: name} }
+
+// Mul builds L×R.
+func Mul(l, r Expr) Expr { return &MatMul{L: l, R: r} }
+
+// Plus builds L+R element-wise.
+func Plus(l, r Expr) Expr { return &Add{L: l, R: r} }
+
+// Minus builds L−R element-wise.
+func Minus(l, r Expr) Expr { return &Sub{L: l, R: r} }
+
+// EMul builds the element-wise product L∘R.
+func EMul(l, r Expr) Expr { return &Hadamard{L: l, R: r} }
+
+// EDiv builds the guarded element-wise division L⊘R.
+func EDiv(l, r Expr, eps float64) Expr { return &DivElem{L: l, R: r, Eps: eps} }
+
+// T builds the transpose Xᵀ.
+func T(x Expr) Expr { return &Transpose{X: x} }
+
+// Times builds the scalar product s·X.
+func Times(s float64, x Expr) Expr { return &Scale{S: s, X: x} }
+
+// rewrite applies the algebraic rewrites bottom-up until fixpoint:
+//
+//	(Xᵀ)ᵀ        → X            (involution)
+//	(L×R)ᵀ       → Rᵀ×Lᵀ        (push transpose to the leaves)
+//	(L+R)ᵀ       → Lᵀ+Rᵀ        (same for the element-wise family)
+//	(L∘R)ᵀ       → Lᵀ∘Rᵀ
+//	(s·X)ᵀ       → s·Xᵀ
+//	s·(t·X)      → (s·t)·X      (scalar folding)
+//	1·X          → X
+//
+// Pushing transposes to the leaves matters on the engine: a leaf transpose
+// is a cheap block re-key map, while transposing a product would first
+// materialize the product in the wrong orientation for its consumer.
+func rewrite(e Expr) Expr {
+	switch v := e.(type) {
+	case *Var:
+		return v
+	case *MatMul:
+		return &MatMul{L: rewrite(v.L), R: rewrite(v.R)}
+	case *Add:
+		return &Add{L: rewrite(v.L), R: rewrite(v.R)}
+	case *Sub:
+		return &Sub{L: rewrite(v.L), R: rewrite(v.R)}
+	case *Hadamard:
+		return &Hadamard{L: rewrite(v.L), R: rewrite(v.R)}
+	case *DivElem:
+		return &DivElem{L: rewrite(v.L), R: rewrite(v.R), Eps: v.Eps}
+	case *Scale:
+		x := rewrite(v.X)
+		if inner, ok := x.(*Scale); ok {
+			return rewrite(&Scale{S: v.S * inner.S, X: inner.X})
+		}
+		if v.S == 1 {
+			return x
+		}
+		return &Scale{S: v.S, X: x}
+	case *Transpose:
+		switch inner := rewrite(v.X).(type) {
+		case *Transpose:
+			return inner.X // (Xᵀ)ᵀ = X, already rewritten
+		case *MatMul:
+			return rewrite(&MatMul{L: &Transpose{X: inner.R}, R: &Transpose{X: inner.L}})
+		case *Add:
+			return rewrite(&Add{L: &Transpose{X: inner.L}, R: &Transpose{X: inner.R}})
+		case *Sub:
+			return rewrite(&Sub{L: &Transpose{X: inner.L}, R: &Transpose{X: inner.R}})
+		case *Hadamard:
+			return rewrite(&Hadamard{L: &Transpose{X: inner.L}, R: &Transpose{X: inner.R}})
+		case *Scale:
+			return rewrite(&Scale{S: inner.S, X: &Transpose{X: inner.X}})
+		default:
+			return &Transpose{X: inner}
+		}
+	default:
+		panic(fmt.Sprintf("plan: unknown expression %T", e))
+	}
+}
+
+// Explain renders the optimized DAG of a compiled program, one node per
+// line with shared subexpressions labeled, like a database EXPLAIN.
+func (p *Program) Explain() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan with %d nodes (%d shared)\n", len(p.nodes), p.shared)
+	for i, n := range p.nodes {
+		fmt.Fprintf(&sb, "  %%%d = %s\n", i, n.describe())
+	}
+	return sb.String()
+}

@@ -1,0 +1,165 @@
+// Package shuffle implements the matrix partitioning schemes of the paper's
+// §2.1 (Row, Column, Hash, Grid) and the keyed block exchange that the
+// repartition and aggregation steps of distributed matrix multiplication are
+// built on. Every record that crosses a task boundary is charged to the
+// run's metrics recorder, which is how the engine measures the
+// communication-cost columns of Table 2 and Figures 6–7.
+package shuffle
+
+import (
+	"distme/internal/bmat"
+	"distme/internal/matrix"
+	"distme/internal/metrics"
+)
+
+// BlockKey aliases bmat.BlockKey, the unit the partitioners route.
+type BlockKey = bmat.BlockKey
+
+// VoxelKey aliases bmat.VoxelKey for voxel-granularity shuffles (RMM).
+type VoxelKey = bmat.VoxelKey
+
+// Partitioner assigns block keys to partitions (tasks). Implementations are
+// the four schemes of §2.1.
+type Partitioner interface {
+	// NumPartitions returns the partition (task) count.
+	NumPartitions() int
+	// Partition maps a block key to a partition in [0, NumPartitions()).
+	Partition(k BlockKey) int
+}
+
+// RowPartitioner sends all blocks of one block-row to the same task:
+// partition = i mod n.
+type RowPartitioner struct{ N int }
+
+// NumPartitions returns the task count.
+func (p RowPartitioner) NumPartitions() int { return p.N }
+
+// Partition maps by row block index.
+func (p RowPartitioner) Partition(k BlockKey) int { return mod(k.I, p.N) }
+
+// ColumnPartitioner sends all blocks of one block-column to the same task:
+// partition = j mod n.
+type ColumnPartitioner struct{ N int }
+
+// NumPartitions returns the task count.
+func (p ColumnPartitioner) NumPartitions() int { return p.N }
+
+// Partition maps by column block index.
+func (p ColumnPartitioner) Partition(k BlockKey) int { return mod(k.J, p.N) }
+
+// HashPartitioner spreads blocks evenly by hashing both indices; this is the
+// scheme RMM uses for replicated voxel records.
+type HashPartitioner struct{ N int }
+
+// NumPartitions returns the task count.
+func (p HashPartitioner) NumPartitions() int { return p.N }
+
+// Partition maps by a mixed hash of (i, j).
+func (p HashPartitioner) Partition(k BlockKey) int {
+	return int(hash2(uint64(k.I), uint64(k.J)) % uint64(p.N))
+}
+
+// PartitionVoxel maps a voxel key v_{i,j,k} to a partition; RMM shuffles
+// replicated blocks with the voxel index as the key (§2.2.3).
+func (p HashPartitioner) PartitionVoxel(v VoxelKey) int {
+	return int(hash2(hash2(uint64(v.I), uint64(v.J)), uint64(v.K)) % uint64(p.N))
+}
+
+// GridPartitioner divides a matrix of IBlocks×JBlocks blocks into an
+// Alpha×Beta grid of tiles (§2.1, Figure 1(d)); each tile is one partition.
+type GridPartitioner struct {
+	IBlocks, JBlocks int // matrix extent in blocks
+	Alpha, Beta      int // grid shape
+}
+
+// NumPartitions returns Alpha×Beta.
+func (p GridPartitioner) NumPartitions() int { return p.Alpha * p.Beta }
+
+// Partition maps a block to its grid tile, row-major over tiles.
+func (p GridPartitioner) Partition(k BlockKey) int {
+	ti := gridIndex(k.I, p.IBlocks, p.Alpha)
+	tj := gridIndex(k.J, p.JBlocks, p.Beta)
+	return ti*p.Beta + tj
+}
+
+// gridIndex maps block index b of an extent-n axis onto one of parts
+// contiguous tiles. Tiles are balanced — sizes differ by at most one block
+// (⌊n/parts⌋ or ⌈n/parts⌉) and, unlike fixed ⌈n/parts⌉ strides, no tile is
+// ever empty, so every partition count in [1, n] materializes exactly and
+// the Table 2 formulas hold for every (P,Q,R).
+func gridIndex(b, n, parts int) int {
+	if parts <= 0 {
+		panic("shuffle: grid partitioner with non-positive parts")
+	}
+	// Inverse of GridSpan's ⌊t·n/parts⌋ boundaries.
+	idx := (b*parts + parts - 1) / n
+	if idx >= parts {
+		idx = parts - 1
+	}
+	return idx
+}
+
+// GridSpan returns the block-index range [lo, hi) of tile t along an axis of
+// extent n split into parts balanced tiles — the inverse of gridIndex, used
+// by the cuboid executor to enumerate a cuboid's blocks.
+func GridSpan(t, n, parts int) (lo, hi int) {
+	lo = t * n / parts
+	hi = (t + 1) * n / parts
+	return lo, hi
+}
+
+func mod(a, n int) int {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+// hash2 mixes two 64-bit values (splitmix64-style finalizer), giving the
+// even spread the Hash scheme promises without pulling in hash/maphash
+// state.
+func hash2(a, b uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 ^ (b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Record is one shuffled key/block pair.
+type Record struct {
+	Key   BlockKey
+	Block matrix.Block
+}
+
+// Exchange routes records to partitions with a partitioner, charging each
+// record's payload to the given step of the recorder — the simulated
+// network. It returns the per-partition record lists in deterministic input
+// order.
+func Exchange(records []Record, p Partitioner, rec *metrics.Recorder, step metrics.Step) [][]Record {
+	out := make([][]Record, p.NumPartitions())
+	for _, r := range records {
+		dst := p.Partition(r.Key)
+		if rec != nil {
+			rec.AddBytes(step, r.Block.SizeBytes())
+		}
+		out[dst] = append(out[dst], r)
+	}
+	return out
+}
+
+// Broadcast charges one full copy of the payload per destination task (the
+// BMM repartition pattern: T·|B|) and returns the payload size replicated.
+func Broadcast(blocks []matrix.Block, tasks int, rec *metrics.Recorder, step metrics.Step) int64 {
+	var size int64
+	for _, b := range blocks {
+		size += b.SizeBytes()
+	}
+	if rec != nil {
+		rec.AddBytes(step, size*int64(tasks))
+	}
+	return size * int64(tasks)
+}

@@ -1,0 +1,163 @@
+package shuffle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distme/internal/matrix"
+	"distme/internal/metrics"
+)
+
+func TestRowPartitioner(t *testing.T) {
+	p := RowPartitioner{N: 4}
+	if p.NumPartitions() != 4 {
+		t.Fatal("wrong partition count")
+	}
+	// Figure 1(a): all blocks of a row land together.
+	for j := 0; j < 4; j++ {
+		if p.Partition(BlockKey{I: 2, J: j}) != p.Partition(BlockKey{I: 2, J: 0}) {
+			t.Fatal("row partitioner split a row")
+		}
+	}
+	if p.Partition(BlockKey{I: 1}) == p.Partition(BlockKey{I: 2}) {
+		t.Fatal("adjacent rows should differ for N=4")
+	}
+}
+
+func TestColumnPartitioner(t *testing.T) {
+	p := ColumnPartitioner{N: 4}
+	for i := 0; i < 4; i++ {
+		if p.Partition(BlockKey{I: i, J: 3}) != p.Partition(BlockKey{I: 0, J: 3}) {
+			t.Fatal("column partitioner split a column")
+		}
+	}
+}
+
+func TestHashPartitionerRangeAndSpread(t *testing.T) {
+	p := HashPartitioner{N: 7}
+	counts := make([]int, 7)
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			d := p.Partition(BlockKey{I: i, J: j})
+			if d < 0 || d >= 7 {
+				t.Fatalf("partition %d out of range", d)
+			}
+			counts[d]++
+		}
+	}
+	for i, c := range counts {
+		if c < 1600/7/2 || c > 1600/7*2 {
+			t.Fatalf("hash partition %d badly balanced: %d of 1600", i, c)
+		}
+	}
+}
+
+func TestHashPartitionVoxelDeterministic(t *testing.T) {
+	p := HashPartitioner{N: 5}
+	v := VoxelKey{I: 3, J: 1, K: 2}
+	if p.PartitionVoxel(v) != p.PartitionVoxel(v) {
+		t.Fatal("voxel hash not deterministic")
+	}
+}
+
+func TestGridPartitioner(t *testing.T) {
+	// Figure 1(d): a 4×4 block matrix in a 2×2 grid.
+	p := GridPartitioner{IBlocks: 4, JBlocks: 4, Alpha: 2, Beta: 2}
+	if p.NumPartitions() != 4 {
+		t.Fatal("grid partition count wrong")
+	}
+	if p.Partition(BlockKey{I: 0, J: 0}) != p.Partition(BlockKey{I: 1, J: 1}) {
+		t.Fatal("top-left tile split")
+	}
+	if p.Partition(BlockKey{I: 0, J: 0}) == p.Partition(BlockKey{I: 2, J: 0}) {
+		t.Fatal("tiles not distinguished vertically")
+	}
+	if p.Partition(BlockKey{I: 0, J: 0}) == p.Partition(BlockKey{I: 0, J: 2}) {
+		t.Fatal("tiles not distinguished horizontally")
+	}
+}
+
+func TestGridSpanCoversAxis(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		parts := 1 + rng.Intn(n)
+		covered := 0
+		prevHi := 0
+		for t := 0; t < parts; t++ {
+			lo, hi := GridSpan(t, n, parts)
+			if lo != prevHi && lo < prevHi {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridSpanInverseOfGridIndex(t *testing.T) {
+	// Every block index b must fall inside the span of its own tile.
+	for n := 1; n <= 20; n++ {
+		for parts := 1; parts <= n; parts++ {
+			for b := 0; b < n; b++ {
+				tile := gridIndex(b, n, parts)
+				lo, hi := GridSpan(tile, n, parts)
+				if b < lo || b >= hi {
+					t.Fatalf("block %d of n=%d parts=%d: tile %d span [%d,%d)", b, n, parts, tile, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestExchangeRoutingAndAccounting(t *testing.T) {
+	rec := &metrics.Recorder{}
+	blk := matrix.NewDense(2, 2) // 32 bytes
+	records := []Record{
+		{Key: BlockKey{I: 0, J: 0}, Block: blk},
+		{Key: BlockKey{I: 1, J: 0}, Block: blk},
+		{Key: BlockKey{I: 2, J: 0}, Block: blk},
+	}
+	parts := Exchange(records, RowPartitioner{N: 3}, rec, metrics.StepRepartition)
+	if len(parts) != 3 {
+		t.Fatal("wrong partition count")
+	}
+	for i, p := range parts {
+		if len(p) != 1 {
+			t.Fatalf("partition %d has %d records, want 1", i, len(p))
+		}
+	}
+	if got := rec.Bytes(metrics.StepRepartition); got != 3*32 {
+		t.Fatalf("accounted %d bytes, want 96", got)
+	}
+}
+
+func TestBroadcastAccounting(t *testing.T) {
+	rec := &metrics.Recorder{}
+	blocks := []matrix.Block{matrix.NewDense(2, 2), matrix.NewDense(2, 2)}
+	n := Broadcast(blocks, 5, rec, metrics.StepRepartition)
+	if n != 5*64 {
+		t.Fatalf("broadcast returned %d, want 320", n)
+	}
+	if rec.Bytes(metrics.StepRepartition) != 320 {
+		t.Fatalf("broadcast accounted %d", rec.Bytes(metrics.StepRepartition))
+	}
+}
+
+func TestExchangeNilRecorder(t *testing.T) {
+	// nil recorder must not panic (pure routing use).
+	blk := matrix.NewDense(1, 1)
+	Exchange([]Record{{Key: BlockKey{}, Block: blk}}, HashPartitioner{N: 2}, nil, metrics.StepRepartition)
+}
+
+func TestNegativeIndexModulo(t *testing.T) {
+	p := RowPartitioner{N: 4}
+	if d := p.Partition(BlockKey{I: -1}); d < 0 || d >= 4 {
+		t.Fatalf("negative index mapped to %d", d)
+	}
+}

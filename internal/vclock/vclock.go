@@ -1,0 +1,105 @@
+// Package vclock provides the small virtual-time primitives behind the
+// simulated GPU timeline and the paper-scale cost model: serially-owned
+// resources (the PCI-E copy engine), interval bookkeeping (kernel busy time
+// for the utilization figure), and unit helpers. Virtual time is float64
+// seconds; all arithmetic is deterministic.
+package vclock
+
+import "sort"
+
+// Time is a point in virtual time, in seconds since the start of a run.
+type Time float64
+
+// SerialResource models a device that serves one request at a time in FIFO
+// order of readiness — the H2D/D2H copy engine of the simulated GPU, which
+// per the paper "cannot overlap" copies across streams.
+type SerialResource struct {
+	free Time
+}
+
+// Schedule books a request that becomes ready at ready and occupies the
+// resource for dur. It returns the start and end times of service.
+func (r *SerialResource) Schedule(ready Time, dur float64) (start, end Time) {
+	start = ready
+	if r.free > start {
+		start = r.free
+	}
+	end = start + Time(dur)
+	r.free = end
+	return start, end
+}
+
+// FreeAt reports when the resource next becomes idle.
+func (r *SerialResource) FreeAt() Time { return r.free }
+
+// Reset returns the resource to idle at time zero.
+func (r *SerialResource) Reset() { r.free = 0 }
+
+// Interval is a half-open busy span [Start, End).
+type Interval struct {
+	Start, End Time
+}
+
+// IntervalSet accumulates busy intervals and reports their union length and
+// overall makespan. Used to compute GPU core utilization (Figure 7(g)):
+// union of kernel-busy intervals divided by the timeline makespan.
+type IntervalSet struct {
+	spans []Interval
+}
+
+// Add records a busy interval. Zero- or negative-length spans are ignored.
+func (s *IntervalSet) Add(start, end Time) {
+	if end <= start {
+		return
+	}
+	s.spans = append(s.spans, Interval{start, end})
+}
+
+// BusyTime returns the total length of the union of all intervals.
+func (s *IntervalSet) BusyTime() float64 {
+	if len(s.spans) == 0 {
+		return 0
+	}
+	spans := make([]Interval, len(s.spans))
+	copy(spans, s.spans)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	var total float64
+	cur := spans[0]
+	for _, sp := range spans[1:] {
+		if sp.Start <= cur.End {
+			if sp.End > cur.End {
+				cur.End = sp.End
+			}
+			continue
+		}
+		total += float64(cur.End - cur.Start)
+		cur = sp
+	}
+	total += float64(cur.End - cur.Start)
+	return total
+}
+
+// Makespan returns the latest End across all intervals (0 when empty).
+func (s *IntervalSet) Makespan() Time {
+	var m Time
+	for _, sp := range s.spans {
+		if sp.End > m {
+			m = sp.End
+		}
+	}
+	return m
+}
+
+// Len returns the number of recorded intervals.
+func (s *IntervalSet) Len() int { return len(s.spans) }
+
+// Reset discards all intervals.
+func (s *IntervalSet) Reset() { s.spans = nil }
+
+// Max returns the later of two times.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

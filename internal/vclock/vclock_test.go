@@ -1,0 +1,136 @@
+package vclock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSerialResourceFIFO(t *testing.T) {
+	var r SerialResource
+	s1, e1 := r.Schedule(0, 2)
+	if s1 != 0 || e1 != 2 {
+		t.Fatalf("first = [%g, %g)", s1, e1)
+	}
+	// Ready before the resource frees: must wait.
+	s2, e2 := r.Schedule(1, 3)
+	if s2 != 2 || e2 != 5 {
+		t.Fatalf("second = [%g, %g), want [2, 5)", s2, e2)
+	}
+	// Ready after the resource frees: starts at ready time.
+	s3, e3 := r.Schedule(10, 1)
+	if s3 != 10 || e3 != 11 {
+		t.Fatalf("third = [%g, %g), want [10, 11)", s3, e3)
+	}
+	if r.FreeAt() != 11 {
+		t.Fatalf("FreeAt = %g", r.FreeAt())
+	}
+}
+
+func TestSerialResourceNeverOverlaps(t *testing.T) {
+	f := func(durs []float64) bool {
+		var r SerialResource
+		var prevEnd Time
+		for _, d := range durs {
+			d = math.Abs(d)
+			if math.IsNaN(d) || math.IsInf(d, 0) || d > 1e6 {
+				d = 1
+			}
+			s, e := r.Schedule(0, d)
+			if s < prevEnd {
+				return false
+			}
+			prevEnd = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerialResourceReset(t *testing.T) {
+	var r SerialResource
+	r.Schedule(0, 5)
+	r.Reset()
+	if r.FreeAt() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestIntervalSetBusyTimeMergesOverlaps(t *testing.T) {
+	var s IntervalSet
+	s.Add(0, 2)
+	s.Add(1, 3) // overlaps → union [0,3)
+	s.Add(5, 6) // disjoint
+	if got := s.BusyTime(); got != 4 {
+		t.Fatalf("BusyTime = %g, want 4", got)
+	}
+	if got := s.Makespan(); got != 6 {
+		t.Fatalf("Makespan = %g, want 6", got)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestIntervalSetIgnoresEmptySpans(t *testing.T) {
+	var s IntervalSet
+	s.Add(2, 2)
+	s.Add(3, 1)
+	if s.Len() != 0 || s.BusyTime() != 0 {
+		t.Fatal("degenerate spans not ignored")
+	}
+}
+
+func TestIntervalSetContainment(t *testing.T) {
+	var s IntervalSet
+	s.Add(0, 10)
+	s.Add(2, 3) // fully contained
+	if got := s.BusyTime(); got != 10 {
+		t.Fatalf("BusyTime = %g, want 10", got)
+	}
+}
+
+func TestIntervalSetEmpty(t *testing.T) {
+	var s IntervalSet
+	if s.BusyTime() != 0 || s.Makespan() != 0 {
+		t.Fatal("empty set should be zero")
+	}
+}
+
+func TestIntervalSetReset(t *testing.T) {
+	var s IntervalSet
+	s.Add(0, 1)
+	s.Reset()
+	if s.BusyTime() != 0 {
+		t.Fatal("Reset left intervals")
+	}
+}
+
+// Property: BusyTime ≤ Makespan and BusyTime ≤ sum of span lengths.
+func TestBusyTimeBoundsProperty(t *testing.T) {
+	f := func(starts []float64) bool {
+		var s IntervalSet
+		var sum float64
+		for _, st := range starts {
+			st = math.Mod(math.Abs(st), 100)
+			if math.IsNaN(st) {
+				st = 0
+			}
+			s.Add(Time(st), Time(st+1))
+			sum++
+		}
+		busy := s.BusyTime()
+		return busy <= float64(s.Makespan())+1e-9 && busy <= sum+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(1, 2) != 2 || Max(3, 2) != 3 {
+		t.Fatal("Max wrong")
+	}
+}

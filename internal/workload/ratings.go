@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"distme/internal/bmat"
+	"distme/internal/matrix"
+)
+
+// LoadRatings parses a ratings file in the whitespace/comma-separated
+// "user item rating [timestamp...]" layout used by the MovieLens and
+// Netflix-prize exports and builds the users×items sparse rating matrix V.
+// User and item IDs may be arbitrary positive integers; they are compacted
+// to dense 0-based indices in first-seen order. Lines that are empty or
+// start with '#' or '%' are skipped. Duplicate (user, item) pairs keep the
+// last rating, matching how the competition datasets resolve re-rates.
+func LoadRatings(r io.Reader, blockSize int) (*bmat.BlockMatrix, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("workload: LoadRatings: block size must be positive, got %d", blockSize)
+	}
+	type entry struct {
+		user, item int
+		rating     float64
+	}
+	var entries []entry
+	userIdx := make(map[string]int)
+	itemIdx := make(map[string]int)
+	last := make(map[[2]int]int) // (user, item) → entries index, for re-rates
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == ',' || r == ';'
+		})
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("workload: LoadRatings: line %d: want ≥3 fields, got %d", lineNo, len(fields))
+		}
+		rating, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: LoadRatings: line %d: bad rating %q: %v", lineNo, fields[2], err)
+		}
+		u, ok := userIdx[fields[0]]
+		if !ok {
+			u = len(userIdx)
+			userIdx[fields[0]] = u
+		}
+		it, ok := itemIdx[fields[1]]
+		if !ok {
+			it = len(itemIdx)
+			itemIdx[fields[1]] = it
+		}
+		key := [2]int{u, it}
+		if prev, ok := last[key]; ok {
+			entries[prev].rating = rating
+			continue
+		}
+		last[key] = len(entries)
+		entries = append(entries, entry{user: u, item: it, rating: rating})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: LoadRatings: %w", err)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("workload: LoadRatings: no ratings found")
+	}
+
+	v := bmat.New(len(userIdx), len(itemIdx), blockSize)
+	// Bucket triplets per block, then build CSR blocks.
+	type trip struct {
+		r, c int
+		v    float64
+	}
+	buckets := make(map[bmat.BlockKey][]trip)
+	for _, e := range entries {
+		key := bmat.BlockKey{I: e.user / blockSize, J: e.item / blockSize}
+		buckets[key] = append(buckets[key], trip{r: e.user % blockSize, c: e.item % blockSize, v: e.rating})
+	}
+	for key, ts := range buckets {
+		rows, cols := v.BlockDims(key.I, key.J)
+		ri := make([]int, len(ts))
+		ci := make([]int, len(ts))
+		vv := make([]float64, len(ts))
+		for x, tr := range ts {
+			ri[x], ci[x], vv[x] = tr.r, tr.c, tr.v
+		}
+		v.SetBlock(key.I, key.J, matrix.NewCSR(rows, cols, ri, ci, vv))
+	}
+	return v, nil
+}

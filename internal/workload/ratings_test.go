@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadRatingsTabSeparated(t *testing.T) {
+	// The MovieLens u.data layout: user \t item \t rating \t timestamp.
+	data := "1\t10\t5\t881250949\n" +
+		"1\t20\t3\t881250950\n" +
+		"2\t10\t4\t881250951\n" +
+		"3\t30\t1\t881250952\n"
+	v, err := LoadRatings(strings.NewReader(data), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Rows != 3 || v.Cols != 3 {
+		t.Fatalf("V is %dx%d, want 3x3 (compacted ids)", v.Rows, v.Cols)
+	}
+	if v.NNZ() != 4 {
+		t.Fatalf("nnz = %d, want 4", v.NNZ())
+	}
+	// First-seen compaction: user "1"→0, item "10"→0.
+	if v.At(0, 0) != 5 {
+		t.Fatalf("V[0,0] = %g, want 5", v.At(0, 0))
+	}
+	if v.At(1, 0) != 4 { // user "2"→1, item "10"→0
+		t.Fatalf("V[1,0] = %g, want 4", v.At(1, 0))
+	}
+	if !v.IsSparse() {
+		t.Fatal("ratings should load as sparse blocks")
+	}
+}
+
+func TestLoadRatingsCommaAndComments(t *testing.T) {
+	data := "# MovieLens-style comments\n" +
+		"% MatrixMarket-style too\n" +
+		"\n" +
+		"7,9,2.5\n" +
+		"8,9,4.0\n"
+	v, err := LoadRatings(strings.NewReader(data), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2", v.NNZ())
+	}
+	if v.At(0, 0) != 2.5 {
+		t.Fatalf("V[0,0] = %g", v.At(0, 0))
+	}
+}
+
+func TestLoadRatingsReRateKeepsLast(t *testing.T) {
+	data := "1 5 2\n1 5 4\n"
+	v, err := LoadRatings(strings.NewReader(data), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NNZ() != 1 {
+		t.Fatalf("nnz = %d, want 1 after re-rate", v.NNZ())
+	}
+	if v.At(0, 0) != 4 {
+		t.Fatalf("re-rate kept %g, want 4", v.At(0, 0))
+	}
+}
+
+func TestLoadRatingsErrors(t *testing.T) {
+	if _, err := LoadRatings(strings.NewReader("1 2\n"), 2); err == nil {
+		t.Fatal("short line accepted")
+	}
+	if _, err := LoadRatings(strings.NewReader("1 2 x\n"), 2); err == nil {
+		t.Fatal("bad rating accepted")
+	}
+	if _, err := LoadRatings(strings.NewReader(""), 2); err == nil {
+		t.Fatal("empty file accepted")
+	}
+	if _, err := LoadRatings(strings.NewReader("1 2 3\n"), 0); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Package workload generates the evaluation inputs of §6.1: the three
+// synthetic dataset families (two general matrices, two matrices with a
+// common large dimension, two matrices with two large dimensions) and
+// synthetic stand-ins for the real rating datasets of Table 3 with the
+// paper's exact row/column/non-zero statistics, scalable for laptop runs.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"distme/internal/bmat"
+)
+
+// Family identifies a synthetic dataset family from §6.1.
+type Family int
+
+const (
+	// General is "two general matrices": I = K = J = N.
+	General Family = iota
+	// CommonLargeDim is "two matrices with a common large dimension":
+	// K = N with fixed small I = J.
+	CommonLargeDim
+	// TwoLargeDims is "two matrices with two large dimensions":
+	// I = J = N with fixed small K.
+	TwoLargeDims
+)
+
+// String names the family as the figures caption it.
+func (f Family) String() string {
+	switch f {
+	case General:
+		return "two general matrices"
+	case CommonLargeDim:
+		return "two matrices with a common large dimension"
+	case TwoLargeDims:
+		return "two matrices with two large dimensions"
+	default:
+		return fmt.Sprintf("family(%d)", int(f))
+	}
+}
+
+// Dims returns the multiplication dimensions I×K×J (element counts) of a
+// family instance: A is I×K, B is K×J. Fixed is the family's small side
+// (10K or 1K at paper scale; scaled down for measured runs).
+func (f Family) Dims(n, fixed int) (i, k, j int) {
+	switch f {
+	case General:
+		return n, n, n
+	case CommonLargeDim:
+		return fixed, n, fixed
+	case TwoLargeDims:
+		return n, fixed, n
+	default:
+		panic(fmt.Sprintf("workload: unknown family %d", int(f)))
+	}
+}
+
+// SyntheticPair generates the two input matrices of a family instance with
+// uniformly distributed non-zeros at the given sparsity (1.0 = dense, as the
+// paper's generator).
+func SyntheticPair(rng *rand.Rand, f Family, n, fixed, blockSize int, sparsity float64) (a, b *bmat.BlockMatrix) {
+	i, k, j := f.Dims(n, fixed)
+	if sparsity >= 1 {
+		return bmat.RandomDense(rng, i, k, blockSize), bmat.RandomDense(rng, k, j, blockSize)
+	}
+	return bmat.RandomSparse(rng, i, k, blockSize, sparsity), bmat.RandomSparse(rng, k, j, blockSize, sparsity)
+}
+
+// Dataset describes a real rating dataset by its Table 3 statistics.
+type Dataset struct {
+	Name    string
+	Ratings int64
+	Users   int64
+	Items   int64
+}
+
+// The three real datasets of Table 3.
+var (
+	MovieLens  = Dataset{Name: "MovieLens", Ratings: 27_753_444, Users: 283_228, Items: 58_098}
+	Netflix    = Dataset{Name: "Netflix", Ratings: 100_480_507, Users: 480_189, Items: 17_770}
+	YahooMusic = Dataset{Name: "YahooMusic", Ratings: 717_872_016, Users: 1_823_179, Items: 136_736}
+)
+
+// Datasets lists Table 3 in the paper's order.
+func Datasets() []Dataset { return []Dataset{MovieLens, Netflix, YahooMusic} }
+
+// Density returns ratings / (users × items).
+func (d Dataset) Density() float64 {
+	return float64(d.Ratings) / (float64(d.Users) * float64(d.Items))
+}
+
+// Scaled returns a dataset with dimensions multiplied by scale and the
+// density preserved, for laptop-scale measured runs. Dimensions are floored
+// at 1.
+func (d Dataset) Scaled(scale float64) Dataset {
+	users := int64(float64(d.Users) * scale)
+	items := int64(float64(d.Items) * scale)
+	if users < 1 {
+		users = 1
+	}
+	if items < 1 {
+		items = 1
+	}
+	ratings := int64(d.Density() * float64(users) * float64(items))
+	return Dataset{
+		Name:    fmt.Sprintf("%s(x%g)", d.Name, scale),
+		Ratings: ratings,
+		Users:   users,
+		Items:   items,
+	}
+}
+
+// RatingMatrix generates the users×items sparse rating matrix V with the
+// dataset's density — the synthetic stand-in for the proprietary rating
+// data, preserving the only properties GNMF's cost depends on: dimensions
+// and sparsity.
+func (d Dataset) RatingMatrix(rng *rand.Rand, blockSize int) *bmat.BlockMatrix {
+	return bmat.RandomSparse(rng, int(d.Users), int(d.Items), blockSize, d.Density())
+}
+
+// String renders the Table 3 row.
+func (d Dataset) String() string {
+	return fmt.Sprintf("%s{ratings=%d users=%d items=%d}", d.Name, d.Ratings, d.Users, d.Items)
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFamilyDims(t *testing.T) {
+	if i, k, j := General.Dims(100, 10); i != 100 || k != 100 || j != 100 {
+		t.Fatalf("General dims = %d,%d,%d", i, k, j)
+	}
+	if i, k, j := CommonLargeDim.Dims(100, 10); i != 10 || k != 100 || j != 10 {
+		t.Fatalf("CommonLargeDim dims = %d,%d,%d", i, k, j)
+	}
+	if i, k, j := TwoLargeDims.Dims(100, 10); i != 100 || k != 10 || j != 100 {
+		t.Fatalf("TwoLargeDims dims = %d,%d,%d", i, k, j)
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	for _, f := range []Family{General, CommonLargeDim, TwoLargeDims} {
+		if f.String() == "" {
+			t.Fatal("family name empty")
+		}
+	}
+	if Family(99).String() == "" {
+		t.Fatal("unknown family should render")
+	}
+}
+
+func TestSyntheticPairShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	a, b := SyntheticPair(rng, CommonLargeDim, 24, 8, 4, 1.0)
+	if a.Rows != 8 || a.Cols != 24 {
+		t.Fatalf("A is %dx%d, want 8x24", a.Rows, a.Cols)
+	}
+	if b.Rows != 24 || b.Cols != 8 {
+		t.Fatalf("B is %dx%d, want 24x8", b.Rows, b.Cols)
+	}
+	if a.IsSparse() {
+		t.Fatal("sparsity 1.0 should generate dense blocks")
+	}
+	as, _ := SyntheticPair(rng, General, 20, 0, 4, 0.1)
+	if !as.IsSparse() {
+		t.Fatal("sparsity 0.1 should generate sparse blocks")
+	}
+}
+
+func TestTable3Statistics(t *testing.T) {
+	// The exact Table 3 rows.
+	cases := []struct {
+		d                     Dataset
+		ratings, users, items int64
+	}{
+		{MovieLens, 27_753_444, 283_228, 58_098},
+		{Netflix, 100_480_507, 480_189, 17_770},
+		{YahooMusic, 717_872_016, 1_823_179, 136_736},
+	}
+	for _, c := range cases {
+		if c.d.Ratings != c.ratings || c.d.Users != c.users || c.d.Items != c.items {
+			t.Errorf("%s stats = %+v", c.d.Name, c.d)
+		}
+	}
+	if len(Datasets()) != 3 {
+		t.Fatal("Datasets() should list the three Table 3 datasets")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	d := Dataset{Name: "x", Ratings: 50, Users: 10, Items: 10}
+	if d.Density() != 0.5 {
+		t.Fatalf("density = %g", d.Density())
+	}
+	// Netflix density ≈ 1.18%.
+	if nd := Netflix.Density(); nd < 0.011 || nd > 0.013 {
+		t.Fatalf("Netflix density = %g, want ≈0.0118", nd)
+	}
+}
+
+func TestScaledPreservesDensity(t *testing.T) {
+	s := Netflix.Scaled(0.01)
+	if math.Abs(s.Density()-Netflix.Density()) > Netflix.Density()*0.05 {
+		t.Fatalf("scaled density %g drifted from %g", s.Density(), Netflix.Density())
+	}
+	if s.Users != int64(float64(Netflix.Users)*0.01) {
+		t.Fatalf("scaled users = %d", s.Users)
+	}
+}
+
+func TestScaledFloorsAtOne(t *testing.T) {
+	s := Dataset{Name: "t", Ratings: 10, Users: 5, Items: 5}.Scaled(0.0001)
+	if s.Users < 1 || s.Items < 1 {
+		t.Fatal("scaling must floor dimensions at 1")
+	}
+}
+
+func TestRatingMatrixMatchesProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	d := Netflix.Scaled(0.002) // ≈960×35
+	v := d.RatingMatrix(rng, 16)
+	if int64(v.Rows) != d.Users || int64(v.Cols) != d.Items {
+		t.Fatalf("rating matrix %dx%d, profile %dx%d", v.Rows, v.Cols, d.Users, d.Items)
+	}
+	got := v.Sparsity()
+	want := d.Density()
+	if got < want*0.5 || got > want*1.5 {
+		t.Fatalf("rating sparsity %g, want ≈%g", got, want)
+	}
+	if !v.IsSparse() {
+		t.Fatal("rating matrix should be sparse")
+	}
+}
+
+func TestDatasetString(t *testing.T) {
+	if MovieLens.String() == "" {
+		t.Fatal("dataset should render")
+	}
+}
