@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test test-race vet bench bench-kernels clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel hot path (threaded kernels, sharded aggregation, buffer
+# pool) must stay race-detector-clean.
+test-race:
+	$(GO) test -race ./internal/matrix ./internal/core
+
+vet:
+	$(GO) vet ./...
+
+# Seed-vs-current kernel regression benchmarks, refreshing the checked-in
+# trajectory file.
+bench-kernels:
+	$(GO) run ./cmd/distme-bench -kernels -kernels-out BENCH_kernels.json
+
+# Full benchmark sweep (paper tables/figures + kernels + end-to-end).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

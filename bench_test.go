@@ -10,7 +10,11 @@ import (
 	"testing"
 
 	"distme"
+	"distme/internal/bmat"
+	"distme/internal/cluster"
+	"distme/internal/core"
 	"distme/internal/experiments"
+	"distme/internal/matrix"
 	"distme/internal/workload"
 )
 
@@ -283,3 +287,103 @@ func BenchmarkExtMPSContention(b *testing.B) { benchTables(b, "ext-mps") }
 func BenchmarkExtBlockSize(b *testing.B) { benchTables(b, "ext-blocksize") }
 
 func BenchmarkExtWire(b *testing.B) { benchTables(b, "ext-wire") }
+
+// ---- Local-multiply hot path (kernels + aggregation) ----
+//
+// Seed-vs-current regression comparisons live in internal/matrix's
+// benchmark tests and internal/kernbench (distme-bench -kernels); the
+// benches below track the current kernels and the end-to-end multiply at
+// top level so `go test -bench=Kernel` from the repo root covers the hot
+// path without package spelunking.
+
+func BenchmarkKernelGemm(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	for _, size := range []int{128, 512} {
+		x := matrix.RandomDense(rng, size, size)
+		y := matrix.RandomDense(rng, size, size)
+		c := matrix.NewDense(size, size)
+		flops := 2 * float64(size) * float64(size) * float64(size)
+		b.Run(benchSize(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.Zero()
+				matrix.Gemm(c, x, y)
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(flops*float64(b.N)/sec/1e9, "GFLOPS")
+			}
+		})
+	}
+}
+
+func BenchmarkKernelCSRMulDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	x := matrix.RandomSparse(rng, 2048, 2048, 0.01)
+	y := matrix.RandomDense(rng, 2048, 128)
+	c := matrix.NewDense(2048, 128)
+	for i := 0; i < b.N; i++ {
+		c.Zero()
+		matrix.CSRMulDense(c, x, y)
+	}
+}
+
+func BenchmarkKernelDenseMulCSC(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	x := matrix.RandomDense(rng, 512, 512)
+	y := matrix.NewCSCFromCSR(matrix.RandomSparse(rng, 512, 512, 0.05))
+	c := matrix.NewDense(512, 512)
+	for i := 0; i < b.N; i++ {
+		c.Zero()
+		matrix.DenseMulCSC(c, x, y)
+	}
+}
+
+func BenchmarkKernelCSRMulCSR(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	x := matrix.RandomSparse(rng, 512, 512, 0.05)
+	y := matrix.RandomSparse(rng, 512, 512, 0.05)
+	for i := 0; i < b.N; i++ {
+		matrix.CSRMulCSR(x, y)
+	}
+}
+
+// BenchmarkEndToEndAggregation times the whole 3-step executor at R>1 with
+// the aggregation fan-out forced sequential vs. wide, so the driver-side
+// merge cost is visible end to end.
+func BenchmarkEndToEndAggregation(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	a := bmat.RandomDense(rng, 512, 512, 64)
+	m2 := bmat.RandomDense(rng, 512, 512, 64)
+	params := core.Params{P: 2, Q: 2, R: 4}
+	for _, workers := range []int{1, 4} {
+		b.Run("aggWorkers="+benchSize(workers), func(b *testing.B) {
+			cfg := cluster.LaptopConfig()
+			cfg.TaskMemBytes = 1 << 30
+			cfg.DiskCapacityBytes = 0
+			cl, err := cluster.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			env := core.Env{Cluster: cl, AggregationWorkers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MultiplyCuboid(a, m2, params, env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchSize(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

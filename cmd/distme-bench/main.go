@@ -7,6 +7,8 @@
 //	distme-bench -exp fig6a,fig6d     # several
 //	distme-bench -exp all             # everything
 //	distme-bench -list                # list experiment IDs
+//	distme-bench -kernels             # seed-vs-current kernel benchmarks
+//	distme-bench -kernels -kernels-out BENCH_kernels.json
 //
 // Paper-scale rows are produced by the cost-model plane at the testbed
 // constants; "-measured" experiments run the real engine at laptop scale.
@@ -20,16 +22,35 @@ import (
 	"strings"
 
 	"distme/internal/experiments"
+	"distme/internal/kernbench"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment ID(s), comma-separated, or 'all'")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	kernels := flag.Bool("kernels", false, "run seed-vs-current kernel benchmarks instead of experiments")
+	kernelsOut := flag.String("kernels-out", "", "with -kernels, also write the report as JSON to this path")
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *kernels {
+		report, err := kernbench.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "distme-bench: kernels: %v\n", err)
+			os.Exit(1)
+		}
+		report.Fprint(os.Stdout)
+		if *kernelsOut != "" {
+			if err := report.WriteJSON(*kernelsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "distme-bench: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

@@ -38,6 +38,10 @@ type Env struct {
 	// running after the rest of the wave drains — the load-balancing
 	// extension the paper's §8 names as future work.
 	BalanceBySparsity bool
+	// AggregationWorkers bounds the fan-out of the driver-side partial
+	// merge (see aggregate.go); 0 means GOMAXPROCS, 1 forces the
+	// sequential merge. Output bits are identical at any width.
+	AggregationWorkers int
 }
 
 // VoxelMultiplier multiplies one block pair — the local multiplication
@@ -364,29 +368,19 @@ func MultiplyCuboid(a, b *bmat.BlockMatrix, params Params, env Env) (*bmat.Block
 	// With R = 1 the local products are final blocks and no shuffle occurs
 	// (BMM's "-" in Table 2). With R > 1 every partial block crosses the
 	// shuffle, totalling R·|C| for dense partials — Eq.(4)'s last term.
+	// Intermediate blocks are serialized for the shuffle in their compact
+	// form: a mostly-zero partial travels as CSR (the format decision
+	// SystemML makes per block), which is why the actual aggregation cost
+	// of sparse products runs below the worst-case R·|C| (§2.2.2).
+	// The merge itself is sharded across workers (aggregate.go) with
+	// bit-identical results at any width.
 	start = time.Now()
 	out := bmat.New(a.Rows, b.Cols, a.BlockSize)
-	var aggregationBytes int64
-	for _, part := range partials {
-		if part == nil {
-			continue
-		}
-		for _, kb := range sortedPartials(part) {
-			if params.R > 1 {
-				// Intermediate blocks are serialized for the shuffle in
-				// their compact form: a mostly-zero partial travels as CSR
-				// (the format decision SystemML makes per block), which is
-				// why the actual aggregation cost of sparse products runs
-				// below the worst-case R·|C| (§2.2.2).
-				aggregationBytes += compactSizeBytes(kb.block)
-			}
-			if existing := out.Block(kb.key.I, kb.key.J); existing != nil {
-				matrix.AddInto(existing.(*matrix.Dense), kb.block)
-			} else {
-				out.SetBlock(kb.key.I, kb.key.J, kb.block)
-			}
-		}
+	var sizeOf func(*matrix.Dense) int64
+	if params.R > 1 {
+		sizeOf = compactSizeBytes
 	}
+	aggregationBytes := aggregateBlockPartials(out, partials, env.aggWorkers(), sizeOf)
 	compactOutput(out)
 	rec.AddBytes(metrics.StepAggregation, aggregationBytes)
 	if aggregationBytes > 0 {
@@ -429,6 +423,9 @@ func compactOutput(m *bmat.BlockMatrix) {
 			csr := matrix.NewCSRFromDense(d)
 			if csr.SizeBytes() < d.SizeBytes() {
 				m.SetBlock(key.I, key.J, csr)
+				// The dense buffer was typically a pooled MulAdd
+				// accumulator; the CSR copy replaces it, so recycle.
+				matrix.PutDense(d)
 			}
 		}
 	}
@@ -587,23 +584,12 @@ func MultiplyRMM(a, b *bmat.BlockMatrix, tasks int, env Env) (*bmat.BlockMatrix,
 	rec.AddDuration(metrics.StepLocalMultiply, time.Since(start))
 
 	// ---- Matrix aggregation step: shuffle K·|C| partials by (i,j) ------
+	// Voxel partials are merged with the same sharded parallel reduce as
+	// the cuboid path; every partial block crosses the shuffle at stored
+	// size.
 	start = time.Now()
 	out := bmat.New(a.Rows, b.Cols, a.BlockSize)
-	var aggregationBytes int64
-	for t := 0; t < tasks; t++ {
-		part := partials[t]
-		if part == nil {
-			continue
-		}
-		for _, kb := range sortedVoxelPartials(part) {
-			aggregationBytes += kb.block.SizeBytes()
-			if existing := out.Block(kb.key.I, kb.key.J); existing != nil {
-				matrix.AddInto(existing.(*matrix.Dense), kb.block)
-			} else {
-				out.SetBlock(kb.key.I, kb.key.J, kb.block)
-			}
-		}
-	}
+	aggregationBytes := aggregateVoxelPartials(out, partials, env.aggWorkers())
 	rec.AddBytes(metrics.StepAggregation, aggregationBytes)
 	if err := env.Cluster.ChargeSpill(aggregationBytes); err != nil {
 		return nil, err

@@ -65,6 +65,9 @@ type Dense struct {
 	RowsN, ColsN int
 	// Data holds RowsN×ColsN values, row-major.
 	Data []float64
+	// fromPool marks blocks whose backing array came from the dense-buffer
+	// pool (see pool.go); only those are recycled by PutDense.
+	fromPool bool
 }
 
 // NewDense allocates a zeroed rows×cols dense block.

@@ -3,7 +3,9 @@ package matrix
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // gemmBlock is the cache-tiling factor of the dense kernel. 64×64 float64
@@ -12,7 +14,34 @@ const gemmBlock = 64
 
 // parallelThreshold is the minimum result-element count before the dense
 // kernel fans out across goroutines; below it the spawn overhead dominates.
-const parallelThreshold = 64 * 64 * 4
+// A var so equivalence tests can force the parallel path on small inputs.
+var parallelThreshold = 64 * 64 * 4
+
+// sparseFlopsThreshold is the minimum estimated scalar-multiply count before
+// a sparse kernel fans out. Sparse products do far less work per output
+// element than GEMM, so the gate is on estimated flops, not result size.
+var sparseFlopsThreshold = 1 << 15
+
+// kernelWorkers overrides the kernel fan-out width; 0 means GOMAXPROCS.
+var kernelWorkers atomic.Int32
+
+// SetKernelWorkers bounds the goroutines a single kernel call fans out to.
+// n <= 0 restores the default (GOMAXPROCS). Tests use this to exercise the
+// parallel paths at fixed widths; benchmarks use it to pin the serial path.
+func SetKernelWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	kernelWorkers.Store(int32(n))
+}
+
+// KernelWorkers returns the current kernel fan-out width.
+func KernelWorkers() int {
+	if n := kernelWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Gemm computes C += A×B for dense blocks. It is the stand-in for the
 // cublasDgemm / LAPACK dgemm call in the paper's local-multiplication step.
@@ -27,17 +56,18 @@ func Gemm(c, a, b *Dense) {
 	if m == 0 || n == 0 || ka == 0 {
 		return
 	}
-	if m*n >= parallelThreshold && m >= 2 {
-		gemmParallel(c, a, b)
+	if workers := KernelWorkers(); workers > 1 && m >= 2 && m*n >= parallelThreshold {
+		gemmParallel(c, a, b, workers)
 		return
 	}
 	gemmRange(c, a, b, 0, m)
 }
 
-// gemmParallel splits the row range of C across GOMAXPROCS workers.
-func gemmParallel(c, a, b *Dense) {
+// gemmParallel splits the row range of C across workers. Each row of C is
+// computed by exactly one goroutine with the same per-element accumulation
+// order as the serial path, so results are bit-identical for any width.
+func gemmParallel(c, a, b *Dense, workers int) {
 	m := a.RowsN
-	workers := runtime.GOMAXPROCS(0)
 	if workers > m {
 		workers = m
 	}
@@ -61,8 +91,15 @@ func gemmParallel(c, a, b *Dense) {
 	wg.Wait()
 }
 
-// gemmRange computes rows [lo, hi) of C += A×B with i-k-j loop order and
-// k-tiling, which keeps the B row stream sequential.
+// gemmRange computes rows [lo, hi) of C += A×B with k-tiling and a
+// register-blocked micro-kernel that advances four C rows at once: each B
+// row is streamed through the cache exactly once per four output rows
+// (4× less B traffic than the seed's row-at-a-time AXPY) and the inner
+// loop carries four independent multiply-add chains. Wider row groups were
+// measured slower (register spills and five concurrent write streams);
+// see kernels_bench_test.go. Every C element still accumulates in
+// ascending-k order, so results are bit-identical to the naive i-k-j loop
+// regardless of how rows are grouped or ranges are split.
 func gemmRange(c, a, b *Dense, lo, hi int) {
 	k := a.ColsN
 	n := b.ColsN
@@ -71,7 +108,31 @@ func gemmRange(c, a, b *Dense, lo, hi int) {
 		if kmax > k {
 			kmax = k
 		}
-		for i := lo; i < hi; i++ {
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			a0 := a.Data[i*k:]
+			a1 := a.Data[(i+1)*k:]
+			a2 := a.Data[(i+2)*k:]
+			a3 := a.Data[(i+3)*k:]
+			c0 := c.Data[i*n : (i+1)*n]
+			c1 := c.Data[(i+1)*n : (i+2)*n : (i+2)*n]
+			c2 := c.Data[(i+2)*n : (i+3)*n : (i+3)*n]
+			c3 := c.Data[(i+3)*n : (i+4)*n : (i+4)*n]
+			for p := kk; p < kmax; p++ {
+				v0, v1, v2, v3 := a0[p], a1[p], a2[p], a3[p]
+				if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					c0[j] += v0 * bv
+					c1[j] += v1 * bv
+					c2[j] += v2 * bv
+					c3[j] += v3 * bv
+				}
+			}
+		}
+		for ; i < hi; i++ {
 			arow := a.Data[i*k : (i+1)*k]
 			crow := c.Data[i*n : (i+1)*n]
 			for p := kk; p < kmax; p++ {
@@ -89,7 +150,9 @@ func gemmRange(c, a, b *Dense, lo, hi int) {
 }
 
 // CSRMulDense computes C += A×B where A is CSR and B dense — the
-// cusparseDcsrmm stand-in. A is m×k, B is k×n, C is m×n dense.
+// cusparseDcsrmm stand-in. A is m×k, B is k×n, C is m×n dense. Rows are
+// fanned out across workers at nnz-balanced boundaries so skewed rows do
+// not serialize the call.
 func CSRMulDense(c *Dense, a *CSR, b *Dense) {
 	m, ka := a.Dims()
 	kb, n := b.Dims()
@@ -97,11 +160,53 @@ func CSRMulDense(c *Dense, a *CSR, b *Dense) {
 	if ka != kb || cm != m || cn != n {
 		panic(fmt.Sprintf("matrix: CSRMulDense: dimension mismatch %dx%d × %dx%d -> %dx%d", m, ka, kb, n, cm, cn))
 	}
-	for i := 0; i < m; i++ {
+	if m == 0 || n == 0 {
+		return
+	}
+	workers := KernelWorkers()
+	if workers > 1 && m >= 2 && a.NNZ()*n >= sparseFlopsThreshold {
+		bounds := prefixSplits(a.RowPtr, workers)
+		var wg sync.WaitGroup
+		for w := 0; w+1 < len(bounds); w++ {
+			lo, hi := bounds[w], bounds[w+1]
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				csrMulDenseRange(c, a, b, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return
+	}
+	csrMulDenseRange(c, a, b, 0, m)
+}
+
+// csrMulDenseRange computes C rows [lo, hi). Row entries are consumed four
+// at a time so one pass over the C row performs four AXPYs, quartering the
+// read-modify-write traffic on C that dominates this kernel.
+func csrMulDenseRange(c *Dense, a *CSR, b *Dense, lo, hi int) {
+	n := b.ColsN
+	bd := b.Data
+	for i := lo; i < hi; i++ {
 		crow := c.Data[i*n : (i+1)*n]
-		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+		p := a.RowPtr[i]
+		end := a.RowPtr[i+1]
+		for ; p+4 <= end; p += 4 {
+			v0, v1, v2, v3 := a.Val[p], a.Val[p+1], a.Val[p+2], a.Val[p+3]
+			r0 := bd[a.ColIdx[p]*n:][:n]
+			r1 := bd[a.ColIdx[p+1]*n:][:n]
+			r2 := bd[a.ColIdx[p+2]*n:][:n]
+			r3 := bd[a.ColIdx[p+3]*n:][:n]
+			for j := range crow {
+				crow[j] += v0*r0[j] + v1*r1[j] + v2*r2[j] + v3*r3[j]
+			}
+		}
+		for ; p < end; p++ {
 			av := a.Val[p]
-			brow := b.Data[a.ColIdx[p]*n : (a.ColIdx[p]+1)*n]
+			brow := bd[a.ColIdx[p]*n:][:n]
 			for j, bv := range brow {
 				crow[j] += av * bv
 			}
@@ -110,7 +215,10 @@ func CSRMulDense(c *Dense, a *CSR, b *Dense) {
 }
 
 // DenseMulCSC computes C += A×B where A is dense and B is CSC. A is m×k,
-// B is k×n, C is m×n dense.
+// B is k×n, C is m×n dense. The loop is row-blocked: the outer loop walks
+// rows of A/C so every C write is sequential and the A row stays cache
+// resident, instead of the former column-outer form whose stride-n writes
+// touched a new cache line per element.
 func DenseMulCSC(c *Dense, a *Dense, b *CSC) {
 	m, ka := a.Dims()
 	kb, n := b.Dims()
@@ -118,33 +226,125 @@ func DenseMulCSC(c *Dense, a *Dense, b *CSC) {
 	if ka != kb || cm != m || cn != n {
 		panic(fmt.Sprintf("matrix: DenseMulCSC: dimension mismatch %dx%d × %dx%d -> %dx%d", m, ka, kb, n, cm, cn))
 	}
-	for j := 0; j < n; j++ {
-		for p := b.ColPtr[j]; p < b.ColPtr[j+1]; p++ {
-			bk := b.RowIdx[p]
-			bv := b.Val[p]
-			for i := 0; i < m; i++ {
-				c.Data[i*n+j] += a.Data[i*ka+bk] * bv
+	if m == 0 || n == 0 {
+		return
+	}
+	workers := KernelWorkers()
+	if workers > 1 && m >= 2 && b.NNZ()*m >= sparseFlopsThreshold {
+		if workers > m {
+			workers = m
+		}
+		var wg sync.WaitGroup
+		chunk := (m + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > m {
+				hi = m
 			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				denseMulCSCRange(c, a, b, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return
+	}
+	denseMulCSCRange(c, a, b, 0, m)
+}
+
+// denseMulCSCRange computes C rows [lo, hi): for each row the B columns are
+// reduced as dot products against the resident A row, with a two-way
+// unrolled accumulator to break the FP dependency chain.
+func denseMulCSCRange(c, a *Dense, b *CSC, lo, hi int) {
+	ka := a.ColsN
+	n := b.ColsN
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*ka : (i+1)*ka]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			p := b.ColPtr[j]
+			end := b.ColPtr[j+1]
+			if p == end {
+				continue
+			}
+			var s0, s1 float64
+			for ; p+2 <= end; p += 2 {
+				s0 += arow[b.RowIdx[p]] * b.Val[p]
+				s1 += arow[b.RowIdx[p+1]] * b.Val[p+1]
+			}
+			if p < end {
+				s0 += arow[b.RowIdx[p]] * b.Val[p]
+			}
+			crow[j] += s0 + s1
 		}
 	}
 }
 
 // CSRMulCSR computes A×B for two CSR operands, returning a CSR result. The
 // classical Gustavson row-merge algorithm; used when both inputs are sparse.
+// Rows of A are fanned out across workers at flop-balanced boundaries and
+// the per-range partial CSRs are stitched, so the output is identical to
+// the serial row-by-row construction for any worker count.
 func CSRMulCSR(a, b *CSR) *CSR {
 	m, ka := a.Dims()
 	kb, n := b.Dims()
 	if ka != kb {
 		panic(fmt.Sprintf("matrix: CSRMulCSR: dimension mismatch %dx%d × %dx%d", m, ka, kb, n))
 	}
-	out := &CSR{RowsN: m, ColsN: n, RowPtr: make([]int, m+1)}
-	acc := make([]float64, n)
+	workers := KernelWorkers()
+	if workers > 1 && m >= 2 {
+		// Per-row work is the number of scalar multiplies: the sum of B-row
+		// lengths over the row's entries. Its prefix array gives balanced
+		// split points even when nnz is concentrated in a few rows.
+		work := make([]int, m+1)
+		for i := 0; i < m; i++ {
+			w := 0
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				k := a.ColIdx[p]
+				w += b.RowPtr[k+1] - b.RowPtr[k]
+			}
+			work[i+1] = work[i] + w
+		}
+		if work[m] >= sparseFlopsThreshold {
+			bounds := prefixSplits(work, workers)
+			parts := make([]*CSR, len(bounds)-1)
+			var wg sync.WaitGroup
+			for w := 0; w+1 < len(bounds); w++ {
+				lo, hi := bounds[w], bounds[w+1]
+				if lo >= hi {
+					continue
+				}
+				wg.Add(1)
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					parts[w] = csrMulCSRRange(a, b, lo, hi)
+				}(w, lo, hi)
+			}
+			wg.Wait()
+			return stitchCSRParts(m, n, bounds, parts)
+		}
+	}
+	return csrMulCSRRange(a, b, 0, m)
+}
+
+// csrMulCSRRange runs Gustavson on A rows [lo, hi), returning a partial CSR
+// whose row r corresponds to global row lo+r.
+func csrMulCSRRange(a, b *CSR, lo, hi int) *CSR {
+	n := b.ColsN
+	out := &CSR{RowsN: hi - lo, ColsN: n, RowPtr: make([]int, hi-lo+1)}
+	acc := getScratch(n) // values are reset lazily via marker, no zeroing needed
+	defer putScratch(acc)
 	marker := make([]int, n)
 	for i := range marker {
 		marker[i] = -1
 	}
 	var cols []int
-	for i := 0; i < m; i++ {
+	for i := lo; i < hi; i++ {
 		cols = cols[:0]
 		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
 			k := a.ColIdx[p]
@@ -160,16 +360,97 @@ func CSRMulCSR(a, b *CSR) *CSR {
 			}
 		}
 		// Deterministic output: ascending column order within the row.
-		insertionSortInts(cols)
+		sortCols(cols)
 		for _, j := range cols {
 			if acc[j] != 0 {
 				out.ColIdx = append(out.ColIdx, j)
 				out.Val = append(out.Val, acc[j])
 			}
 		}
-		out.RowPtr[i+1] = len(out.Val)
+		out.RowPtr[i-lo+1] = len(out.Val)
 	}
 	return out
+}
+
+// stitchCSRParts concatenates per-range partial CSRs into the full result.
+func stitchCSRParts(m, n int, bounds []int, parts []*CSR) *CSR {
+	total := 0
+	for _, p := range parts {
+		if p != nil {
+			total += len(p.Val)
+		}
+	}
+	out := &CSR{
+		RowsN:  m,
+		ColsN:  n,
+		RowPtr: make([]int, m+1),
+		ColIdx: make([]int, 0, total),
+		Val:    make([]float64, 0, total),
+	}
+	for w, part := range parts {
+		if part == nil {
+			continue
+		}
+		lo := bounds[w]
+		offset := len(out.Val)
+		for r := 1; r <= part.RowsN; r++ {
+			out.RowPtr[lo+r] = offset + part.RowPtr[r]
+		}
+		out.ColIdx = append(out.ColIdx, part.ColIdx...)
+		out.Val = append(out.Val, part.Val...)
+	}
+	// Rows past the last non-empty part (or inside empty spans) inherit the
+	// running offset.
+	for i := 1; i <= m; i++ {
+		if out.RowPtr[i] < out.RowPtr[i-1] {
+			out.RowPtr[i] = out.RowPtr[i-1]
+		}
+	}
+	return out
+}
+
+// prefixSplits returns parts+1 row boundaries over a monotone prefix array
+// (RowPtr or a work prefix) such that each span carries roughly equal
+// weight. Boundaries are non-decreasing and cover [0, len(prefix)-1).
+func prefixSplits(prefix []int, parts int) []int {
+	m := len(prefix) - 1
+	if parts > m {
+		parts = m
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	bounds := make([]int, parts+1)
+	total := prefix[m]
+	for w := 1; w < parts; w++ {
+		target := int(int64(total) * int64(w) / int64(parts))
+		idx := sort.SearchInts(prefix, target)
+		if idx > m {
+			idx = m
+		}
+		if idx < bounds[w-1] {
+			idx = bounds[w-1]
+		}
+		bounds[w] = idx
+	}
+	bounds[parts] = m
+	return bounds
+}
+
+// hybridSortThreshold is the slice length above which insertion sort's
+// O(r²) behavior loses to the stdlib sort; dense-ish Gustavson result rows
+// routinely exceed it.
+const hybridSortThreshold = 32
+
+// sortCols orders a result row's column indices: insertion sort for the
+// short rows that dominate sparse products, stdlib sort beyond the
+// threshold.
+func sortCols(s []int) {
+	if len(s) <= hybridSortThreshold {
+		insertionSortInts(s)
+		return
+	}
+	sort.Ints(s)
 }
 
 func insertionSortInts(s []int) {
@@ -231,13 +512,17 @@ func Mul(a, b Block) Block {
 }
 
 // MulAdd multiplies a×b and accumulates into the dense accumulator c
-// (allocating it when nil), returning the accumulator. This is the shape the
-// k-axis aggregation in a cuboid wants: one resident C buffer, many += calls.
+// (allocating it from the dense-buffer pool when nil), returning the
+// accumulator. This is the shape the k-axis aggregation in a cuboid wants:
+// one resident C buffer, many += calls. Callers that can prove the
+// accumulator dies (the aggregation merge in core) release it with
+// PutDense; accumulators that escape into results simply stay out of the
+// pool.
 func MulAdd(c *Dense, a, b Block) *Dense {
 	m, _ := a.Dims()
 	_, n := b.Dims()
 	if c == nil {
-		c = NewDense(m, n)
+		c = GetDense(m, n)
 	} else if cm, cn := c.Dims(); cm != m || cn != n {
 		panic(fmt.Sprintf("matrix: MulAdd: accumulator %dx%d does not match product %dx%d", cm, cn, m, n))
 	}

@@ -1,0 +1,237 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The "seed" variants below are the repo's original serial kernels,
+// preserved verbatim as regression baselines so `go test -bench` proves
+// (or disproves) each optimization on the machine at hand:
+//
+//	go test -bench 'Gemm|CSRMulDense|DenseMulCSC|CSRMulCSR' ./internal/matrix
+//
+// The same comparisons are packaged for trajectory tracking by
+// internal/kernbench (distme-bench -kernels → BENCH_kernels.json).
+
+// seedGemm is the seed's i-k-j loop with k-tiling and zero skip, serial.
+func seedGemm(c, a, b *Dense) {
+	k := a.ColsN
+	n := b.ColsN
+	for kk := 0; kk < k; kk += gemmBlock {
+		kmax := kk + gemmBlock
+		if kmax > k {
+			kmax = k
+		}
+		for i := 0; i < a.RowsN; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := c.Data[i*n : (i+1)*n]
+			for p := kk; p < kmax; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// seedCSRMulDense is the seed's serial row loop, one AXPY per entry.
+func seedCSRMulDense(c *Dense, a *CSR, b *Dense) {
+	m := a.RowsN
+	n := b.ColsN
+	for i := 0; i < m; i++ {
+		crow := c.Data[i*n : (i+1)*n]
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			av := a.Val[p]
+			brow := b.Data[a.ColIdx[p]*n : (a.ColIdx[p]+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// seedDenseMulCSC is the seed's column-outer loop with stride-n C writes.
+func seedDenseMulCSC(c *Dense, a *Dense, b *CSC) {
+	m := a.RowsN
+	ka := a.ColsN
+	n := b.ColsN
+	for j := 0; j < n; j++ {
+		for p := b.ColPtr[j]; p < b.ColPtr[j+1]; p++ {
+			bk := b.RowIdx[p]
+			bv := b.Val[p]
+			for i := 0; i < m; i++ {
+				c.Data[i*n+j] += a.Data[i*ka+bk] * bv
+			}
+		}
+	}
+}
+
+// seedCSRMulCSR is the seed's serial Gustavson with pure insertion sort.
+func seedCSRMulCSR(a, b *CSR) *CSR {
+	m := a.RowsN
+	n := b.ColsN
+	out := &CSR{RowsN: m, ColsN: n, RowPtr: make([]int, m+1)}
+	acc := make([]float64, n)
+	marker := make([]int, n)
+	for i := range marker {
+		marker[i] = -1
+	}
+	var cols []int
+	for i := 0; i < m; i++ {
+		cols = cols[:0]
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			k := a.ColIdx[p]
+			av := a.Val[p]
+			for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+				j := b.ColIdx[q]
+				if marker[j] != i {
+					marker[j] = i
+					acc[j] = 0
+					cols = append(cols, j)
+				}
+				acc[j] += av * b.Val[q]
+			}
+		}
+		insertionSortInts(cols)
+		for _, j := range cols {
+			if acc[j] != 0 {
+				out.ColIdx = append(out.ColIdx, j)
+				out.Val = append(out.Val, acc[j])
+			}
+		}
+		out.RowPtr[i+1] = len(out.Val)
+	}
+	return out
+}
+
+func BenchmarkGemm(b *testing.B) {
+	for _, size := range []int{128, 256, 512} {
+		rng := rand.New(rand.NewSource(1))
+		x := RandomDense(rng, size, size)
+		y := RandomDense(rng, size, size)
+		c := NewDense(size, size)
+		flops := 2 * float64(size) * float64(size) * float64(size)
+		b.Run(benchName("seed", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.Zero()
+				seedGemm(c, x, y)
+			}
+			reportGFlops(b, flops)
+		})
+		b.Run(benchName("current", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.Zero()
+				Gemm(c, x, y)
+			}
+			reportGFlops(b, flops)
+		})
+	}
+}
+
+func BenchmarkCSRMulDense(b *testing.B) {
+	// The paper's sparse workloads (GNMF) multiply a very sparse rating
+	// block by a thin dense factor: 2048×2048 at 1% × 2048×128.
+	rng := rand.New(rand.NewSource(2))
+	x := RandomSparse(rng, 2048, 2048, 0.01)
+	y := RandomDense(rng, 2048, 128)
+	c := NewDense(2048, 128)
+	flops := 2 * float64(x.NNZ()) * 128
+	b.Run("seed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Zero()
+			seedCSRMulDense(c, x, y)
+		}
+		reportGFlops(b, flops)
+	})
+	b.Run("current", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Zero()
+			CSRMulDense(c, x, y)
+		}
+		reportGFlops(b, flops)
+	})
+}
+
+// BenchmarkDenseMulCSC is the regression benchmark for the stride-n fix:
+// the seed's column-outer loop touches a new C cache line per element; the
+// row-blocked form must beat it on any machine with a cache.
+func BenchmarkDenseMulCSC(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := RandomDense(rng, 512, 512)
+	y := NewCSCFromCSR(RandomSparse(rng, 512, 512, 0.05))
+	c := NewDense(512, 512)
+	flops := 2 * float64(y.NNZ()) * 512
+	b.Run("seed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Zero()
+			seedDenseMulCSC(c, x, y)
+		}
+		reportGFlops(b, flops)
+	})
+	b.Run("current", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Zero()
+			DenseMulCSC(c, x, y)
+		}
+		reportGFlops(b, flops)
+	})
+}
+
+func BenchmarkCSRMulCSR(b *testing.B) {
+	// Dense-ish result rows (~150 columns) are where the hybrid sort pays;
+	// PageRank-style hypersparse rows are covered by the "sparse" case.
+	rng := rand.New(rand.NewSource(4))
+	cases := []struct {
+		name     string
+		da, db   float64
+		m, k, n  int
+	}{
+		{"sparse", 0.002, 0.002, 2048, 2048, 2048},
+		{"denseRows", 0.05, 0.05, 512, 512, 512},
+	}
+	for _, tc := range cases {
+		x := RandomSparse(rng, tc.m, tc.k, tc.da)
+		y := RandomSparse(rng, tc.k, tc.n, tc.db)
+		b.Run(tc.name+"/seed", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				seedCSRMulCSR(x, y)
+			}
+		})
+		b.Run(tc.name+"/current", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				CSRMulCSR(x, y)
+			}
+		})
+	}
+}
+
+func benchName(variant string, size int) string {
+	return variant + "/" + itoa(size)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func reportGFlops(b *testing.B, flopsPerOp float64) {
+	b.Helper()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(flopsPerOp*float64(b.N)/sec/1e9, "GFLOPS")
+	}
+}

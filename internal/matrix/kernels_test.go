@@ -282,26 +282,5 @@ func identity(n int) *Dense {
 	return d
 }
 
-func BenchmarkGemm256(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	x := RandomDense(rng, 256, 256)
-	y := RandomDense(rng, 256, 256)
-	c := NewDense(256, 256)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Zero()
-		Gemm(c, x, y)
-	}
-}
-
-func BenchmarkCSRMulDense(b *testing.B) {
-	rng := rand.New(rand.NewSource(2))
-	x := RandomSparse(rng, 512, 512, 0.01)
-	y := RandomDense(rng, 512, 128)
-	c := NewDense(512, 128)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Zero()
-		CSRMulDense(c, x, y)
-	}
-}
+// Kernel benchmarks (including seed-vs-current regression comparisons)
+// live in kernels_bench_test.go.
