@@ -9,9 +9,10 @@ test:
 	$(GO) test ./...
 
 # The parallel hot path (threaded kernels, sharded aggregation, buffer
-# pool) must stay race-detector-clean.
+# pool) and the elastic scheduler (retries, speculation, fault injection)
+# must stay race-detector-clean.
 test-race:
-	$(GO) test -race ./internal/matrix ./internal/core
+	$(GO) test -race ./internal/matrix ./internal/core ./internal/cluster ./internal/engine
 
 vet:
 	$(GO) vet ./...

@@ -99,6 +99,19 @@ type GPUStats = gpu.Stats
 // CommSnapshot is a communication-accounting snapshot.
 type CommSnapshot = metrics.Snapshot
 
+// Faults configures deterministic fault injection for chaos runs: seeded
+// task crashes, injected O.O.M., straggler delays and transient
+// shuffle-fetch failures. Set it on ClusterConfig.Faults; the zero value
+// disables injection. Results under any fault seed are bit-identical to the
+// failure-free run.
+type Faults = cluster.Faults
+
+// ElasticStats counts the fault-tolerance work of a run: task retries,
+// speculative copies launched and won, shuffle-fetch retries, lineage
+// recomputations and injected faults. Available per-multiply on
+// Report.Elastic and cumulatively via the recorder's snapshot.
+type ElasticStats = metrics.ElasticStats
+
 // GNMFOptions configures Gaussian non-negative matrix factorization.
 type GNMFOptions = ml.GNMFOptions
 

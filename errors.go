@@ -1,0 +1,62 @@
+package distme
+
+import (
+	"distme/internal/cluster"
+	"distme/internal/core"
+	"distme/internal/engine"
+)
+
+// Typed error taxonomy. Every failure mode the engine can surface maps to
+// one sentinel here, so callers branch with errors.Is instead of matching
+// message strings:
+//
+//	c, _, err := eng.MultiplyCtx(ctx, a, b, opts)
+//	switch {
+//	case errors.Is(err, distme.ErrTaskOOM):
+//		// shrink the workload or raise θt
+//	case errors.Is(err, distme.ErrCancelled):
+//		// ctx was cancelled; err wraps ctx.Err()
+//	case errors.Is(err, distme.ErrRetriesExhausted):
+//		// a task kept failing past Config.TaskRetries
+//	}
+//
+// The sentinels alias the internal packages' values, so errors created deep
+// in the engine match them end-to-end through every layer of wrapping.
+var (
+	// ErrTaskOOM reports that a task's working set exceeded the per-task
+	// memory budget θt — the paper's "O.O.M." outcome. Surfaced both by the
+	// scheduler's admission check and by injected out-of-memory faults.
+	ErrTaskOOM = cluster.ErrOutOfMemory
+
+	// ErrNoFeasibleParams reports that no (P,Q,R) cuboid partitioning fits
+	// the per-task memory budget for the given shape (Eq.(2) infeasible).
+	ErrNoFeasibleParams = core.ErrInfeasible
+
+	// ErrShapeMismatch reports non-conformable operands: inner dimensions
+	// or block sizes that do not line up for the requested operation.
+	ErrShapeMismatch = core.ErrShapeMismatch
+
+	// ErrRetriesExhausted reports that a task failed on every attempt the
+	// cluster's retry budget allowed (Config.TaskRetries); the final
+	// attempt's error is wrapped alongside.
+	ErrRetriesExhausted = cluster.ErrRetriesExhausted
+
+	// ErrCancelled reports that a context passed to MultiplyCtx (or RunCtx)
+	// was cancelled; the error wraps ctx.Err(), so errors.Is with
+	// context.Canceled or context.DeadlineExceeded also matches.
+	ErrCancelled = cluster.ErrCancelled
+
+	// ErrEngineClosed reports an operation on an engine after Close.
+	ErrEngineClosed = engine.ErrEngineClosed
+
+	// ErrUnknownMethod reports a MulOptions.Method outside the defined set.
+	ErrUnknownMethod = engine.ErrUnknownMethod
+
+	// ErrExceededDisk reports intermediate data past the cluster's disk
+	// capacity — the paper's "E.D.C." outcome.
+	ErrExceededDisk = cluster.ErrExceededDisk
+
+	// ErrTimeout reports a job past its wall-clock budget — the paper's
+	// "T.O." outcome.
+	ErrTimeout = cluster.ErrTimeout
+)

@@ -1,0 +1,140 @@
+package distme_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"distme"
+)
+
+// Each sentinel is exercised end-to-end: a public API call is driven into
+// the failure mode and the returned error must match via errors.Is through
+// every layer of wrapping.
+
+func chaosEngine(t *testing.T, f distme.Faults) *distme.Engine {
+	t.Helper()
+	cfg := distme.LaptopCluster()
+	cfg.LocalWorkers = 4
+	cfg.TaskMemBytes = 1 << 30
+	cfg.DiskCapacityBytes = 0
+	cfg.TaskRetries = 4
+	cfg.RetryBackoff = 100 * time.Microsecond
+	cfg.Faults = f
+	e, err := distme.NewEngine(distme.EngineConfig{Cluster: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestErrTaskOOM(t *testing.T) {
+	cfg := distme.LaptopCluster()
+	cfg.TaskMemBytes = 1 << 10 // θt far below any real cuboid
+	e, err := distme.NewEngine(distme.EngineConfig{Cluster: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	a := distme.RandomDense(rng, 64, 64, 16)
+	b := distme.RandomDense(rng, 64, 64, 16)
+	_, _, err = e.MultiplyOpt(a, b, distme.MulOptions{
+		Method: distme.MethodCuboid, Params: distme.Params{P: 1, Q: 1, R: 1},
+	})
+	if !errors.Is(err, distme.ErrTaskOOM) {
+		t.Fatalf("want ErrTaskOOM, got %v", err)
+	}
+}
+
+func TestErrNoFeasibleParams(t *testing.T) {
+	_, err := distme.Optimize(distme.Shape{I: 8, J: 8, K: 8,
+		ABytes: 1 << 40, BBytes: 1 << 40, CBytes: 1 << 40}, 1<<10, 1)
+	if !errors.Is(err, distme.ErrNoFeasibleParams) {
+		t.Fatalf("want ErrNoFeasibleParams, got %v", err)
+	}
+}
+
+func TestErrShapeMismatch(t *testing.T) {
+	e := chaosEngine(t, distme.Faults{})
+	rng := rand.New(rand.NewSource(2))
+	a := distme.RandomDense(rng, 8, 8, 4)
+	b := distme.RandomDense(rng, 12, 8, 4) // inner dims disagree
+	if _, err := e.Multiply(a, b); !errors.Is(err, distme.ErrShapeMismatch) {
+		t.Fatalf("want ErrShapeMismatch from multiply, got %v", err)
+	}
+	if _, err := e.Add(a, b); !errors.Is(err, distme.ErrShapeMismatch) {
+		t.Fatalf("want ErrShapeMismatch from add, got %v", err)
+	}
+}
+
+func TestErrRetriesExhausted(t *testing.T) {
+	// Crash every attempt and forbid retries from outlasting the faults.
+	e := chaosEngine(t, distme.Faults{Seed: 1, CrashRate: 1, MaxFaultsPerTask: 100})
+	rng := rand.New(rand.NewSource(3))
+	a := distme.RandomDense(rng, 8, 8, 4)
+	b := distme.RandomDense(rng, 8, 8, 4)
+	_, _, err := e.MultiplyOpt(a, b, distme.MulOptions{
+		Method: distme.MethodCuboid, Params: distme.Params{P: 1, Q: 1, R: 1},
+	})
+	if !errors.Is(err, distme.ErrRetriesExhausted) {
+		t.Fatalf("want ErrRetriesExhausted, got %v", err)
+	}
+}
+
+func TestErrCancelled(t *testing.T) {
+	e := chaosEngine(t, distme.Faults{})
+	rng := rand.New(rand.NewSource(4))
+	a := distme.RandomDense(rng, 8, 8, 4)
+	b := distme.RandomDense(rng, 8, 8, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := e.MultiplyCtx(ctx, a, b, distme.MulOptions{})
+	if !errors.Is(err, distme.ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ErrCancelled should wrap ctx.Err(), got %v", err)
+	}
+}
+
+func TestErrEngineClosed(t *testing.T) {
+	e := chaosEngine(t, distme.Faults{})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	a := distme.RandomDense(rng, 8, 8, 4)
+	if _, err := e.Multiply(a, a); !errors.Is(err, distme.ErrEngineClosed) {
+		t.Fatalf("want ErrEngineClosed, got %v", err)
+	}
+}
+
+func TestErrUnknownMethod(t *testing.T) {
+	e := chaosEngine(t, distme.Faults{})
+	rng := rand.New(rand.NewSource(6))
+	a := distme.RandomDense(rng, 8, 8, 4)
+	_, _, err := e.MultiplyOpt(a, a, distme.MulOptions{Method: distme.Method(42)})
+	if !errors.Is(err, distme.ErrUnknownMethod) {
+		t.Fatalf("want ErrUnknownMethod, got %v", err)
+	}
+}
+
+// TestElasticReportThroughPublicAPI runs a chaos multiply through the root
+// package and checks the elastic counters surface on the report.
+func TestElasticReportThroughPublicAPI(t *testing.T) {
+	e := chaosEngine(t, distme.Faults{Seed: 9, CrashRate: 0.5})
+	rng := rand.New(rand.NewSource(7))
+	a := distme.RandomDense(rng, 16, 16, 4)
+	b := distme.RandomDense(rng, 16, 16, 4)
+	_, report, err := e.MultiplyOpt(a, b, distme.MulOptions{
+		Method: distme.MethodCuboid, Params: distme.Params{P: 2, Q: 2, R: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Elastic.FaultsInjected == 0 || report.Elastic.TaskRetries == 0 {
+		t.Fatalf("chaos run should surface elastic work on the report, got %+v", report.Elastic)
+	}
+}

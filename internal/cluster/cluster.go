@@ -8,10 +8,9 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"distme/internal/metrics"
@@ -71,6 +70,28 @@ type Config struct {
 	// error fails the job — the substrate's analog of Spark re-running lost
 	// tasks from RDD lineage. 0 means no retries.
 	TaskRetries int
+	// RetryBackoff is the base delay of the capped exponential backoff
+	// between a task's attempts (1ms when zero). Attempt n waits
+	// min(RetryBackoff·2ⁿ⁻¹, RetryBackoffCap).
+	RetryBackoff time.Duration
+	// RetryBackoffCap caps the exponential backoff (16·RetryBackoff when
+	// zero).
+	RetryBackoffCap time.Duration
+	// Speculation enables speculative copies of straggler tasks: once
+	// SpeculationQuantile of a wave has completed, a task in flight for
+	// longer than SpeculationMultiplier × the quantile completion time
+	// gets a second attempt; the first result wins and the loser is
+	// cancelled.
+	Speculation bool
+	// SpeculationQuantile is the completed fraction of the wave required
+	// before stragglers are considered (0.75 when zero).
+	SpeculationQuantile float64
+	// SpeculationMultiplier scales the quantile completion time into the
+	// straggler threshold (2 when zero).
+	SpeculationMultiplier float64
+	// Faults configures deterministic fault injection for chaos runs; the
+	// zero value disables it.
+	Faults Faults
 	// JobTimeout aborts a Run that exceeds this wall-clock budget with
 	// ErrTimeout — the measured plane's T.O. outcome (§6.2 uses 4000 s).
 	// Zero disables the check. The check is cooperative: in-flight tasks
@@ -140,6 +161,9 @@ func (c Config) GPUs() int {
 type Cluster struct {
 	cfg      Config
 	recorder *metrics.Recorder
+	// injector delivers the deterministic faults of cfg.Faults; nil when
+	// injection is disabled.
+	injector *Injector
 	// failureInjector, when set, is consulted before each task attempt and
 	// its non-nil error is treated as that attempt's failure — the test
 	// hook for exercising the retry machinery (lost executors, flaky I/O).
@@ -148,17 +172,23 @@ type Cluster struct {
 
 // SetFailureInjector installs a fault hook for tests and chaos runs: it is
 // called before every task attempt with the task name and the 0-based
-// attempt number; a non-nil return fails that attempt.
+// attempt number; a non-nil return fails that attempt. Install before
+// running tasks; the hook is read concurrently by workers.
 func (c *Cluster) SetFailureInjector(f func(taskName string, attempt int) error) {
 	c.failureInjector = f
 }
+
+// FaultInjector returns the deterministic fault injector configured via
+// Config.Faults, or nil when injection is disabled. The executors consult
+// it for shuffle-fetch faults during aggregation.
+func (c *Cluster) FaultInjector() *Injector { return c.injector }
 
 // New creates a cluster with its own metrics recorder.
 func New(cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Cluster{cfg: cfg, recorder: &metrics.Recorder{}}, nil
+	return &Cluster{cfg: cfg, recorder: &metrics.Recorder{}, injector: NewInjector(cfg.Faults)}, nil
 }
 
 // Config returns the hardware envelope.
@@ -179,94 +209,37 @@ type Task struct {
 	Fn func() error
 }
 
-// Run executes the tasks with at most Slots() in flight, after checking each
-// task's memory estimate against θt. The first error aborts scheduling of
-// further tasks (in-flight tasks drain) and is returned. A memory violation
-// returns an error wrapping ErrOutOfMemory before any task runs, mirroring
-// how Spark jobs die during the failing stage.
-func (c *Cluster) Run(tasks []Task) error {
-	for _, t := range tasks {
-		if t.MemEstimate > c.cfg.TaskMemBytes {
-			return fmt.Errorf("%w: task %s needs %s, budget θt=%s",
-				ErrOutOfMemory, t.Name,
-				metrics.FormatBytes(t.MemEstimate), metrics.FormatBytes(c.cfg.TaskMemBytes))
-		}
-	}
-	workers := c.cfg.LocalWorkers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if slots := c.cfg.Slots(); workers > slots {
-		workers = slots
-	}
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	if workers == 0 {
-		return nil
-	}
-
-	start := time.Now()
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if firstErr == nil && c.cfg.JobTimeout > 0 && time.Since(start) > c.cfg.JobTimeout {
-					firstErr = fmt.Errorf("%w: exceeded %v", ErrTimeout, c.cfg.JobTimeout)
-				}
-				if firstErr != nil || next >= len(tasks) {
-					mu.Unlock()
-					return
-				}
-				t := tasks[next]
-				next++
-				mu.Unlock()
-				if err := c.runTask(t); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("task %s: %w", t.Name, err)
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
-}
-
-// runTask executes one task with up to TaskRetries re-executions, the way
-// Spark re-runs a task when its executor is lost. A panic in the task body
-// is converted to an error so one bad block cannot take down the driver.
-func (c *Cluster) runTask(t Task) error {
-	var lastErr error
-	for attempt := 0; attempt <= c.cfg.TaskRetries; attempt++ {
-		lastErr = c.attempt(t, attempt)
-		if lastErr == nil {
-			return nil
-		}
-	}
-	if c.cfg.TaskRetries > 0 {
-		return fmt.Errorf("failed after %d attempts: %w", c.cfg.TaskRetries+1, lastErr)
-	}
-	return lastErr
-}
-
-func (c *Cluster) attempt(t Task, attempt int) (err error) {
+// attemptCtx executes one attempt of one task: fault injection first (an
+// injected crash or O.O.M. fails the attempt; an injected straggler delay
+// sleeps, abandoning the attempt promptly if its context is cancelled),
+// then the task body. A panic in the body is converted to an error so one
+// bad block cannot take down the driver. Run/RunCtx (elastic.go) drive
+// this with the retry and speculation machinery.
+func (c *Cluster) attemptCtx(ctx context.Context, t Task, attempt int) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("task panicked: %v", r)
 		}
 	}()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+	if inj := c.injector; inj != nil {
+		if err := inj.AttemptError(t.Name, attempt); err != nil {
+			c.recorder.AddFaultInjected()
+			return err
+		}
+		if d := inj.Delay(t.Name, attempt); d > 0 {
+			c.recorder.AddFaultInjected()
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
+			}
+		}
+	}
 	if c.failureInjector != nil {
 		if err := c.failureInjector(t.Name, attempt); err != nil {
 			return err

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Deterministic fault injection — the chaos layer of the elastic-execution
+// subsystem. Faults are decided by hashing (seed, fault kind, task name,
+// attempt number), never by sampling shared RNG state, so a given seed
+// produces the same fault set regardless of goroutine scheduling, worker
+// count, or the order tasks happen to start in. That determinism is what
+// lets the chaos tests assert bit-identical output against a failure-free
+// baseline while the scheduler's retry/speculation machinery runs for real.
+
+// ErrInjectedCrash reports a task attempt killed by the fault injector —
+// the simulated analog of a lost executor.
+var ErrInjectedCrash = errors.New("cluster: injected task crash (executor lost)")
+
+// Faults configures the deterministic fault injector. The zero value
+// disables injection. Rates are per task attempt in [0, 1]; each fault kind
+// is rolled independently, so one attempt can both straggle and crash.
+type Faults struct {
+	// Seed selects the fault set. Two runs with equal seeds and equal task
+	// names see identical faults.
+	Seed int64
+	// CrashRate is the probability an attempt dies with ErrInjectedCrash.
+	CrashRate float64
+	// OOMRate is the probability an attempt fails with an injected O.O.M.
+	// (transient executor memory pressure, wrapping ErrOutOfMemory).
+	OOMRate float64
+	// StragglerRate is the probability an attempt is delayed by
+	// StragglerDelay before running — the straggler model that speculative
+	// execution mitigates.
+	StragglerRate float64
+	// StragglerDelay is the injected straggler latency (default 15ms).
+	StragglerDelay time.Duration
+	// FetchFailRate is the probability one shuffle-fetch attempt of a
+	// task's output fails during aggregation; repeated failures mark the
+	// partition lost and force lineage recomputation.
+	FetchFailRate float64
+	// MaxFaultsPerTask bounds injected faults per task name (default 3):
+	// attempts numbered at or above the bound are never faulted, so a
+	// retry budget larger than the bound is guaranteed to converge.
+	MaxFaultsPerTask int
+}
+
+// Enabled reports whether any fault kind has a positive rate.
+func (f Faults) Enabled() bool {
+	return f.CrashRate > 0 || f.OOMRate > 0 || f.StragglerRate > 0 || f.FetchFailRate > 0
+}
+
+// Injector delivers the faults a Faults config describes. A nil *Injector
+// is valid and injects nothing.
+type Injector struct {
+	f Faults
+}
+
+// NewInjector builds an injector for the config, or nil when injection is
+// disabled.
+func NewInjector(f Faults) *Injector {
+	if !f.Enabled() {
+		return nil
+	}
+	if f.StragglerDelay <= 0 {
+		f.StragglerDelay = 15 * time.Millisecond
+	}
+	if f.MaxFaultsPerTask <= 0 {
+		f.MaxFaultsPerTask = 3
+	}
+	return &Injector{f: f}
+}
+
+// Config returns the injector's fault configuration.
+func (in *Injector) Config() Faults { return in.f }
+
+// AttemptError returns the injected failure for one task attempt: a crash,
+// an injected O.O.M., or nil. Attempts past the per-task fault bound never
+// fail.
+func (in *Injector) AttemptError(name string, attempt int) error {
+	if in == nil || attempt >= in.f.MaxFaultsPerTask {
+		return nil
+	}
+	if in.roll("crash", name, attempt) < in.f.CrashRate {
+		return fmt.Errorf("%w: %s attempt %d", ErrInjectedCrash, name, attempt)
+	}
+	if in.roll("oom", name, attempt) < in.f.OOMRate {
+		return fmt.Errorf("%w: injected executor memory pressure: %s attempt %d",
+			ErrOutOfMemory, name, attempt)
+	}
+	return nil
+}
+
+// Delay returns the straggler latency injected into one task attempt, zero
+// for attempts that run at full speed.
+func (in *Injector) Delay(name string, attempt int) time.Duration {
+	if in == nil || attempt >= in.f.MaxFaultsPerTask {
+		return 0
+	}
+	if in.roll("straggle", name, attempt) < in.f.StragglerRate {
+		return in.f.StragglerDelay
+	}
+	return 0
+}
+
+// FetchFailed reports whether shuffle-fetch attempt number `attempt` of the
+// named task's output fails.
+func (in *Injector) FetchFailed(name string, attempt int) bool {
+	if in == nil || attempt >= in.f.MaxFaultsPerTask {
+		return false
+	}
+	return in.roll("fetch", name, attempt) < in.f.FetchFailRate
+}
+
+// roll returns a uniform value in [0, 1) determined entirely by
+// (seed, kind, name, attempt).
+func (in *Injector) roll(kind, name string, attempt int) float64 {
+	h := fnv64(kind)
+	h = mix64(h ^ fnv64(name))
+	h = mix64(h ^ uint64(in.f.Seed))
+	h = mix64(h ^ uint64(attempt))
+	// Top 53 bits → [0, 1).
+	return float64(h>>11) / (1 << 53)
+}
+
+// fnv64 is the FNV-1a hash of s.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

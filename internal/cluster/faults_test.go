@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInjectorDisabledIsNil(t *testing.T) {
+	if inj := NewInjector(Faults{}); inj != nil {
+		t.Fatalf("zero-value Faults should disable injection, got %+v", inj)
+	}
+	if inj := NewInjector(Faults{Seed: 42}); inj != nil {
+		t.Fatal("a seed alone should not enable injection")
+	}
+	var nilInj *Injector
+	if err := nilInj.AttemptError("t", 0); err != nil {
+		t.Fatalf("nil injector must inject nothing, got %v", err)
+	}
+	if d := nilInj.Delay("t", 0); d != 0 {
+		t.Fatalf("nil injector must not delay, got %v", d)
+	}
+	if nilInj.FetchFailed("t", 0) {
+		t.Fatal("nil injector must not fail fetches")
+	}
+}
+
+// TestInjectorDeterministic verifies the core chaos property: fault
+// decisions depend only on (seed, kind, name, attempt), so two injectors
+// with the same config agree on every decision, and a different seed
+// produces a different fault set.
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Faults{Seed: 7, CrashRate: 0.3, OOMRate: 0.2, StragglerRate: 0.25, FetchFailRate: 0.3}
+	a, b := NewInjector(cfg), NewInjector(cfg)
+	names := []string{"cuboid(0,0,0)", "cuboid(1,2,3)", "rmm-task(5)", "agg(7)"}
+	for _, name := range names {
+		for attempt := 0; attempt < 3; attempt++ {
+			ea, eb := a.AttemptError(name, attempt), b.AttemptError(name, attempt)
+			if (ea == nil) != (eb == nil) || (ea != nil && ea.Error() != eb.Error()) {
+				t.Fatalf("same seed diverged on %s attempt %d: %v vs %v", name, attempt, ea, eb)
+			}
+			if a.Delay(name, attempt) != b.Delay(name, attempt) {
+				t.Fatalf("same seed diverged on delay for %s attempt %d", name, attempt)
+			}
+			if a.FetchFailed(name, attempt) != b.FetchFailed(name, attempt) {
+				t.Fatalf("same seed diverged on fetch for %s attempt %d", name, attempt)
+			}
+		}
+	}
+}
+
+// TestInjectorSeedChangesFaults checks that at least one decision differs
+// across seeds at a rate where that is overwhelmingly likely.
+func TestInjectorSeedChangesFaults(t *testing.T) {
+	mk := func(seed int64) *Injector {
+		return NewInjector(Faults{Seed: seed, CrashRate: 0.5})
+	}
+	a, b := mk(1), mk(2)
+	for attempt := 0; attempt < 3; attempt++ {
+		for i := 0; i < 64; i++ {
+			name := "task" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+			if (a.AttemptError(name, attempt) == nil) != (b.AttemptError(name, attempt) == nil) {
+				return // found a divergence
+			}
+		}
+	}
+	t.Fatal("seeds 1 and 2 produced identical crash sets over 192 rolls")
+}
+
+// TestInjectorFaultBound verifies the convergence guarantee: attempts
+// numbered at or past MaxFaultsPerTask are never faulted, even at rate 1.
+func TestInjectorFaultBound(t *testing.T) {
+	inj := NewInjector(Faults{
+		Seed: 3, CrashRate: 1, OOMRate: 1, StragglerRate: 1, FetchFailRate: 1,
+		MaxFaultsPerTask: 2, StragglerDelay: time.Hour,
+	})
+	for attempt := 0; attempt < 2; attempt++ {
+		if inj.AttemptError("t", attempt) == nil {
+			t.Fatalf("rate-1 attempt %d should fail", attempt)
+		}
+	}
+	for attempt := 2; attempt < 10; attempt++ {
+		if err := inj.AttemptError("t", attempt); err != nil {
+			t.Fatalf("attempt %d is past the fault bound, got %v", attempt, err)
+		}
+		if d := inj.Delay("t", attempt); d != 0 {
+			t.Fatalf("attempt %d should not straggle, got %v", attempt, d)
+		}
+		if inj.FetchFailed("t", attempt) {
+			t.Fatalf("fetch attempt %d should not fail past the bound", attempt)
+		}
+	}
+}
+
+// TestInjectedErrorsMatchSentinels pins the error taxonomy: crashes match
+// ErrInjectedCrash, injected memory pressure matches ErrOutOfMemory.
+func TestInjectedErrorsMatchSentinels(t *testing.T) {
+	crash := NewInjector(Faults{Seed: 1, CrashRate: 1})
+	if err := crash.AttemptError("t", 0); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("want ErrInjectedCrash, got %v", err)
+	}
+	oom := NewInjector(Faults{Seed: 1, OOMRate: 1})
+	if err := oom.AttemptError("t", 0); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"distme/internal/bmat"
@@ -222,13 +225,18 @@ func (CPUMultiplier) Multiply(c *Cuboid) (map[bmat.BlockKey]*matrix.Dense, error
 	return out, nil
 }
 
+// ErrShapeMismatch reports operands that are not conformable for the
+// requested operation — wrong inner dimensions or differing block sizes.
+// Every operand-validation error of the executors wraps it.
+var ErrShapeMismatch = errors.New("core: operand shapes are not conformable")
+
 // checkOperands validates conformability of A and B.
 func checkOperands(a, b *bmat.BlockMatrix) error {
 	if a.Cols != b.Rows {
-		return fmt.Errorf("core: multiply: A is %dx%d, B is %dx%d: inner dimensions differ", a.Rows, a.Cols, b.Rows, b.Cols)
+		return fmt.Errorf("%w: A is %dx%d, B is %dx%d: inner dimensions differ", ErrShapeMismatch, a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	if a.BlockSize != b.BlockSize {
-		return fmt.Errorf("core: multiply: block sizes differ: %d vs %d", a.BlockSize, b.BlockSize)
+		return fmt.Errorf("%w: block sizes differ: %d vs %d", ErrShapeMismatch, a.BlockSize, b.BlockSize)
 	}
 	return nil
 }
@@ -283,6 +291,16 @@ func pow1m(p float64, n int) float64 {
 // reduced). Passing BMMParams/CPMMParams/RMMParams reproduces the classical
 // methods' costs exactly (Table 2).
 func MultiplyCuboid(a, b *bmat.BlockMatrix, params Params, env Env) (*bmat.BlockMatrix, error) {
+	return MultiplyCuboidCtx(context.Background(), a, b, params, env)
+}
+
+// MultiplyCuboidCtx is MultiplyCuboid under a context: the cluster's retry,
+// backoff and speculation loops observe ctx and abort within one backoff
+// step of cancellation, returning an error wrapping cluster.ErrCancelled
+// and ctx.Err(). Task bodies commit their partial output under a mutex with
+// first-writer-wins, so re-executed and speculative attempts leave output
+// bytes identical to a failure-free run.
+func MultiplyCuboidCtx(ctx context.Context, a, b *bmat.BlockMatrix, params Params, env Env) (*bmat.BlockMatrix, error) {
 	if err := checkOperands(a, b); err != nil {
 		return nil, err
 	}
@@ -343,6 +361,7 @@ func MultiplyCuboid(a, b *bmat.BlockMatrix, params Params, env Env) (*bmat.Block
 		sortCuboidsByWork(cuboids)
 	}
 	partials := make([]map[bmat.BlockKey]*matrix.Dense, len(cuboids))
+	var commitMu sync.Mutex
 	tasks := make([]cluster.Task, len(cuboids))
 	for idx, c := range cuboids {
 		idx, c := idx, c
@@ -354,12 +373,24 @@ func MultiplyCuboid(a, b *bmat.BlockMatrix, params Params, env Env) (*bmat.Block
 				if err != nil {
 					return err
 				}
-				partials[idx] = out
+				// First-writer-wins commit: a speculative copy losing the
+				// race discards its (identical) result, so concurrent
+				// attempts never double-publish.
+				commitMu.Lock()
+				if partials[idx] == nil {
+					partials[idx] = out
+				} else {
+					releasePartialMap(out)
+				}
+				commitMu.Unlock()
 				return nil
 			},
 		}
 	}
-	if err := env.Cluster.Run(tasks); err != nil {
+	if err := env.Cluster.RunCtx(ctx, tasks); err != nil {
+		return nil, err
+	}
+	if err := recoverCuboidPartials(ctx, env, cuboids, partials, mult); err != nil {
 		return nil, err
 	}
 	rec.AddDuration(metrics.StepLocalMultiply, time.Since(start))
@@ -479,14 +510,24 @@ func sortedPartials(m map[bmat.BlockKey]*matrix.Dense) []keyedBlock {
 // MultiplyBMM runs Broadcast Matrix Multiplication (§2.2.1): row-partition A
 // over T = I tasks and broadcast B — CuboidMM with (I,1,1).
 func MultiplyBMM(a, b *bmat.BlockMatrix, env Env) (*bmat.BlockMatrix, error) {
-	return MultiplyCuboid(a, b, ShapeOf(a, b).BMMParams(), env)
+	return MultiplyCuboidCtx(context.Background(), a, b, ShapeOf(a, b).BMMParams(), env)
+}
+
+// MultiplyBMMCtx is MultiplyBMM under a context.
+func MultiplyBMMCtx(ctx context.Context, a, b *bmat.BlockMatrix, env Env) (*bmat.BlockMatrix, error) {
+	return MultiplyCuboidCtx(ctx, a, b, ShapeOf(a, b).BMMParams(), env)
 }
 
 // MultiplyCPMM runs Cross-Product Matrix Multiplication (§2.2.2):
 // column-partition A, row-partition B over T = K tasks, aggregate T·|C| —
 // CuboidMM with (1,1,K).
 func MultiplyCPMM(a, b *bmat.BlockMatrix, env Env) (*bmat.BlockMatrix, error) {
-	return MultiplyCuboid(a, b, ShapeOf(a, b).CPMMParams(), env)
+	return MultiplyCuboidCtx(context.Background(), a, b, ShapeOf(a, b).CPMMParams(), env)
+}
+
+// MultiplyCPMMCtx is MultiplyCPMM under a context.
+func MultiplyCPMMCtx(ctx context.Context, a, b *bmat.BlockMatrix, env Env) (*bmat.BlockMatrix, error) {
+	return MultiplyCuboidCtx(ctx, a, b, ShapeOf(a, b).CPMMParams(), env)
 }
 
 // MultiplyRMM runs Replication-based Matrix Multiplication (§2.2.3):
@@ -497,6 +538,12 @@ func MultiplyCPMM(a, b *bmat.BlockMatrix, env Env) (*bmat.BlockMatrix, error) {
 // non-consecutive voxels, so no communication sharing is possible and every
 // voxel pays full replication — that difference is the point of Figure 6.
 func MultiplyRMM(a, b *bmat.BlockMatrix, tasks int, env Env) (*bmat.BlockMatrix, error) {
+	return MultiplyRMMCtx(context.Background(), a, b, tasks, env)
+}
+
+// MultiplyRMMCtx is MultiplyRMM under a context, with the same elastic
+// semantics as MultiplyCuboidCtx.
+func MultiplyRMMCtx(ctx context.Context, a, b *bmat.BlockMatrix, tasks int, env Env) (*bmat.BlockMatrix, error) {
 	if err := checkOperands(a, b); err != nil {
 		return nil, err
 	}
@@ -553,32 +600,52 @@ func MultiplyRMM(a, b *bmat.BlockMatrix, tasks int, env Env) (*bmat.BlockMatrix,
 	start = time.Now()
 	vm := env.voxelMultiplier()
 	partials := make([]map[bmat.VoxelKey]*matrix.Dense, tasks)
+	var commitMu sync.Mutex
+	computeGroup := func(t int) (map[bmat.VoxelKey]*matrix.Dense, error) {
+		out := make(map[bmat.VoxelKey]*matrix.Dense, len(groups[t]))
+		for _, vk := range groups[t] {
+			ab := a.Block(vk.I, vk.K)
+			bb := b.Block(vk.K, vk.J)
+			prod, err := vm.MultiplyPair(ab, bb)
+			if err != nil {
+				releaseVoxelPartialMap(out)
+				return nil, err
+			}
+			out[vk] = prod
+		}
+		return out, nil
+	}
 	var clusterTasks []cluster.Task
+	var taskGroup []int
 	for t := 0; t < tasks; t++ {
 		t := t
 		if len(groups[t]) == 0 {
 			continue
 		}
+		taskGroup = append(taskGroup, t)
 		clusterTasks = append(clusterTasks, cluster.Task{
 			Name:        fmt.Sprintf("rmm-task(%d)", t),
 			MemEstimate: memEstimates[t],
 			Fn: func() error {
-				out := make(map[bmat.VoxelKey]*matrix.Dense, len(groups[t]))
-				for _, vk := range groups[t] {
-					ab := a.Block(vk.I, vk.K)
-					bb := b.Block(vk.K, vk.J)
-					prod, err := vm.MultiplyPair(ab, bb)
-					if err != nil {
-						return err
-					}
-					out[vk] = prod
+				out, err := computeGroup(t)
+				if err != nil {
+					return err
 				}
-				partials[t] = out
+				commitMu.Lock()
+				if partials[t] == nil {
+					partials[t] = out
+				} else {
+					releaseVoxelPartialMap(out)
+				}
+				commitMu.Unlock()
 				return nil
 			},
 		})
 	}
-	if err := env.Cluster.Run(clusterTasks); err != nil {
+	if err := env.Cluster.RunCtx(ctx, clusterTasks); err != nil {
+		return nil, err
+	}
+	if err := recoverVoxelPartials(ctx, env, taskGroup, partials, computeGroup); err != nil {
 		return nil, err
 	}
 	rec.AddDuration(metrics.StepLocalMultiply, time.Since(start))
@@ -633,12 +700,17 @@ func voxelLess(a, b bmat.VoxelKey) bool {
 // MultiplyAuto optimizes (P,Q,R) for the cluster's budgets (Eq. 2) and runs
 // CuboidMM with the result. This is DistME's default multiplication path.
 func MultiplyAuto(a, b *bmat.BlockMatrix, env Env) (*bmat.BlockMatrix, Params, error) {
+	return MultiplyAutoCtx(context.Background(), a, b, env)
+}
+
+// MultiplyAutoCtx is MultiplyAuto under a context.
+func MultiplyAutoCtx(ctx context.Context, a, b *bmat.BlockMatrix, env Env) (*bmat.BlockMatrix, Params, error) {
 	s := ShapeOf(a, b)
 	cfg := env.Cluster.Config()
 	params, err := Optimize(s, cfg.TaskMemBytes, cfg.Slots())
 	if err != nil {
 		return nil, Params{}, err
 	}
-	c, err := MultiplyCuboid(a, b, params, env)
+	c, err := MultiplyCuboidCtx(ctx, a, b, params, env)
 	return c, params, err
 }

@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -18,6 +19,12 @@ import (
 	"distme/internal/gpu"
 	"distme/internal/metrics"
 )
+
+// ErrEngineClosed reports a call on an engine after Close.
+var ErrEngineClosed = errors.New("engine: engine is closed")
+
+// ErrUnknownMethod reports a MulOptions.Method outside the defined set.
+var ErrUnknownMethod = errors.New("engine: unknown multiplication method")
 
 // Method selects the distributed multiplication strategy.
 type Method int
@@ -77,14 +84,29 @@ type Config struct {
 }
 
 // Engine is a DistME instance bound to a (simulated) cluster.
+//
+// Ownership: the engine owns its cluster, GPU device and layout table. A
+// caller that is done with an engine should Close it; a caller that is done
+// with a particular matrix (but not the engine) should ReleaseLayout the
+// matrix so the layout table does not pin it for the engine's lifetime.
+// The table is additionally bounded at maxTrackedLayouts entries — beyond
+// that the oldest tags are evicted (losing only a repartition-reuse
+// opportunity, never correctness).
 type Engine struct {
 	cfg     Config
 	cluster *cluster.Cluster
 	device  *gpu.Device
 
-	mu      sync.Mutex
-	layouts map[*bmat.BlockMatrix]layoutTag
+	mu          sync.Mutex
+	closed      bool
+	layouts     map[*bmat.BlockMatrix]layoutTag
+	layoutOrder []*bmat.BlockMatrix // insertion order, for bounded eviction
 }
+
+// maxTrackedLayouts bounds the layout table. Iterative workloads (GNMF)
+// track a handful of long-lived factors; anything past this bound is churn
+// from single-use intermediates and safe to forget.
+const maxTrackedLayouts = 4096
 
 // layoutTag records how a matrix is currently partitioned across tasks.
 type layoutTag struct {
@@ -153,6 +175,10 @@ type Report struct {
 	Comm metrics.Snapshot
 	// GPU holds device stats accumulated during this multiplication.
 	GPU gpu.Stats
+	// Elastic counts the fault-tolerance work of this multiplication only:
+	// task retries, speculative copies launched/won, shuffle-fetch retries
+	// and lineage recomputations.
+	Elastic metrics.ElasticStats
 }
 
 // Multiply computes A×B with the engine's default method.
@@ -164,6 +190,20 @@ func (e *Engine) Multiply(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
 // MultiplyOpt computes A×B with explicit options and returns the execution
 // report alongside the product.
 func (e *Engine) MultiplyOpt(a, b *bmat.BlockMatrix, opts MulOptions) (*bmat.BlockMatrix, *Report, error) {
+	return e.MultiplyCtx(context.Background(), a, b, opts)
+}
+
+// MultiplyCtx is MultiplyOpt under a context: cancelling ctx aborts the
+// multiplication promptly — including mid-backoff between task retry
+// attempts — and returns an error matching errors.Is(err, ErrCancelled)
+// that wraps ctx.Err(). A nil ctx behaves like context.Background().
+func (e *Engine) MultiplyCtx(ctx context.Context, a, b *bmat.BlockMatrix, opts MulOptions) (*bmat.BlockMatrix, *Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := e.checkOpen(); err != nil {
+		return nil, nil, err
+	}
 	useGPU := e.cfg.UseGPU
 	if opts.UseGPU != nil {
 		useGPU = *opts.UseGPU
@@ -198,7 +238,7 @@ func (e *Engine) MultiplyOpt(a, b *bmat.BlockMatrix, opts MulOptions) (*bmat.Blo
 	case MethodRMM:
 		// handled below; params stay zero
 	default:
-		return nil, nil, fmt.Errorf("engine: unknown method %d", int(method))
+		return nil, nil, fmt.Errorf("%w: %d", ErrUnknownMethod, int(method))
 	}
 
 	var c *bmat.BlockMatrix
@@ -207,18 +247,23 @@ func (e *Engine) MultiplyOpt(a, b *bmat.BlockMatrix, opts MulOptions) (*bmat.Blo
 		if tasks == 0 {
 			tasks = e.cfg.RMMTasks
 		}
-		c, err = core.MultiplyRMM(a, b, tasks, env)
+		c, err = core.MultiplyRMMCtx(ctx, a, b, tasks, env)
 	} else {
 		if e.cfg.TrackLayouts {
 			env.AColocated, env.BColocated = e.colocation(a, b, params)
 		}
-		c, err = core.MultiplyCuboid(a, b, params, env)
+		c, err = core.MultiplyCuboidCtx(ctx, a, b, params, env)
 		// Eq.(3) sizes cuboids by averages; ragged grids and sparsity skew
 		// can make one cuboid exceed θt anyway. Under MethodAuto the engine
 		// stays elastic: re-optimize with a finer minimum partitioning and
 		// retry until the actual cuboids fit or no partitioning exists.
+		// Injected O.O.M. faults never reach here — the cluster retries
+		// those per attempt; only a genuine θt violation refines params.
 		if method == MethodAuto {
 			for retry := 0; err != nil && errors.Is(err, cluster.ErrOutOfMemory) && retry < 8; retry++ {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, nil, fmt.Errorf("%w: %w", cluster.ErrCancelled, cerr)
+				}
 				minTasks := params.Tasks() * 2
 				params, err = core.Optimize(s, e.cfg.Cluster.TaskMemBytes, minTasks)
 				if err != nil {
@@ -227,7 +272,7 @@ func (e *Engine) MultiplyOpt(a, b *bmat.BlockMatrix, opts MulOptions) (*bmat.Blo
 				if e.cfg.TrackLayouts {
 					env.AColocated, env.BColocated = e.colocation(a, b, params)
 				}
-				c, err = core.MultiplyCuboid(a, b, params, env)
+				c, err = core.MultiplyCuboidCtx(ctx, a, b, params, env)
 			}
 		}
 	}
@@ -239,14 +284,51 @@ func (e *Engine) MultiplyOpt(a, b *bmat.BlockMatrix, opts MulOptions) (*bmat.Blo
 		e.recordLayouts(a, b, c, method, params)
 	}
 
+	comm := rec.Snapshot().Sub(before)
 	report := &Report{
 		Method:  method,
 		Params:  params,
 		Elapsed: time.Since(start),
-		Comm:    rec.Snapshot().Sub(before),
+		Comm:    comm,
 		GPU:     subStats(e.device.Stats(), gpuBefore),
+		Elastic: comm.Elastic,
 	}
 	return c, report, nil
+}
+
+// checkOpen fails calls on a closed engine.
+func (e *Engine) checkOpen() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	return nil
+}
+
+// Close releases the engine's resources: the layout table is dropped (so
+// tracked matrices become collectable) and further operations fail with
+// ErrEngineClosed. Close is idempotent. Matrices produced by the engine
+// remain valid — they are plain block matrices with no reference back to
+// the engine.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	e.layouts = nil
+	e.layoutOrder = nil
+	return nil
+}
+
+// ReleaseLayout forgets a matrix's tracked layout. Call it when a matrix
+// goes out of use but the engine lives on; otherwise the layout table would
+// pin the matrix until Close. Releasing a matrix that was never tracked is
+// a no-op. The only cost of releasing early is that a future multiply
+// involving the matrix repeats its base repartition copy.
+func (e *Engine) ReleaseLayout(m *bmat.BlockMatrix) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.layouts, m)
 }
 
 func subStats(a, b gpu.Stats) gpu.Stats {
@@ -292,16 +374,44 @@ func (e *Engine) colocation(a, b *bmat.BlockMatrix, params core.Params) (bool, b
 func (e *Engine) recordLayouts(a, b, c *bmat.BlockMatrix, method Method, params core.Params) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
 	if method == MethodRMM {
 		// Hash-scattered; no reusable layout.
 		delete(e.layouts, a)
 		delete(e.layouts, b)
 	} else {
 		la, lb := requiredLayouts(params)
-		e.layouts[a] = la
-		e.layouts[b] = lb
+		e.setLayoutLocked(a, la)
+		e.setLayoutLocked(b, lb)
 	}
-	e.layouts[c] = layoutTag{kind: "row", p: e.cfg.Cluster.Slots()}
+	e.setLayoutLocked(c, layoutTag{kind: "row", p: e.cfg.Cluster.Slots()})
+}
+
+// setLayoutLocked inserts a layout tag, evicting the oldest tags once the
+// table passes maxTrackedLayouts. layoutOrder may hold stale pointers
+// (released or already-evicted matrices); they are skipped during eviction
+// and the slice is compacted when it grows past twice the live table.
+func (e *Engine) setLayoutLocked(m *bmat.BlockMatrix, tag layoutTag) {
+	if _, tracked := e.layouts[m]; !tracked {
+		e.layoutOrder = append(e.layoutOrder, m)
+	}
+	e.layouts[m] = tag
+	for len(e.layouts) > maxTrackedLayouts && len(e.layoutOrder) > 0 {
+		oldest := e.layoutOrder[0]
+		e.layoutOrder = e.layoutOrder[1:]
+		delete(e.layouts, oldest)
+	}
+	if len(e.layoutOrder) > 2*maxTrackedLayouts {
+		live := e.layoutOrder[:0]
+		for _, m := range e.layoutOrder {
+			if _, ok := e.layouts[m]; ok {
+				live = append(live, m)
+			}
+		}
+		e.layoutOrder = live
+	}
 }
 
 // SetLayout declares a matrix's current partitioning, as a data source
@@ -309,5 +419,8 @@ func (e *Engine) recordLayouts(a, b, c *bmat.BlockMatrix, method Method, params 
 func (e *Engine) SetLayout(m *bmat.BlockMatrix, kind string, p, r int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.layouts[m] = layoutTag{kind: kind, p: p, r: r}
+	if e.closed {
+		return
+	}
+	e.setLayoutLocked(m, layoutTag{kind: kind, p: p, r: r})
 }

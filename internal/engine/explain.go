@@ -65,7 +65,7 @@ func (e *Engine) Explain(a, b *bmat.BlockMatrix, opts MulOptions) (*Explanation,
 			TaskMemBytes:     e.cfg.Cluster.TaskMemBytes,
 		}, nil
 	default:
-		return nil, fmt.Errorf("engine: Explain: unknown method %d", int(method))
+		return nil, fmt.Errorf("engine: Explain: %w: %d", ErrUnknownMethod, int(method))
 	}
 
 	ex := &Explanation{

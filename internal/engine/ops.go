@@ -6,6 +6,7 @@ import (
 
 	"distme/internal/bmat"
 	"distme/internal/cluster"
+	"distme/internal/core"
 	"distme/internal/matrix"
 )
 
@@ -113,6 +114,9 @@ func (e *Engine) Scale(s float64, a *bmat.BlockMatrix) (*bmat.BlockMatrix, error
 // blockTasks fans one function out over a matrix's stored blocks as cluster
 // tasks, one task per block group, bounded by cluster slots.
 func (e *Engine) blockTasks(name string, a *bmat.BlockMatrix, f func(bmat.BlockKey, matrix.Block) error) error {
+	if err := e.checkOpen(); err != nil {
+		return err
+	}
 	keys := a.Keys()
 	slots := e.cfg.Cluster.Slots()
 	groups := make([][]bmat.BlockKey, slots)
@@ -147,9 +151,12 @@ func (e *Engine) blockTasks(name string, a *bmat.BlockMatrix, f func(bmat.BlockK
 
 // zip fans a two-operand block function over the union of block positions.
 func (e *Engine) zip(name string, a, b *bmat.BlockMatrix, f func(x, y matrix.Block) matrix.Block) (*bmat.BlockMatrix, error) {
+	if err := e.checkOpen(); err != nil {
+		return nil, err
+	}
 	if a.Rows != b.Rows || a.Cols != b.Cols || a.BlockSize != b.BlockSize {
-		return nil, fmt.Errorf("engine: %s: shape mismatch %dx%d/b=%d vs %dx%d/b=%d",
-			name, a.Rows, a.Cols, a.BlockSize, b.Rows, b.Cols, b.BlockSize)
+		return nil, fmt.Errorf("engine: %s: %w: %dx%d/b=%d vs %dx%d/b=%d",
+			name, core.ErrShapeMismatch, a.Rows, a.Cols, a.BlockSize, b.Rows, b.Cols, b.BlockSize)
 	}
 	seen := make(map[bmat.BlockKey]bool)
 	var keys []bmat.BlockKey

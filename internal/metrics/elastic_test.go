@@ -1,0 +1,51 @@
+package metrics
+
+import "testing"
+
+func TestElasticStatsRecorderRoundTrip(t *testing.T) {
+	var r Recorder
+	r.AddTaskRetry()
+	r.AddTaskRetry()
+	r.AddSpeculative()
+	r.AddSpeculativeWin()
+	r.AddFetchRetry()
+	r.AddFetchRetry()
+	r.AddFetchRetry()
+	r.AddRecomputedPartial()
+	r.AddFaultInjected()
+
+	el := r.Elastic()
+	want := ElasticStats{
+		TaskRetries: 2, SpeculativeLaunched: 1, SpeculativeWins: 1,
+		FetchRetries: 3, RecomputedPartials: 1, FaultsInjected: 1,
+	}
+	if el != want {
+		t.Fatalf("Elastic() = %+v, want %+v", el, want)
+	}
+	if snap := r.Snapshot(); snap.Elastic != want {
+		t.Fatalf("Snapshot().Elastic = %+v, want %+v", snap.Elastic, want)
+	}
+}
+
+func TestElasticStatsSub(t *testing.T) {
+	a := ElasticStats{TaskRetries: 5, SpeculativeLaunched: 3, SpeculativeWins: 2,
+		FetchRetries: 7, RecomputedPartials: 4, FaultsInjected: 9}
+	b := ElasticStats{TaskRetries: 2, SpeculativeLaunched: 1, SpeculativeWins: 1,
+		FetchRetries: 3, RecomputedPartials: 1, FaultsInjected: 4}
+	got := a.Sub(b)
+	want := ElasticStats{TaskRetries: 3, SpeculativeLaunched: 2, SpeculativeWins: 1,
+		FetchRetries: 4, RecomputedPartials: 3, FaultsInjected: 5}
+	if got != want {
+		t.Fatalf("Sub = %+v, want %+v", got, want)
+	}
+}
+
+func TestElasticStatsResets(t *testing.T) {
+	var r Recorder
+	r.AddTaskRetry()
+	r.AddFaultInjected()
+	r.Reset()
+	if el := r.Elastic(); el != (ElasticStats{}) {
+		t.Fatalf("Reset left elastic counters: %+v", el)
+	}
+}

@@ -46,14 +46,94 @@ func (s Step) String() string {
 	}
 }
 
+// ElasticStats counts the fault-tolerant-execution events of a run: task
+// re-executions, speculative straggler copies, shuffle-fetch retries and
+// lineage recomputations, plus the injected faults that caused them. All
+// counters are monotone; a per-operation view is obtained by snapshot
+// subtraction, like the byte counters.
+type ElasticStats struct {
+	// TaskRetries is the number of task re-executions after failed attempts.
+	TaskRetries int64
+	// SpeculativeLaunched counts speculative copies launched for stragglers.
+	SpeculativeLaunched int64
+	// SpeculativeWins counts speculative copies that finished before the
+	// original attempt (the original is cancelled and its result discarded).
+	SpeculativeWins int64
+	// FetchRetries counts transient shuffle-fetch failures that were retried.
+	FetchRetries int64
+	// RecomputedPartials counts aggregation partials recomputed from lineage
+	// after their producing task's output was lost.
+	RecomputedPartials int64
+	// FaultsInjected counts faults the deterministic injector delivered
+	// (crashes, injected O.O.M., straggler delays, fetch failures).
+	FaultsInjected int64
+}
+
+// Sub returns the counter-wise difference e − o.
+func (e ElasticStats) Sub(o ElasticStats) ElasticStats {
+	return ElasticStats{
+		TaskRetries:         e.TaskRetries - o.TaskRetries,
+		SpeculativeLaunched: e.SpeculativeLaunched - o.SpeculativeLaunched,
+		SpeculativeWins:     e.SpeculativeWins - o.SpeculativeWins,
+		FetchRetries:        e.FetchRetries - o.FetchRetries,
+		RecomputedPartials:  e.RecomputedPartials - o.RecomputedPartials,
+		FaultsInjected:      e.FaultsInjected - o.FaultsInjected,
+	}
+}
+
+// String renders the elastic counters compactly for logs and reports.
+func (e ElasticStats) String() string {
+	return fmt.Sprintf("retries=%d speculative=%d/%d fetch-retries=%d recomputed=%d faults=%d",
+		e.TaskRetries, e.SpeculativeWins, e.SpeculativeLaunched,
+		e.FetchRetries, e.RecomputedPartials, e.FaultsInjected)
+}
+
 // Recorder accumulates per-step bytes and durations for one job. The zero
 // value is ready to use.
 type Recorder struct {
 	bytes [numSteps]atomic.Int64
 	nanos [numSteps]atomic.Int64
 
+	retries      atomic.Int64
+	specLaunched atomic.Int64
+	specWins     atomic.Int64
+	fetchRetries atomic.Int64
+	recomputed   atomic.Int64
+	faults       atomic.Int64
+
 	mu     sync.Mutex
 	spills int64 // bytes written to disk (E.D.C. accounting)
+}
+
+// AddTaskRetry records one task re-execution after a failed attempt.
+func (r *Recorder) AddTaskRetry() { r.retries.Add(1) }
+
+// AddSpeculative records one speculative straggler copy launched.
+func (r *Recorder) AddSpeculative() { r.specLaunched.Add(1) }
+
+// AddSpeculativeWin records a speculative copy finishing first.
+func (r *Recorder) AddSpeculativeWin() { r.specWins.Add(1) }
+
+// AddFetchRetry records one transient shuffle-fetch failure that was retried.
+func (r *Recorder) AddFetchRetry() { r.fetchRetries.Add(1) }
+
+// AddRecomputedPartial records one aggregation partial recomputed from
+// lineage after loss.
+func (r *Recorder) AddRecomputedPartial() { r.recomputed.Add(1) }
+
+// AddFaultInjected records one fault delivered by the injector.
+func (r *Recorder) AddFaultInjected() { r.faults.Add(1) }
+
+// Elastic returns the current elastic-execution counters.
+func (r *Recorder) Elastic() ElasticStats {
+	return ElasticStats{
+		TaskRetries:         r.retries.Load(),
+		SpeculativeLaunched: r.specLaunched.Load(),
+		SpeculativeWins:     r.specWins.Load(),
+		FetchRetries:        r.fetchRetries.Load(),
+		RecomputedPartials:  r.recomputed.Load(),
+		FaultsInjected:      r.faults.Load(),
+	}
 }
 
 // AddBytes records n bytes of traffic attributed to step s.
@@ -96,6 +176,12 @@ func (r *Recorder) Reset() {
 		r.bytes[i].Store(0)
 		r.nanos[i].Store(0)
 	}
+	r.retries.Store(0)
+	r.specLaunched.Store(0)
+	r.specWins.Store(0)
+	r.fetchRetries.Store(0)
+	r.recomputed.Store(0)
+	r.faults.Store(0)
 	r.mu.Lock()
 	r.spills = 0
 	r.mu.Unlock()
@@ -126,6 +212,8 @@ type Snapshot struct {
 	Aggregation      time.Duration
 	PCIE             time.Duration
 	SpillBytes       int64
+	// Elastic carries the fault-tolerant-execution counters.
+	Elastic ElasticStats
 }
 
 // Snapshot captures the current counter values.
@@ -139,6 +227,7 @@ func (r *Recorder) Snapshot() Snapshot {
 		Aggregation:      r.Duration(StepAggregation),
 		PCIE:             r.Duration(StepPCIE),
 		SpillBytes:       r.SpillBytes(),
+		Elastic:          r.Elastic(),
 	}
 }
 
@@ -157,6 +246,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		Aggregation:      s.Aggregation - o.Aggregation,
 		PCIE:             s.PCIE - o.PCIE,
 		SpillBytes:       s.SpillBytes - o.SpillBytes,
+		Elastic:          s.Elastic.Sub(o.Elastic),
 	}
 }
 

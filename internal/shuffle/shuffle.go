@@ -151,6 +151,23 @@ func Exchange(records []Record, p Partitioner, rec *metrics.Recorder, step metri
 	return out
 }
 
+// SimulateFetch models the aggregation-side fetch of one task's shuffle
+// output. fail(attempt) reports whether fetch attempt `attempt` (0-based)
+// fails; transient failures are retried up to maxTransient times, after
+// which the partition is declared lost — the producing executor is gone and
+// the partial must be recomputed from lineage, the way Spark resubmits the
+// producing stage on repeated FetchFailed. The return reports how many
+// retries were spent and whether the partition was lost.
+func SimulateFetch(fail func(attempt int) bool, maxTransient int) (retries int, lost bool) {
+	for attempt := 0; fail(attempt); attempt++ {
+		retries++
+		if retries > maxTransient {
+			return retries, true
+		}
+	}
+	return retries, false
+}
+
 // Broadcast charges one full copy of the payload per destination task (the
 // BMM repartition pattern: T·|B|) and returns the payload size replicated.
 func Broadcast(blocks []matrix.Block, tasks int, rec *metrics.Recorder, step metrics.Step) int64 {
