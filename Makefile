@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet bench bench-kernels clean
+.PHONY: build test test-race fuzz-smoke vet bench bench-kernels clean
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,16 @@ test:
 	$(GO) test ./...
 
 # The parallel hot path (threaded kernels, sharded aggregation, buffer
-# pool) and the elastic scheduler (retries, speculation, fault injection)
-# must stay race-detector-clean.
+# pool), the elastic scheduler (retries, speculation, fault injection), and
+# the real-network layer (failure detector, chaos suite, shuffle) must stay
+# race-detector-clean.
 test-race:
-	$(GO) test -race ./internal/matrix ./internal/core ./internal/cluster ./internal/engine
+	$(GO) test -race ./internal/matrix ./internal/core ./internal/cluster ./internal/engine ./internal/distnet ./internal/shuffle
+
+# Ten-second fuzz smoke over the storage reader: hostile bytes must come
+# back as ErrBadFormat/ErrChecksum, never a panic or a runaway allocation.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzRead -fuzztime=10s -run '^$$' ./internal/storage
 
 vet:
 	$(GO) vet ./...

@@ -2,29 +2,51 @@
 // executor of the distnet execution path. Start several (one per machine or
 // port) and point `distme rmul -workers ...` or distnet.Dial at them.
 //
-//	distme-worker -addr :7070
+// On SIGTERM or SIGINT the worker drains gracefully: it stops accepting
+// connections, finishes in-flight cuboids (bounded by -drain), then closes,
+// so a scaled-down executor never drops work it already accepted.
+//
+//	distme-worker -addr :7070 -drain 10s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"distme/internal/distnet"
 )
 
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight RPCs")
 	flag.Parse()
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("distme-worker: %v", err)
 	}
-	if _, err := distnet.Serve(l); err != nil {
+	w, err := distnet.Serve(l)
+	if err != nil {
 		log.Fatalf("distme-worker: %v", err)
 	}
 	fmt.Printf("distme-worker: serving cuboid multiplications on %s\n", l.Addr())
-	select {}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigs
+	log.Printf("distme-worker: %v: draining (timeout %v)", sig, *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := w.Shutdown(ctx); err != nil {
+		log.Printf("distme-worker: drain timeout expired: %v (served %d cuboids)", err, w.Multiplies())
+		os.Exit(1)
+	}
+	log.Printf("distme-worker: drained cleanly (served %d cuboids)", w.Multiplies())
 }

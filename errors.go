@@ -3,6 +3,7 @@ package distme
 import (
 	"distme/internal/cluster"
 	"distme/internal/core"
+	"distme/internal/distnet"
 	"distme/internal/engine"
 )
 
@@ -59,4 +60,18 @@ var (
 	// ErrTimeout reports a job past its wall-clock budget — the paper's
 	// "T.O." outcome.
 	ErrTimeout = cluster.ErrTimeout
+
+	// ErrWorkerDead reports a real-network RPC that failed because the
+	// remote worker's connection is broken (detected by the heartbeat
+	// failure detector or a failed call on the distnet driver path).
+	ErrWorkerDead = distnet.ErrWorkerDead
+
+	// ErrDeadlineExceeded reports a real-network RPC abandoned past its
+	// per-call deadline; errors carrying it also match
+	// context.DeadlineExceeded.
+	ErrDeadlineExceeded = distnet.ErrDeadlineExceeded
+
+	// ErrNoWorkers reports a distnet driver whose live membership drained
+	// to zero with local fallback disabled.
+	ErrNoWorkers = distnet.ErrNoWorkers
 )

@@ -4,10 +4,14 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"net"
+	"net/rpc"
 	"testing"
 	"time"
 
 	"distme"
+	"distme/internal/distnet"
+	"distme/internal/ml"
 )
 
 // Each sentinel is exercised end-to-end: a public API call is driven into
@@ -136,5 +140,111 @@ func TestElasticReportThroughPublicAPI(t *testing.T) {
 	}
 	if report.Elastic.FaultsInjected == 0 || report.Elastic.TaskRetries == 0 {
 		t.Fatalf("chaos run should surface elastic work on the report, got %+v", report.Elastic)
+	}
+}
+
+// strictDistnetOpts disables every fallback and the background detector so
+// the real-network failure under test surfaces as a typed error instead of
+// being healed.
+func strictDistnetOpts() distnet.Options {
+	return distnet.Options{
+		DisableHeartbeat:     true,
+		DisableLocalFallback: true,
+		JobAttempts:          2,
+		RetryBackoff:         100 * time.Microsecond,
+		MaxBackoff:           time.Millisecond,
+	}
+}
+
+// TestErrWorkerDeadThroughLayers kills the whole worker pool under a running
+// GNMF stack: the distnet sentinel must match at the package root after
+// crossing the driver, the hybrid, and the ml layer.
+func TestErrWorkerDeadThroughLayers(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := distnet.Serve(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := distnet.DialOptions([]string{l.Addr().String()}, strictDistnetOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Crash the only worker: refuse new connections, cut the live ones.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w.Shutdown(ctx)
+	l.Close()
+
+	eng := chaosEngine(t, distme.Faults{})
+	hybrid := distnet.NewHybrid(d, eng, 1<<30)
+	hybrid.DisableLocalFallback = true
+	rng := rand.New(rand.NewSource(8))
+	v := distme.RandomSparse(rng, 16, 12, 4, 0.3)
+	_, err = ml.GNMF(hybrid, v, distme.GNMFOptions{Rank: 3, Iterations: 1, Seed: 1})
+	if !errors.Is(err, distme.ErrWorkerDead) {
+		t.Fatalf("want ErrWorkerDead through driver→hybrid→ml, got %v", err)
+	}
+}
+
+// stallServer speaks the distnet worker protocol but never answers Multiply
+// within any reasonable deadline.
+type stallServer struct{ inner distnet.Worker }
+
+func (s *stallServer) Ping(args *distnet.PingArgs, reply *distnet.PingReply) error {
+	return s.inner.Ping(args, reply)
+}
+
+func (s *stallServer) Multiply(args *distnet.MultiplyArgs, reply *distnet.MultiplyReply) error {
+	time.Sleep(2 * time.Second)
+	return s.inner.Multiply(args, reply)
+}
+
+// TestErrDeadlineExceededThroughLayers points the hybrid at a worker that
+// stalls every Multiply; the per-call deadline must surface as the root
+// sentinel and also match context.DeadlineExceeded.
+func TestErrDeadlineExceededThroughLayers(t *testing.T) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(distnet.ServiceName, &stallServer{}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+
+	opts := strictDistnetOpts()
+	opts.CallTimeout = 50 * time.Millisecond
+	d, err := distnet.DialOptions([]string{l.Addr().String()}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	eng := chaosEngine(t, distme.Faults{})
+	hybrid := distnet.NewHybrid(d, eng, 1<<30)
+	hybrid.DisableLocalFallback = true
+	rng := rand.New(rand.NewSource(9))
+	a := distme.RandomDense(rng, 8, 8, 4)
+	_, err = hybrid.Multiply(a, a)
+	if !errors.Is(err, distme.ErrDeadlineExceeded) {
+		t.Fatalf("want ErrDeadlineExceeded through driver→hybrid, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline error should also match context.DeadlineExceeded, got %v", err)
 	}
 }

@@ -1,0 +1,724 @@
+package distnet
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"net"
+	"net/rpc"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distme/internal/bmat"
+	"distme/internal/cluster"
+	"distme/internal/core"
+	"distme/internal/engine"
+	"distme/internal/matrix"
+	"distme/internal/ml"
+)
+
+// ---------------------------------------------------------------------------
+// Chaos TCP proxy: a seeded fault injector between driver and worker that
+// delays accepts, severs connections after a random byte budget, and resets
+// live streams — without touching either endpoint's code.
+
+type chaosConfig struct {
+	// AcceptDelayMax delays each accepted connection by a uniform draw in
+	// [0, AcceptDelayMax).
+	AcceptDelayMax time.Duration
+	// DropRate is the per-connection probability of severing the stream
+	// after a byte budget drawn uniformly from [1, DropBytesMax].
+	DropRate     float64
+	DropBytesMax int64
+	// CleanConns exempts the first N connections (lets the initial dial
+	// handshake through so the test exercises mid-job failures).
+	CleanConns int
+}
+
+type chaosProxy struct {
+	l      net.Listener
+	target string
+	cfg    chaosConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	conns int
+}
+
+func startChaosProxy(t *testing.T, target string, seed int64, cfg chaosConfig) *chaosProxy {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &chaosProxy{l: l, target: target, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			p.mu.Lock()
+			p.conns++
+			clean := p.conns <= cfg.CleanConns
+			delay := time.Duration(0)
+			if !clean && cfg.AcceptDelayMax > 0 {
+				delay = time.Duration(p.rng.Int63n(int64(cfg.AcceptDelayMax)))
+			}
+			budget := int64(math.MaxInt64)
+			if !clean && cfg.DropRate > 0 && p.rng.Float64() < cfg.DropRate {
+				budget = 1 + p.rng.Int63n(cfg.DropBytesMax)
+			}
+			p.mu.Unlock()
+			go p.handle(conn, delay, budget)
+		}
+	}()
+	return p
+}
+
+func (p *chaosProxy) Addr() string { return p.l.Addr().String() }
+
+func (p *chaosProxy) handle(conn net.Conn, delay time.Duration, budget int64) {
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	back, err := net.Dial("tcp", p.target)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	var remaining atomic.Int64
+	remaining.Store(budget)
+	sever := func() { conn.Close(); back.Close() }
+	pipe := func(dst, src net.Conn) {
+		buf := make([]byte, 4096)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				if remaining.Add(-int64(n)) < 0 {
+					sever() // mid-stream cut: the reply (or request) dies here
+					return
+				}
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					sever()
+					return
+				}
+			}
+			if err != nil {
+				sever()
+				return
+			}
+		}
+	}
+	go pipe(back, conn)
+	go pipe(conn, back)
+}
+
+// ---------------------------------------------------------------------------
+// Helpers.
+
+// fastOpts are deterministic-latency elastic options for tests: tight
+// deadlines, quick detector, cheap backoff.
+func fastOpts() Options {
+	return Options{
+		HeartbeatInterval: 20 * time.Millisecond,
+		PingTimeout:       500 * time.Millisecond,
+		CallTimeout:       2 * time.Second,
+		SuspectAfter:      1,
+		DeadAfter:         2,
+		JobAttempts:       8,
+		RetryBackoff:      time.Millisecond,
+		MaxBackoff:        20 * time.Millisecond,
+	}
+}
+
+// bitIdentical compares two block matrices float64-bit for float64-bit —
+// the chaos suite's correctness bar is exact equality with the
+// failure-free run, not an epsilon.
+func bitIdentical(t *testing.T, got, want *bmat.BlockMatrix) {
+	t.Helper()
+	g, w := got.ToDense(), want.ToDense()
+	gr, gc := g.Dims()
+	wr, wc := w.Dims()
+	if gr != wr || gc != wc {
+		t.Fatalf("shape %dx%d != %dx%d", gr, gc, wr, wc)
+	}
+	for i := range g.Data {
+		if math.Float64bits(g.Data[i]) != math.Float64bits(w.Data[i]) {
+			t.Fatalf("element %d differs bitwise: %v != %v", i, g.Data[i], w.Data[i])
+		}
+	}
+}
+
+// killWorker simulates a worker crash: stop accepting and cut every open
+// connection immediately (no drain).
+func killWorker(w *Worker) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w.Shutdown(ctx)
+}
+
+func localEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	cfg := cluster.LaptopConfig()
+	cfg.LocalWorkers = 4
+	cfg.TaskMemBytes = 1 << 30
+	cfg.DiskCapacityBytes = 0
+	eng, err := engine.New(engine.Config{Cluster: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// ---------------------------------------------------------------------------
+// Chaos suite.
+
+// TestChaosMultiplyByteIdentical runs the same multiply over clean sockets
+// and through chaos proxies injecting accept delays and mid-stream
+// connection cuts; the products must agree bit for bit.
+func TestChaosMultiplyByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(300))
+	a := bmat.RandomDense(rng, 32, 32, 4)
+	b := bmat.RandomDense(rng, 32, 32, 4)
+	params := core.Params{P: 4, Q: 2, R: 2}
+
+	addrs, _ := startWorkers(t, 3)
+	baseline, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer baseline.Close()
+	want, err := baseline.Multiply(a, b, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var proxied []string
+	for i, addr := range addrs {
+		p := startChaosProxy(t, addr, int64(400+i), chaosConfig{
+			AcceptDelayMax: 15 * time.Millisecond,
+			DropRate:       0.6,
+			DropBytesMax:   48 << 10,
+			CleanConns:     1,
+		})
+		proxied = append(proxied, p.Addr())
+	}
+	d, err := DialOptions(proxied, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	for round := 0; round < 3; round++ {
+		got, err := d.Multiply(a, b, params)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		bitIdentical(t, got, want)
+	}
+}
+
+// TestChaosGNMFByteIdentical runs GNMF through the Hybrid with its
+// multiplications crossing chaos proxies and compares W and H bitwise
+// against the failure-free hybrid run.
+func TestChaosGNMFByteIdentical(t *testing.T) {
+	addrs, _ := startWorkers(t, 2)
+	rng := rand.New(rand.NewSource(301))
+	v := bmat.RandomSparse(rng, 24, 20, 4, 0.2)
+	gopts := ml.GNMFOptions{Rank: 4, Iterations: 2, Seed: 11}
+
+	clean, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Close()
+	want, err := ml.GNMF(NewHybrid(clean, localEngine(t), 1<<30), v, gopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var proxied []string
+	for i, addr := range addrs {
+		p := startChaosProxy(t, addr, int64(500+i), chaosConfig{
+			AcceptDelayMax: 10 * time.Millisecond,
+			DropRate:       0.5,
+			DropBytesMax:   32 << 10,
+			CleanConns:     1,
+		})
+		proxied = append(proxied, p.Addr())
+	}
+	d, err := DialOptions(proxied, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	got, err := ml.GNMF(NewHybrid(d, localEngine(t), 1<<30), v, gopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, got.W, want.W)
+	bitIdentical(t, got.H, want.H)
+}
+
+// TestWorkerKillBetweenCuboids kills one of two workers between multiplies;
+// every cuboid must reassign to the survivor and the product stay
+// bit-identical.
+func TestWorkerKillBetweenCuboids(t *testing.T) {
+	addrs, workers := startWorkers(t, 2)
+	opts := fastOpts()
+	opts.DisableHeartbeat = true // deterministic: death detected by the failed call itself
+	d, err := DialOptions(addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	rng := rand.New(rand.NewSource(302))
+	a := bmat.RandomDense(rng, 16, 16, 4)
+	b := bmat.RandomDense(rng, 16, 16, 4)
+	params := core.Params{P: 2, Q: 2, R: 2}
+	want, err := d.Multiply(a, b, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killWorker(workers[0])
+	before := workers[1].Multiplies()
+	got, err := d.Multiply(a, b, params)
+	if err != nil {
+		t.Fatalf("multiply after kill: %v", err)
+	}
+	bitIdentical(t, got, want)
+	if served := workers[1].Multiplies() - before; served != 8 {
+		t.Fatalf("survivor served %d cuboids, want all 8", served)
+	}
+	if d.Workers() != 1 {
+		t.Fatalf("Workers() = %d after kill, want 1", d.Workers())
+	}
+	if dead := d.NetStats().WorkersDeclaredDead; dead == 0 {
+		t.Fatal("kill did not surface on WorkersDeclaredDead")
+	}
+}
+
+// slowWorker wraps a real worker and serializes its multiplications with a
+// delay, so a mid-job membership change happens while cuboids are still
+// queued driver-side.
+type slowWorker struct {
+	inner Worker
+	delay time.Duration
+	mu    sync.Mutex
+}
+
+func (s *slowWorker) Multiply(args *MultiplyArgs, reply *MultiplyReply) error {
+	s.mu.Lock()
+	time.Sleep(s.delay)
+	s.mu.Unlock()
+	return s.inner.Multiply(args, reply)
+}
+
+func (s *slowWorker) Ping(args *PingArgs, reply *PingReply) error {
+	return s.inner.Ping(args, reply)
+}
+
+func startSlowWorker(t *testing.T, delay time.Duration) (string, *slowWorker) {
+	t.Helper()
+	sw := &slowWorker{delay: delay}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(serviceName, sw); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return l.Addr().String(), sw
+}
+
+// TestAddWorkerMidMultiply adds a fresh worker while a multiply is in
+// flight on a deliberately slow one; the newcomer must serve at least one
+// queued cuboid, and the product must match the reference bitwise.
+func TestAddWorkerMidMultiply(t *testing.T) {
+	slowAddr, _ := startSlowWorker(t, 15*time.Millisecond)
+	opts := fastOpts()
+	opts.DisableHeartbeat = true
+	opts.PerWorkerInflight = 2
+	d, err := DialOptions([]string{slowAddr}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	rng := rand.New(rand.NewSource(303))
+	a := bmat.RandomDense(rng, 16, 16, 4)
+	b := bmat.RandomDense(rng, 16, 16, 4)
+	params := core.Params{P: 4, Q: 4, R: 1} // 16 queued cuboids
+
+	type result struct {
+		c   *bmat.BlockMatrix
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		c, err := d.Multiply(a, b, params)
+		done <- result{c, err}
+	}()
+
+	time.Sleep(30 * time.Millisecond)
+	fastAddrs, fastWorkers := startWorkers(t, 1)
+	if err := d.AddWorker(fastAddrs[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	want := matrix.Mul(a.ToDense(), b.ToDense()).Dense()
+	if !res.c.ToDense().EqualApprox(want, 1e-9) {
+		t.Fatal("product wrong after mid-job join")
+	}
+	if fastWorkers[0].Multiplies() == 0 {
+		t.Fatal("worker added mid-multiply served no cuboids")
+	}
+	if d.NetStats().WorkersJoined != 1 {
+		t.Fatalf("WorkersJoined = %d, want 1", d.NetStats().WorkersJoined)
+	}
+}
+
+// TestAllWorkersKilledDegradesToLocal kills the entire pool; Multiply must
+// degrade to driver-local compute with a bit-identical product, and the
+// Hybrid's GNMF must keep working on top of the dead driver.
+func TestAllWorkersKilledDegradesToLocal(t *testing.T) {
+	addrs, workers := startWorkers(t, 2)
+	opts := fastOpts()
+	opts.DisableHeartbeat = true
+	opts.JobAttempts = 2
+	d, err := DialOptions(addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	rng := rand.New(rand.NewSource(304))
+	a := bmat.RandomDense(rng, 16, 16, 4)
+	b := bmat.RandomDense(rng, 16, 16, 4)
+	params := core.Params{P: 2, Q: 2, R: 2}
+	want, err := d.Multiply(a, b, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, w := range workers {
+		killWorker(w)
+	}
+	got, err := d.Multiply(a, b, params)
+	if err != nil {
+		t.Fatalf("multiply with drained pool: %v", err)
+	}
+	bitIdentical(t, got, want)
+	if d.NetStats().LocalFallbacks == 0 {
+		t.Fatal("drained pool did not surface on LocalFallbacks")
+	}
+	if d.Workers() != 0 {
+		t.Fatalf("Workers() = %d with all dead, want 0", d.Workers())
+	}
+
+	// GNMF via the Hybrid on the dead driver: every multiplication degrades
+	// to compute (driver-local or engine-local) and the query still runs.
+	eng := localEngine(t)
+	v := bmat.RandomSparse(rng, 24, 20, 4, 0.2)
+	gopts := ml.GNMFOptions{Rank: 4, Iterations: 2, Seed: 11}
+	gotG, err := ml.GNMF(NewHybrid(d, eng, 1<<30), v, gopts)
+	if err != nil {
+		t.Fatalf("GNMF on drained pool: %v", err)
+	}
+	wantG, err := ml.GNMF(eng, v, gopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotG.W.ToDense().EqualApprox(wantG.W.ToDense(), 1e-12) {
+		t.Fatal("degraded GNMF W diverges from local")
+	}
+}
+
+// TestDetectorMarksDeadAndReconnects watches the failure detector retire a
+// killed worker and — after a replacement worker reappears on the same
+// address — bring it back into the live set.
+func TestDetectorMarksDeadAndReconnects(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Serve(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+
+	opts := fastOpts()
+	opts.HeartbeatInterval = 10 * time.Millisecond
+	opts.PingTimeout = 200 * time.Millisecond
+	d, err := DialOptions([]string{addr}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	killWorker(w)
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Workers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("detector never declared the killed worker dead")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A replacement worker binds the same address; the detector's redial
+	// loop must re-admit it without any driver call.
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	if _, err := Serve(l2); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l2.Close() })
+	deadline = time.Now().Add(2 * time.Second)
+	for d.Workers() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("detector never reconnected the recovered worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if stats := d.NetStats(); stats.Reconnects == 0 {
+		t.Fatalf("reconnect not counted: %+v", stats)
+	}
+	// The next successful probe records a heartbeat and its RTT.
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		stats := d.NetStats()
+		if stats.HeartbeatsSent > 0 && stats.HeartbeatRTTCount > 0 && stats.HeartbeatRTTMax > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("heartbeat RTTs not recorded: %+v", stats)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestResumeMultiply simulates a driver crash/restart: a first checkpointed
+// run completes some cuboids, a second driver resumes from the directory
+// and must recompute only what is missing or damaged.
+func TestResumeMultiply(t *testing.T) {
+	addrs, workers := startWorkers(t, 2)
+	opts := fastOpts()
+	opts.DisableHeartbeat = true
+	dir := t.TempDir()
+
+	rng := rand.New(rand.NewSource(305))
+	a := bmat.RandomDense(rng, 16, 16, 4)
+	b := bmat.RandomDense(rng, 16, 16, 4)
+	params := core.Params{P: 2, Q: 2, R: 2} // 8 cuboids
+
+	d1, err := DialOptions(addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d1.ResumeMultiply(dir, a, b, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Close() // the "crash": driver gone, checkpoints on disk
+	served := workers[0].Multiplies() + workers[1].Multiplies()
+	if served != 8 {
+		t.Fatalf("first run served %d cuboids, want 8", served)
+	}
+
+	// Restarted driver, same dir: everything is checkpointed, so no cuboid
+	// is re-shipped.
+	d2, err := DialOptions(addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got, err := d2.ResumeMultiply(dir, a, b, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, got, want)
+	if now := workers[0].Multiplies() + workers[1].Multiplies(); now != served {
+		t.Fatalf("full resume recomputed %d cuboids, want 0", now-served)
+	}
+
+	// Damage the checkpoint set: delete one cuboid, corrupt another — as a
+	// crash mid-write would. Resume must recompute exactly those two.
+	if err := os.Remove(filepath.Join(dir, "cuboid-00003.dmeb")); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := filepath.Join(dir, "cuboid-00005.dmeb")
+	data, err := os.ReadFile(corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xff
+	if err := os.WriteFile(corrupt, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = d2.ResumeMultiply(dir, a, b, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, got, want)
+	if now := workers[0].Multiplies() + workers[1].Multiplies(); now != served+2 {
+		t.Fatalf("partial resume recomputed %d cuboids, want exactly 2", now-served)
+	}
+
+	// A different job must refuse the directory rather than mix outputs.
+	if _, err := d2.ResumeMultiply(dir, a, b, core.Params{P: 1, Q: 1, R: 1}); err == nil {
+		t.Fatal("checkpoint dir accepted a different job")
+	}
+}
+
+// TestDeadlineExceeded drives a Multiply into a worker that never answers
+// within the deadline; with fallback disabled the typed sentinel must
+// surface, matching both the package and context sentinels.
+func TestDeadlineExceeded(t *testing.T) {
+	slowAddr, _ := startSlowWorker(t, 300*time.Millisecond)
+	opts := fastOpts()
+	opts.DisableHeartbeat = true
+	opts.DisableLocalFallback = true
+	opts.CallTimeout = 30 * time.Millisecond
+	opts.JobAttempts = 2
+	d, err := DialOptions([]string{slowAddr}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	rng := rand.New(rand.NewSource(306))
+	a := bmat.RandomDense(rng, 8, 8, 4)
+	_, err = d.Multiply(a, a, core.Params{P: 1, Q: 1, R: 1})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("want ErrDeadlineExceeded, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline error should match context.DeadlineExceeded, got %v", err)
+	}
+	if d.NetStats().DeadlineTimeouts == 0 {
+		t.Fatal("timeout not counted")
+	}
+}
+
+// TestWorkerGracefulShutdown exercises the drain path: Shutdown completes
+// in-flight RPCs, refuses new ones, is idempotent, and unblocks Wait.
+func TestWorkerGracefulShutdown(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Serve(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := rpc.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	var pong PingReply
+	if err := client.Call(serviceName+".Ping", &PingArgs{}, &pong); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := w.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown errored: %v", err)
+	}
+	if err := w.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown not idempotent: %v", err)
+	}
+	w.Wait() // must not block after shutdown
+
+	// The listener is closed and the connection severed.
+	if _, err := net.DialTimeout("tcp", l.Addr().String(), 100*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+	if err := client.Call(serviceName+".Ping", &PingArgs{}, &pong); err == nil {
+		t.Fatal("severed connection still answers")
+	}
+}
+
+// TestDriverLifecycle pins the satellite fixes: Close is idempotent,
+// Workers excludes dead members, RemoveWorker evicts, and a removed
+// worker's cuboids land on the survivors.
+func TestDriverLifecycle(t *testing.T) {
+	addrs, workers := startWorkers(t, 3)
+	opts := fastOpts()
+	opts.DisableHeartbeat = true
+	d, err := DialOptions(addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Workers() != 3 {
+		t.Fatalf("Workers = %d, want 3", d.Workers())
+	}
+	if err := d.RemoveWorker(addrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if d.Workers() != 2 {
+		t.Fatalf("Workers = %d after remove, want 2", d.Workers())
+	}
+	if err := d.RemoveWorker(addrs[0]); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if err := d.RemoveWorker("127.0.0.1:9"); err == nil {
+		t.Fatal("unknown remove accepted")
+	}
+
+	rng := rand.New(rand.NewSource(307))
+	a := bmat.RandomDense(rng, 16, 16, 4)
+	before := workers[0].Multiplies()
+	c, err := d.Multiply(a, a, core.Params{P: 2, Q: 2, R: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.Mul(a.ToDense(), a.ToDense()).Dense()
+	if !c.ToDense().EqualApprox(want, 1e-9) {
+		t.Fatal("product wrong after removal")
+	}
+	if workers[0].Multiplies() != before {
+		t.Fatal("removed worker still received cuboids")
+	}
+	stats := d.NetStats()
+	if stats.WorkersLeft != 1 {
+		t.Fatalf("WorkersLeft = %d, want 1", stats.WorkersLeft)
+	}
+
+	d.Close()
+	d.Close() // idempotent
+	if _, err := d.Multiply(a, a, core.Params{P: 1, Q: 1, R: 1}); !errors.Is(err, ErrDriverClosed) {
+		t.Fatalf("closed driver: want ErrDriverClosed, got %v", err)
+	}
+	if err := d.AddWorker(addrs[0]); !errors.Is(err, ErrDriverClosed) {
+		t.Fatalf("AddWorker on closed driver: want ErrDriverClosed, got %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package distnet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"distme/internal/bmat"
+	"distme/internal/core"
+	"distme/internal/matrix"
+	"distme/internal/storage"
+)
+
+// Per-cuboid checkpointing: each completed cuboid's partial-C reply is
+// persisted through internal/storage (chunked, CRC-checked) under its
+// cuboid index, so a driver that crashes and restarts re-ships and
+// recomputes only the unfinished cuboids. A manifest binds the directory to
+// one job geometry; a corrupt or truncated checkpoint file (the crash may
+// have interrupted a write) fails storage's checksums and is simply
+// recomputed.
+
+// checkpointManifest is the directory's job fingerprint.
+const checkpointManifest = "manifest"
+
+type checkpointer struct {
+	dir string
+}
+
+func (c *checkpointer) manifestLine(a, b *bmat.BlockMatrix, params core.Params, jobs int) string {
+	return fmt.Sprintf("DMECKPT1 a=%dx%d b=%dx%d bs=%d p=%d q=%d r=%d jobs=%d\n",
+		a.Rows, a.Cols, b.Rows, b.Cols, a.BlockSize, params.P, params.Q, params.R, jobs)
+}
+
+// ensureManifest creates the checkpoint directory and manifest on first
+// use, and on resume verifies the directory belongs to this job.
+func (c *checkpointer) ensureManifest(a, b *bmat.BlockMatrix, params core.Params, jobs int) error {
+	want := c.manifestLine(a, b, params, jobs)
+	path := filepath.Join(c.dir, checkpointManifest)
+	if data, err := os.ReadFile(path); err == nil {
+		if string(data) != want {
+			return fmt.Errorf("distnet: checkpoint dir %s holds a different job (%q)", c.dir, string(data))
+		}
+		return nil
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return fmt.Errorf("distnet: checkpoint dir: %w", err)
+	}
+	if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+		return fmt.Errorf("distnet: checkpoint manifest: %w", err)
+	}
+	return nil
+}
+
+func (c *checkpointer) path(idx int) string {
+	return filepath.Join(c.dir, fmt.Sprintf("cuboid-%05d.dmeb", idx))
+}
+
+// load returns cuboid idx's checkpointed reply, or ok=false when it is
+// absent, corrupt, or from a different geometry — any of which means the
+// cuboid is recomputed. Damaged files are removed so the fresh result can
+// take their place.
+func (c *checkpointer) load(idx, cRows, cCols, blockSize int) (*MultiplyReply, bool) {
+	path := c.path(idx)
+	m, err := storage.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			os.Remove(path)
+		}
+		return nil, false
+	}
+	if m.Rows != cRows || m.Cols != cCols || m.BlockSize != blockSize {
+		os.Remove(path)
+		return nil, false
+	}
+	reply := &MultiplyReply{}
+	for _, k := range m.Keys() {
+		reply.CBlocks = append(reply.CBlocks, BlockRec{Key: k, Block: m.Block(k.I, k.J)})
+	}
+	return reply, true
+}
+
+// store persists cuboid idx's reply. The write goes to a temp file first
+// and renames into place, so a crash mid-write leaves either nothing or a
+// file storage's checksums will reject — never a silently-wrong
+// checkpoint. Checkpoint I/O failures are deliberately non-fatal: the
+// multiply's correctness never depends on the checkpoint.
+func (c *checkpointer) store(idx int, reply *MultiplyReply, cRows, cCols, blockSize int) {
+	m := bmat.New(cRows, cCols, blockSize)
+	for _, rec := range reply.CBlocks {
+		dense, ok := rec.Block.(*matrix.Dense)
+		if !ok {
+			dense = rec.Block.Dense()
+		}
+		m.SetBlock(rec.Key.I, rec.Key.J, dense)
+	}
+	tmp := c.path(idx) + ".tmp"
+	if err := storage.WriteFile(tmp, m); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, c.path(idx)); err != nil {
+		os.Remove(tmp)
+	}
+}
+
+// ResumeMultiply is Multiply with per-cuboid checkpointing rooted at dir.
+// On a fresh directory it checkpoints each cuboid's partial-C reply as it
+// completes; called again after a driver crash or restart — with the same
+// inputs and params — it loads the completed cuboids from disk and
+// re-ships only the unfinished ones. The result is byte-identical to an
+// uninterrupted Multiply.
+func (d *Driver) ResumeMultiply(dir string, a, b *bmat.BlockMatrix, params core.Params) (*bmat.BlockMatrix, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("distnet: ResumeMultiply: empty checkpoint dir")
+	}
+	return d.multiply(a, b, params, &checkpointer{dir: dir})
+}

@@ -1,0 +1,100 @@
+package distnet
+
+import (
+	"net/rpc"
+	"sync"
+	"time"
+)
+
+// The heartbeat failure detector: a background sweep that Pings every
+// member on a fixed interval, drives the Alive → Suspect → Dead state
+// machine on missed beats, and redials Dead members so recovered workers
+// rejoin on their own — MapReduce's "the master pings every worker
+// periodically" (Dean & Ghemawat 2004) adapted to a dialing driver.
+
+// rpcCall performs one RPC on a raw client with a deadline. On timeout the
+// pending call is abandoned (net/rpc cannot cancel it); the caller must
+// treat the connection as wedged and close it before reusing the member.
+func rpcCall(client *rpc.Client, method string, args, reply any, timeout time.Duration) error {
+	call := client.Go(serviceName+"."+method, args, reply, make(chan *rpc.Call, 1))
+	if timeout <= 0 {
+		<-call.Done
+		return call.Error
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-call.Done:
+		return call.Error
+	case <-timer.C:
+		return ErrDeadlineExceeded
+	}
+}
+
+// runDetector is the detector goroutine body; it exits when the driver
+// closes.
+func (d *Driver) runDetector() {
+	defer close(d.detectorDone)
+	ticker := time.NewTicker(d.opts.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stopDetector:
+			return
+		case <-ticker.C:
+			d.sweep()
+		}
+	}
+}
+
+// sweep probes every member once, concurrently, so one slow worker cannot
+// delay the others' verdicts.
+func (d *Driver) sweep() {
+	d.mu.Lock()
+	members := append([]*member(nil), d.members...)
+	d.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, m := range members {
+		state, client := m.snapshot()
+		switch {
+		case state == StateRemoved:
+			continue
+		case client == nil:
+			// Dead (or never-connected): attempt a reconnect so a worker
+			// that came back rejoins the live set.
+			wg.Add(1)
+			go func(m *member) {
+				defer wg.Done()
+				_ = d.connect(m, true)
+			}(m)
+		default:
+			wg.Add(1)
+			go func(m *member, client *rpc.Client) {
+				defer wg.Done()
+				d.probe(m, client)
+			}(m, client)
+		}
+	}
+	wg.Wait()
+}
+
+// probe sends one heartbeat and applies the state machine.
+func (d *Driver) probe(m *member, client *rpc.Client) {
+	d.rec.AddHeartbeat()
+	start := time.Now()
+	var pong PingReply
+	err := rpcCall(client, "Ping", &PingArgs{}, &pong, d.opts.PingTimeout)
+	if err == nil {
+		rtt := time.Since(start)
+		m.markAlive(rtt)
+		d.rec.ObserveHeartbeatRTT(rtt)
+		return
+	}
+	d.rec.AddHeartbeatMiss()
+	if dead, detached := m.noteMissed(d.opts.SuspectAfter, d.opts.DeadAfter); dead {
+		if detached != nil {
+			detached.Close()
+		}
+		d.rec.AddWorkerDeclaredDead()
+	}
+}

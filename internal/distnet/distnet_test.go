@@ -329,7 +329,10 @@ func TestDriverFailsOverDeadWorker(t *testing.T) {
 	// The rpc connection itself is still alive in-process (both halves are
 	// ours), so sever it explicitly through the client: the first Call on a
 	// closed client errors, which is exactly the failover trigger.
-	d.clients[0].Close()
+	d.members[0].mu.Lock()
+	deadClient := d.members[0].client
+	d.members[0].mu.Unlock()
+	deadClient.Close()
 
 	rng := rand.New(rand.NewSource(177))
 	a := bmat.RandomDense(rng, 16, 16, 4)

@@ -1,26 +1,111 @@
 package distnet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"distme/internal/bmat"
 	"distme/internal/core"
 	"distme/internal/matrix"
+	"distme/internal/metrics"
 	"distme/internal/shuffle"
 )
 
-// Driver executes cuboid plans across remote workers. It owns one RPC
-// client per worker; cuboids are assigned round-robin and run concurrently,
-// and every byte that crosses a socket is counted — the measured-for-real
-// counterpart of the cluster substrate's accounting.
+// Driver executes cuboid plans across remote workers. It owns a dynamic
+// membership table (one entry per worker, with a heartbeat failure detector
+// driving Alive/Suspect/Dead states), assigns cuboids to live members with
+// per-RPC deadlines and capped-exponential-backoff retries, reconnects dead
+// members, and — when the pool drains to zero — computes the remaining
+// cuboids locally with the exact arithmetic the workers use, so the output
+// is byte-identical no matter what the network did. Every byte that crosses
+// a socket is counted.
 type Driver struct {
-	clients []*rpc.Client
-	addrs   []string
-	wire    *wireCounter
+	opts Options
+	wire *wireCounter
+	rec  *metrics.Recorder
+
+	mu      sync.Mutex
+	members []*member
+	rr      int // round-robin scheduling cursor
+	closed  bool
+
+	stopDetector chan struct{}
+	detectorDone chan struct{}
+}
+
+// Options tunes the driver's elasticity machinery. The zero value gives
+// production defaults; tests shrink the intervals.
+type Options struct {
+	// HeartbeatInterval is the failure detector's probe period
+	// (default 200ms).
+	HeartbeatInterval time.Duration
+	// PingTimeout bounds one heartbeat (and the dial-time ping); default 2s.
+	PingTimeout time.Duration
+	// CallTimeout bounds one Multiply RPC; default 60s. A call past its
+	// deadline abandons the connection (net/rpc cannot cancel a call) and
+	// the cuboid reassigns.
+	CallTimeout time.Duration
+	// SuspectAfter is the missed-beat count that demotes Alive → Suspect
+	// (default 1); DeadAfter the count that demotes to Dead (default 3).
+	SuspectAfter int
+	DeadAfter    int
+	// JobAttempts is how many scheduling attempts one cuboid gets across
+	// the membership before local fallback (default 6).
+	JobAttempts int
+	// PerWorkerInflight bounds concurrent Multiply RPCs per worker
+	// (default 4); excess cuboids queue driver-side, where a newly added
+	// worker can claim them.
+	PerWorkerInflight int
+	// RetryBackoff is the initial inter-attempt backoff (default 2ms),
+	// doubled per attempt and capped at MaxBackoff (default 250ms).
+	RetryBackoff time.Duration
+	MaxBackoff   time.Duration
+	// DisableHeartbeat turns the failure detector off (deterministic
+	// tests); dead members are then reconnected only on demand.
+	DisableHeartbeat bool
+	// DisableLocalFallback makes a fully-drained pool an error
+	// (ErrWorkerDead / ErrNoWorkers) instead of computing locally.
+	DisableLocalFallback bool
+	// Recorder receives membership, reconnect, and heartbeat counters; a
+	// private recorder is used when nil (see Driver.NetStats).
+	Recorder *metrics.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 200 * time.Millisecond
+	}
+	if o.PingTimeout <= 0 {
+		o.PingTimeout = 2 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 60 * time.Second
+	}
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 1
+	}
+	if o.DeadAfter <= 0 {
+		o.DeadAfter = 3
+	}
+	if o.JobAttempts <= 0 {
+		o.JobAttempts = 6
+	}
+	if o.PerWorkerInflight <= 0 {
+		o.PerWorkerInflight = 4
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 2 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 250 * time.Millisecond
+	}
+	return o
 }
 
 // wireCounter meters real socket traffic in both directions.
@@ -46,43 +131,69 @@ func (c *countingConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Dial connects to the workers. Every address must answer a Ping before the
-// driver is returned.
+// Dial connects to the workers with default options. Every address must
+// answer a Ping before the driver is returned.
 func Dial(addrs []string) (*Driver, error) {
+	return DialOptions(addrs, Options{})
+}
+
+// DialOptions connects to the workers with explicit elasticity options.
+func DialOptions(addrs []string, opts Options) (*Driver, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("distnet: no worker addresses")
 	}
-	d := &Driver{addrs: addrs, wire: &wireCounter{}}
+	d := &Driver{
+		opts: opts.withDefaults(),
+		wire: &wireCounter{},
+		rec:  opts.Recorder,
+	}
+	if d.rec == nil {
+		d.rec = &metrics.Recorder{}
+	}
 	for _, addr := range addrs {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
+		m := d.newMember(addr)
+		if err := d.connect(m, false); err != nil {
 			d.Close()
 			return nil, fmt.Errorf("distnet: dial %s: %w", addr, err)
 		}
-		client := rpc.NewClient(&countingConn{Conn: conn, wire: d.wire})
-		var pong PingReply
-		if err := client.Call(serviceName+".Ping", &PingArgs{}, &pong); err != nil {
-			client.Close()
-			d.Close()
-			return nil, fmt.Errorf("distnet: ping %s: %w", addr, err)
-		}
-		d.clients = append(d.clients, client)
+		d.members = append(d.members, m)
+	}
+	if !d.opts.DisableHeartbeat {
+		d.stopDetector = make(chan struct{})
+		d.detectorDone = make(chan struct{})
+		go d.runDetector()
 	}
 	return d, nil
 }
 
-// Close shuts every client connection.
+// Close shuts the detector and every client connection. It is idempotent.
 func (d *Driver) Close() {
-	for _, c := range d.clients {
-		if c != nil {
-			c.Close()
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	members := append([]*member(nil), d.members...)
+	stop, done := d.stopDetector, d.detectorDone
+	d.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	for _, m := range members {
+		m.mu.Lock()
+		client := m.client
+		m.client = nil
+		if m.state != StateRemoved {
+			m.state = StateDead
+		}
+		m.mu.Unlock()
+		if client != nil {
+			client.Close()
 		}
 	}
-	d.clients = nil
 }
-
-// Workers returns the connected worker count.
-func (d *Driver) Workers() int { return len(d.clients) }
 
 // WireBytes reports the real bytes sent and received over the sockets since
 // Dial.
@@ -90,13 +201,122 @@ func (d *Driver) WireBytes() (sent, received int64) {
 	return d.wire.sent.Load(), d.wire.received.Load()
 }
 
+// NetStats returns the driver's membership, reconnect, and heartbeat
+// counters.
+func (d *Driver) NetStats() metrics.NetStats { return d.rec.Net() }
+
+// call performs one RPC on a member under the deadline, applying the
+// failure state machine: transport errors and timeouts declare the member
+// dead (its connection is unusable either way) so the scheduler excludes it
+// until a reconnect succeeds. Application-level errors (rpc.ServerError)
+// pass through untouched — the worker is alive, the request was bad.
+func (d *Driver) call(m *member, method string, args, reply any, timeout time.Duration) error {
+	_, client := m.snapshot()
+	if client == nil {
+		return fmt.Errorf("%w: %s is not connected", ErrWorkerDead, m.addr)
+	}
+	err := rpcCall(client, method, args, reply, timeout)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrDeadlineExceeded) {
+		d.rec.AddDeadlineTimeout()
+		d.declareDead(m, client)
+		return fmt.Errorf("%w (%w): %s.%s on %s after %v",
+			ErrDeadlineExceeded, context.DeadlineExceeded, serviceName, method, m.addr, timeout)
+	}
+	var se rpc.ServerError
+	if errors.As(err, &se) {
+		return err
+	}
+	d.declareDead(m, client)
+	return fmt.Errorf("%w: %s: %v", ErrWorkerDead, m.addr, err)
+}
+
+// runJob schedules one cuboid: pick a live member, call under the deadline,
+// and on failure retry with capped exponential backoff against the next
+// live member (reconnecting dead ones when the pool looks empty). When
+// every attempt fails — or no worker is left — the cuboid is computed
+// locally with the workers' exact arithmetic, unless fallback is disabled.
+func (d *Driver) runJob(args *MultiplyArgs) (*MultiplyReply, error) {
+	backoff := d.opts.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt < d.opts.JobAttempts; {
+		m, anyLive := d.acquireMember()
+		if m == nil {
+			if anyLive {
+				// Every live member's in-flight window is full: wait for a
+				// slot (or a new member) without burning a retry attempt.
+				time.Sleep(200 * time.Microsecond)
+				continue
+			}
+			if d.reconnectAny() {
+				continue
+			}
+			// Keep the real failure when a call already failed; the drained
+			// pool is only the reason we stopped retrying.
+			if lastErr == nil {
+				lastErr = ErrNoWorkers
+			}
+			break
+		}
+		var reply MultiplyReply
+		err := d.call(m, "Multiply", args, &reply, d.opts.CallTimeout)
+		m.release()
+		if err == nil {
+			return &reply, nil
+		}
+		lastErr = err
+		var se rpc.ServerError
+		if errors.As(err, &se) && !isTransientServerError(se) {
+			// The worker computed and rejected the request: retrying the
+			// same malformed cuboid elsewhere cannot help.
+			return nil, fmt.Errorf("distnet: worker %s rejected cuboid: %w", m.addr, err)
+		}
+		attempt++
+		if attempt < d.opts.JobAttempts {
+			d.rec.AddCuboidRetry()
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > d.opts.MaxBackoff {
+				backoff = d.opts.MaxBackoff
+			}
+		}
+	}
+	if !d.opts.DisableLocalFallback {
+		d.rec.AddLocalFallback()
+		var reply MultiplyReply
+		if err := computeCuboid(args, &reply); err != nil {
+			return nil, err
+		}
+		return &reply, nil
+	}
+	return nil, fmt.Errorf("distnet: cuboid failed after %d attempts: %w", d.opts.JobAttempts, lastErr)
+}
+
+// isTransientServerError recognizes application-level errors that still
+// warrant reassignment — a draining worker answers RPCs but refuses work.
+func isTransientServerError(se rpc.ServerError) bool {
+	return se.Error() == errWorkerDrainingMsg
+}
+
 // Multiply runs C = A×B with an explicit (P,Q,R)-cuboid partitioning, each
 // cuboid computed by a remote worker. The driver performs the repartition
 // (shipping each cuboid's blocks over its worker's socket) and the
-// aggregation (summing the partial C blocks that come back).
+// aggregation (summing the partial C blocks that come back). Aggregation
+// order is fixed by cuboid index, and reassigned or locally-recomputed
+// cuboids use the workers' exact arithmetic, so the product is
+// byte-identical to a failure-free run under any failure schedule.
 func (d *Driver) Multiply(a, b *bmat.BlockMatrix, params core.Params) (*bmat.BlockMatrix, error) {
-	if len(d.clients) == 0 {
-		return nil, fmt.Errorf("distnet: driver closed")
+	return d.multiply(a, b, params, nil)
+}
+
+func (d *Driver) multiply(a, b *bmat.BlockMatrix, params core.Params, ckpt *checkpointer) (*bmat.BlockMatrix, error) {
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		return nil, ErrDriverClosed
 	}
 	if a.Cols != b.Rows || a.BlockSize != b.BlockSize {
 		return nil, fmt.Errorf("distnet: operands not conformable")
@@ -106,12 +326,7 @@ func (d *Driver) Multiply(a, b *bmat.BlockMatrix, params core.Params) (*bmat.Blo
 		return nil, fmt.Errorf("distnet: params %v outside grid %dx%dx%d", params, s.I, s.J, s.K)
 	}
 
-	type job struct {
-		args  *MultiplyArgs
-		first int // preferred worker; failover walks the ring from here
-	}
-	var jobs []job
-	next := 0
+	var jobs []*MultiplyArgs
 	for p := 0; p < params.P; p++ {
 		ilo, ihi := shuffle.GridSpan(p, s.I, params.P)
 		for q := 0; q < params.Q; q++ {
@@ -136,39 +351,45 @@ func (d *Driver) Multiply(a, b *bmat.BlockMatrix, params core.Params) (*bmat.Blo
 						}
 					}
 				}
-				jobs = append(jobs, job{args: args, first: next % len(d.clients)})
-				next++
+				jobs = append(jobs, args)
 			}
+		}
+	}
+
+	if ckpt != nil {
+		if err := ckpt.ensureManifest(a, b, params, len(jobs)); err != nil {
+			return nil, err
 		}
 	}
 
 	replies := make([]*MultiplyReply, len(jobs))
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
-	for idx, jb := range jobs {
+	for idx, args := range jobs {
+		if ckpt != nil {
+			if reply, ok := ckpt.load(idx, a.Rows, b.Cols, a.BlockSize); ok {
+				replies[idx] = reply
+				continue
+			}
+		}
 		wg.Add(1)
-		go func(idx int, jb job) {
+		go func(idx int, args *MultiplyArgs) {
 			defer wg.Done()
-			// Failover: a dead worker's cuboids reassign around the ring —
-			// the driver-side analog of Spark re-running lost tasks.
-			var lastErr error
-			for attempt := 0; attempt < len(d.clients); attempt++ {
-				client := d.clients[(jb.first+attempt)%len(d.clients)]
-				var reply MultiplyReply
-				if err := client.Call(serviceName+".Multiply", jb.args, &reply); err != nil {
-					lastErr = err
-					continue
-				}
-				replies[idx] = &reply
+			reply, err := d.runJob(args)
+			if err != nil {
+				errs[idx] = err
 				return
 			}
-			errs[idx] = lastErr
-		}(idx, jb)
+			replies[idx] = reply
+			if ckpt != nil {
+				ckpt.store(idx, reply, a.Rows, b.Cols, a.BlockSize)
+			}
+		}(idx, args)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("distnet: all workers failed a cuboid: %w", err)
+			return nil, fmt.Errorf("distnet: multiply: %w", err)
 		}
 	}
 
@@ -192,7 +413,11 @@ func (d *Driver) Multiply(a, b *bmat.BlockMatrix, params core.Params) (*bmat.Blo
 // MultiplyAuto optimizes (P,Q,R) for the given per-worker memory budget —
 // one cuboid per worker round at minimum — then multiplies.
 func (d *Driver) MultiplyAuto(a, b *bmat.BlockMatrix, workerMemBytes int64) (*bmat.BlockMatrix, core.Params, error) {
-	params, err := core.Optimize(core.ShapeOf(a, b), workerMemBytes, len(d.clients))
+	slots := d.Workers()
+	if slots < 1 {
+		slots = 1
+	}
+	params, err := core.Optimize(core.ShapeOf(a, b), workerMemBytes, slots)
 	if err != nil {
 		return nil, core.Params{}, err
 	}

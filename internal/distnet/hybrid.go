@@ -1,6 +1,8 @@
 package distnet
 
 import (
+	"errors"
+
 	"distme/internal/bmat"
 	"distme/internal/core"
 	"distme/internal/engine"
@@ -11,7 +13,8 @@ import (
 // (transpose, element-wise) on a local engine — the driver/executor split
 // of a real deployment, where only the heavy products leave the driver.
 // It satisfies ml.Ops, so the whole GNMF query (or PageRank) can run with
-// its multiplications crossing real sockets.
+// its multiplications crossing real sockets. When the worker pool dies out
+// from under it, Multiply degrades to the local engine instead of failing.
 type Hybrid struct {
 	// Driver executes multiplications remotely.
 	Driver *Driver
@@ -19,6 +22,16 @@ type Hybrid struct {
 	Engine *engine.Engine
 	// WorkerMemBytes is the per-worker budget handed to the optimizer.
 	WorkerMemBytes int64
+	// DisableLocalFallback propagates remote failures (ErrWorkerDead,
+	// ErrNoWorkers, ErrDeadlineExceeded) instead of degrading to the local
+	// engine.
+	DisableLocalFallback bool
+
+	// slots pins the optimizer's slot count to the membership at
+	// construction time: mid-query churn then changes scheduling but never
+	// the (P,Q,R) plan, which keeps iterative queries (GNMF) byte-identical
+	// under any failure schedule.
+	slots int
 }
 
 // NewHybrid wires a driver and a local engine together.
@@ -26,16 +39,29 @@ func NewHybrid(d *Driver, e *engine.Engine, workerMemBytes int64) *Hybrid {
 	if workerMemBytes <= 0 {
 		workerMemBytes = 1 << 30
 	}
-	return &Hybrid{Driver: d, Engine: e, WorkerMemBytes: workerMemBytes}
+	slots := d.Workers()
+	if slots < 1 {
+		slots = 1
+	}
+	return &Hybrid{Driver: d, Engine: e, WorkerMemBytes: workerMemBytes, slots: slots}
 }
 
 // Multiply optimizes (P,Q,R) for the worker pool and multiplies remotely.
+// If the pool has drained (every worker dead or removed), the product is
+// computed on the local engine instead — the last rung of graceful
+// degradation below the driver's own per-cuboid local fallback.
 func (h *Hybrid) Multiply(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
-	params, err := core.Optimize(core.ShapeOf(a, b), h.WorkerMemBytes, h.Driver.Workers())
+	params, err := core.Optimize(core.ShapeOf(a, b), h.WorkerMemBytes, h.slots)
 	if err != nil {
 		return nil, err
 	}
-	return h.Driver.Multiply(a, b, params)
+	c, err := h.Driver.Multiply(a, b, params)
+	if err != nil && !h.DisableLocalFallback &&
+		(errors.Is(err, ErrWorkerDead) || errors.Is(err, ErrNoWorkers) ||
+			errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, ErrDriverClosed)) {
+		return h.Engine.Multiply(a, b)
+	}
+	return c, err
 }
 
 // Transpose runs locally.

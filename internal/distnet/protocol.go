@@ -52,3 +52,7 @@ type PingReply struct {
 
 // serviceName is the registered net/rpc service.
 const serviceName = "DistME"
+
+// ServiceName is the registered net/rpc service name, exported so tests and
+// tools can stand up protocol-compatible stand-in workers.
+const ServiceName = serviceName

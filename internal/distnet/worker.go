@@ -1,6 +1,8 @@
 package distnet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -11,18 +13,47 @@ import (
 	"distme/internal/matrix"
 )
 
+// errWorkerDrainingMsg is the application-level refusal a draining worker
+// answers with; the driver treats it as transient and reassigns the cuboid.
+const errWorkerDrainingMsg = "distnet: worker draining"
+
 // Worker serves cuboid multiplications over net/rpc. One worker process
-// plays the role of one cluster node's executor.
+// plays the role of one cluster node's executor. A served worker (via
+// Serve/ListenAndServe) owns its listener and connections and supports
+// graceful shutdown: stop accepting, drain in-flight RPCs, close.
 type Worker struct {
 	mu         sync.Mutex
 	multiplies int
+	draining   bool
+	listener   net.Listener
+	conns      map[net.Conn]struct{}
+
+	inflight     sync.WaitGroup
+	shutdownOnce sync.Once
+	down         chan struct{} // closed when Shutdown completes
 }
 
-// Multiply computes the partial C blocks of one cuboid: for every (i, j) in
-// the box, the sum over the box's k range of A_{i,k}·B_{k,j} — the same
-// arithmetic as core.CPUMultiplier, against blocks that arrived over the
-// wire.
-func (w *Worker) Multiply(args *MultiplyArgs, reply *MultiplyReply) error {
+// beginRPC admits one RPC into the in-flight set; it fails once draining.
+// The admission check and WaitGroup.Add happen under the lock so Shutdown's
+// Wait cannot race a late Add.
+func (w *Worker) beginRPC() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.draining {
+		return false
+	}
+	w.inflight.Add(1)
+	return true
+}
+
+func (w *Worker) endRPC() { w.inflight.Done() }
+
+// computeCuboid is the cuboid arithmetic itself: for every (i, j) in the
+// box, the sum over the box's k range of A_{i,k}·B_{k,j} — the same
+// arithmetic as core.CPUMultiplier. It is shared verbatim by the remote
+// worker and the driver's local fallback, so a cuboid computes
+// bit-identically wherever it lands.
+func computeCuboid(args *MultiplyArgs, reply *MultiplyReply) error {
 	if args.IHi < args.ILo || args.JHi < args.JLo || args.KHi < args.KLo {
 		return fmt.Errorf("distnet: malformed cuboid box")
 	}
@@ -53,14 +84,32 @@ func (w *Worker) Multiply(args *MultiplyArgs, reply *MultiplyReply) error {
 			}
 		}
 	}
+	return nil
+}
+
+// Multiply computes the partial C blocks of one cuboid, against blocks
+// that arrived over the wire.
+func (w *Worker) Multiply(args *MultiplyArgs, reply *MultiplyReply) error {
+	if !w.beginRPC() {
+		return errors.New(errWorkerDrainingMsg)
+	}
+	defer w.endRPC()
+	if err := computeCuboid(args, reply); err != nil {
+		return err
+	}
 	w.mu.Lock()
 	w.multiplies++
 	w.mu.Unlock()
 	return nil
 }
 
-// Ping answers the liveness probe.
+// Ping answers the liveness probe. A draining worker refuses it, so the
+// driver's failure detector retires the worker before its sockets vanish.
 func (w *Worker) Ping(_ *PingArgs, reply *PingReply) error {
+	if !w.beginRPC() {
+		return errors.New(errWorkerDrainingMsg)
+	}
+	defer w.endRPC()
 	host, err := os.Hostname()
 	if err != nil {
 		host = "unknown"
@@ -76,10 +125,83 @@ func (w *Worker) Multiplies() int {
 	return w.multiplies
 }
 
+// trackConn registers an accepted connection; it refuses (and closes) the
+// connection once draining.
+func (w *Worker) trackConn(conn net.Conn) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.draining {
+		conn.Close()
+		return false
+	}
+	w.conns[conn] = struct{}{}
+	return true
+}
+
+func (w *Worker) untrackConn(conn net.Conn) {
+	w.mu.Lock()
+	delete(w.conns, conn)
+	w.mu.Unlock()
+}
+
+// Shutdown gracefully stops a served worker: the listener closes (no new
+// connections), in-flight RPCs drain (bounded by ctx), then every open
+// connection closes. It is idempotent and returns ctx.Err() when the drain
+// deadline expired before in-flight work finished (connections are closed
+// regardless, so the worker is down either way).
+func (w *Worker) Shutdown(ctx context.Context) error {
+	var err error
+	w.shutdownOnce.Do(func() {
+		w.mu.Lock()
+		w.draining = true
+		l := w.listener
+		w.mu.Unlock()
+		if l != nil {
+			l.Close()
+		}
+		drained := make(chan struct{})
+		go func() {
+			w.inflight.Wait()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+		w.mu.Lock()
+		conns := make([]net.Conn, 0, len(w.conns))
+		for c := range w.conns {
+			conns = append(conns, c)
+		}
+		w.conns = map[net.Conn]struct{}{}
+		w.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+		if w.down != nil {
+			close(w.down)
+		}
+	})
+	return err
+}
+
+// Wait blocks until Shutdown completes. Only valid on a served worker.
+func (w *Worker) Wait() {
+	if w.down != nil {
+		<-w.down
+	}
+}
+
 // Serve registers a Worker on the listener and serves connections until the
-// listener closes. It returns the worker so tests can inspect it.
+// listener closes or Shutdown is called. It returns the worker so callers
+// can inspect it and shut it down.
 func Serve(l net.Listener) (*Worker, error) {
-	w := &Worker{}
+	w := &Worker{
+		listener: l,
+		conns:    map[net.Conn]struct{}{},
+		down:     make(chan struct{}),
+	}
 	srv := rpc.NewServer()
 	if err := srv.RegisterName(serviceName, w); err != nil {
 		return nil, fmt.Errorf("distnet: register: %w", err)
@@ -90,21 +212,31 @@ func Serve(l net.Listener) (*Worker, error) {
 			if err != nil {
 				return // listener closed
 			}
-			go srv.ServeConn(conn)
+			if !w.trackConn(conn) {
+				continue
+			}
+			go func(conn net.Conn) {
+				srv.ServeConn(conn)
+				w.untrackConn(conn)
+				conn.Close()
+			}(conn)
 		}
 	}()
 	return w, nil
 }
 
-// ListenAndServe binds addr and serves a worker forever (the distme-worker
-// command's body).
+// ListenAndServe binds addr and serves a worker until it is shut down (the
+// distme-worker command's body).
 func ListenAndServe(addr string) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	if _, err := Serve(l); err != nil {
+	w, err := Serve(l)
+	if err != nil {
+		l.Close()
 		return err
 	}
-	select {} // Serve's accept loop owns the listener; block forever.
+	w.Wait()
+	return nil
 }

@@ -113,6 +113,13 @@ func registry() map[string]Runner {
 			}
 			return []*Table{t}, nil
 		},
+		"ext-churn": func() ([]*Table, error) {
+			t, err := ExtChurn(defaultSeed)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{t}, nil
+		},
 		"ext-elastic": func() ([]*Table, error) {
 			t, err := ExtElastic(defaultSeed)
 			if err != nil {

@@ -88,6 +88,75 @@ func (e ElasticStats) String() string {
 		e.FetchRetries, e.RecomputedPartials, e.FaultsInjected)
 }
 
+// NetStats counts the real-network elasticity events of a driver: failure
+// detector heartbeats and their round-trip times, reconnects of dead
+// workers, membership churn, per-RPC deadline expiries, cuboid
+// reassignments, and local-compute fallbacks. All counters are monotone;
+// per-operation views come from snapshot subtraction.
+type NetStats struct {
+	// HeartbeatsSent and HeartbeatMisses count failure-detector probes and
+	// the ones that failed or timed out.
+	HeartbeatsSent  int64
+	HeartbeatMisses int64
+	// HeartbeatRTTNanos and HeartbeatRTTCount accumulate successful-probe
+	// round-trip time (see HeartbeatRTTAvg); HeartbeatRTTMax is the largest
+	// single RTT observed.
+	HeartbeatRTTNanos int64
+	HeartbeatRTTCount int64
+	HeartbeatRTTMax   time.Duration
+	// Reconnects counts dead workers successfully redialed.
+	Reconnects int64
+	// WorkersJoined and WorkersLeft count dynamic membership changes
+	// (AddWorker / RemoveWorker); WorkersDeclaredDead counts members the
+	// detector or a failed call retired.
+	WorkersJoined       int64
+	WorkersLeft         int64
+	WorkersDeclaredDead int64
+	// DeadlineTimeouts counts RPCs abandoned past their per-call deadline.
+	DeadlineTimeouts int64
+	// CuboidRetries counts cuboid scheduling attempts beyond the first.
+	CuboidRetries int64
+	// LocalFallbacks counts cuboids computed on the driver because the
+	// worker pool had drained (or every attempt failed).
+	LocalFallbacks int64
+}
+
+// HeartbeatRTTAvg is the mean heartbeat round-trip time.
+func (n NetStats) HeartbeatRTTAvg() time.Duration {
+	if n.HeartbeatRTTCount == 0 {
+		return 0
+	}
+	return time.Duration(n.HeartbeatRTTNanos / n.HeartbeatRTTCount)
+}
+
+// Sub returns the counter-wise difference n − o. HeartbeatRTTMax is kept
+// from n (a maximum does not subtract).
+func (n NetStats) Sub(o NetStats) NetStats {
+	return NetStats{
+		HeartbeatsSent:      n.HeartbeatsSent - o.HeartbeatsSent,
+		HeartbeatMisses:     n.HeartbeatMisses - o.HeartbeatMisses,
+		HeartbeatRTTNanos:   n.HeartbeatRTTNanos - o.HeartbeatRTTNanos,
+		HeartbeatRTTCount:   n.HeartbeatRTTCount - o.HeartbeatRTTCount,
+		HeartbeatRTTMax:     n.HeartbeatRTTMax,
+		Reconnects:          n.Reconnects - o.Reconnects,
+		WorkersJoined:       n.WorkersJoined - o.WorkersJoined,
+		WorkersLeft:         n.WorkersLeft - o.WorkersLeft,
+		WorkersDeclaredDead: n.WorkersDeclaredDead - o.WorkersDeclaredDead,
+		DeadlineTimeouts:    n.DeadlineTimeouts - o.DeadlineTimeouts,
+		CuboidRetries:       n.CuboidRetries - o.CuboidRetries,
+		LocalFallbacks:      n.LocalFallbacks - o.LocalFallbacks,
+	}
+}
+
+// String renders the network-elasticity counters compactly.
+func (n NetStats) String() string {
+	return fmt.Sprintf("heartbeats=%d/%d rtt(avg=%v max=%v) reconnects=%d churn=+%d/-%d dead=%d timeouts=%d retries=%d local=%d",
+		n.HeartbeatsSent-n.HeartbeatMisses, n.HeartbeatsSent,
+		n.HeartbeatRTTAvg(), n.HeartbeatRTTMax,
+		n.Reconnects, n.WorkersJoined, n.WorkersLeft, n.WorkersDeclaredDead,
+		n.DeadlineTimeouts, n.CuboidRetries, n.LocalFallbacks)
+}
+
 // Recorder accumulates per-step bytes and durations for one job. The zero
 // value is ready to use.
 type Recorder struct {
@@ -101,8 +170,79 @@ type Recorder struct {
 	recomputed   atomic.Int64
 	faults       atomic.Int64
 
+	heartbeats       atomic.Int64
+	heartbeatMisses  atomic.Int64
+	rttNanos         atomic.Int64
+	rttCount         atomic.Int64
+	rttMax           atomic.Int64
+	reconnects       atomic.Int64
+	workersJoined    atomic.Int64
+	workersLeft      atomic.Int64
+	workersDead      atomic.Int64
+	deadlineTimeouts atomic.Int64
+	cuboidRetries    atomic.Int64
+	localFallbacks   atomic.Int64
+
 	mu     sync.Mutex
 	spills int64 // bytes written to disk (E.D.C. accounting)
+}
+
+// AddHeartbeat records one failure-detector probe sent.
+func (r *Recorder) AddHeartbeat() { r.heartbeats.Add(1) }
+
+// AddHeartbeatMiss records a probe that failed or timed out.
+func (r *Recorder) AddHeartbeatMiss() { r.heartbeatMisses.Add(1) }
+
+// ObserveHeartbeatRTT records a successful probe's round-trip time.
+func (r *Recorder) ObserveHeartbeatRTT(d time.Duration) {
+	r.rttNanos.Add(int64(d))
+	r.rttCount.Add(1)
+	for {
+		cur := r.rttMax.Load()
+		if int64(d) <= cur || r.rttMax.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// AddReconnect records a dead worker successfully redialed.
+func (r *Recorder) AddReconnect() { r.reconnects.Add(1) }
+
+// AddWorkerJoined records a worker added to the membership.
+func (r *Recorder) AddWorkerJoined() { r.workersJoined.Add(1) }
+
+// AddWorkerLeft records a worker removed from the membership.
+func (r *Recorder) AddWorkerLeft() { r.workersLeft.Add(1) }
+
+// AddWorkerDeclaredDead records a member retired by the failure detector or
+// a failed call.
+func (r *Recorder) AddWorkerDeclaredDead() { r.workersDead.Add(1) }
+
+// AddDeadlineTimeout records an RPC abandoned past its per-call deadline.
+func (r *Recorder) AddDeadlineTimeout() { r.deadlineTimeouts.Add(1) }
+
+// AddCuboidRetry records a cuboid scheduling attempt beyond the first.
+func (r *Recorder) AddCuboidRetry() { r.cuboidRetries.Add(1) }
+
+// AddLocalFallback records a cuboid computed locally on the driver.
+func (r *Recorder) AddLocalFallback() { r.localFallbacks.Add(1) }
+
+// Net returns the current real-network elasticity counters.
+func (r *Recorder) Net() NetStats {
+	return NetStats{
+		HeartbeatsSent:      r.heartbeats.Load(),
+		HeartbeatMisses:     r.heartbeatMisses.Load(),
+		HeartbeatRTTNanos:   r.rttNanos.Load(),
+		HeartbeatRTTCount:   r.rttCount.Load(),
+		HeartbeatRTTMax:     time.Duration(r.rttMax.Load()),
+		Reconnects:          r.reconnects.Load(),
+		WorkersJoined:       r.workersJoined.Load(),
+		WorkersLeft:         r.workersLeft.Load(),
+		WorkersDeclaredDead: r.workersDead.Load(),
+		DeadlineTimeouts:    r.deadlineTimeouts.Load(),
+		CuboidRetries:       r.cuboidRetries.Load(),
+		LocalFallbacks:      r.localFallbacks.Load(),
+	}
 }
 
 // AddTaskRetry records one task re-execution after a failed attempt.
@@ -182,6 +322,18 @@ func (r *Recorder) Reset() {
 	r.fetchRetries.Store(0)
 	r.recomputed.Store(0)
 	r.faults.Store(0)
+	r.heartbeats.Store(0)
+	r.heartbeatMisses.Store(0)
+	r.rttNanos.Store(0)
+	r.rttCount.Store(0)
+	r.rttMax.Store(0)
+	r.reconnects.Store(0)
+	r.workersJoined.Store(0)
+	r.workersLeft.Store(0)
+	r.workersDead.Store(0)
+	r.deadlineTimeouts.Store(0)
+	r.cuboidRetries.Store(0)
+	r.localFallbacks.Store(0)
 	r.mu.Lock()
 	r.spills = 0
 	r.mu.Unlock()
@@ -214,6 +366,9 @@ type Snapshot struct {
 	SpillBytes       int64
 	// Elastic carries the fault-tolerant-execution counters.
 	Elastic ElasticStats
+	// Net carries the real-network elasticity counters (heartbeats,
+	// reconnects, membership churn); zero outside the distnet path.
+	Net NetStats
 }
 
 // Snapshot captures the current counter values.
@@ -228,6 +383,7 @@ func (r *Recorder) Snapshot() Snapshot {
 		PCIE:             r.Duration(StepPCIE),
 		SpillBytes:       r.SpillBytes(),
 		Elastic:          r.Elastic(),
+		Net:              r.Net(),
 	}
 }
 
@@ -247,6 +403,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		PCIE:             s.PCIE - o.PCIE,
 		SpillBytes:       s.SpillBytes - o.SpillBytes,
 		Elastic:          s.Elastic.Sub(o.Elastic),
+		Net:              s.Net.Sub(o.Net),
 	}
 }
 

@@ -163,29 +163,29 @@ func writeChunk(w io.Writer, k bmat.BlockKey, b matrix.Block) error {
 func readChunk(r io.Reader, maxChunk uint64) (bmat.BlockKey, matrix.Block, error) {
 	var i, j uint64
 	if err := binary.Read(r, binary.LittleEndian, &i); err != nil {
-		return bmat.BlockKey{}, nil, err
+		return bmat.BlockKey{}, nil, truncated(err)
 	}
 	if err := binary.Read(r, binary.LittleEndian, &j); err != nil {
-		return bmat.BlockKey{}, nil, err
+		return bmat.BlockKey{}, nil, truncated(err)
 	}
 	var tag uint8
 	if err := binary.Read(r, binary.LittleEndian, &tag); err != nil {
-		return bmat.BlockKey{}, nil, err
+		return bmat.BlockKey{}, nil, truncated(err)
 	}
 	var n uint64
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return bmat.BlockKey{}, nil, err
+		return bmat.BlockKey{}, nil, truncated(err)
 	}
 	if n > maxChunk {
 		return bmat.BlockKey{}, nil, fmt.Errorf("%w: chunk size %d exceeds the %d-byte bound for this geometry", ErrBadFormat, n, maxChunk)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return bmat.BlockKey{}, nil, err
+	payload, err := readCapped(r, n)
+	if err != nil {
+		return bmat.BlockKey{}, nil, truncated(err)
 	}
 	var crc uint32
 	if err := binary.Read(r, binary.LittleEndian, &crc); err != nil {
-		return bmat.BlockKey{}, nil, err
+		return bmat.BlockKey{}, nil, truncated(err)
 	}
 	if crc != crc32.ChecksumIEEE(payload) {
 		return bmat.BlockKey{}, nil, ErrChecksum
@@ -195,6 +195,39 @@ func readChunk(r io.Reader, maxChunk uint64) (bmat.BlockKey, matrix.Block, error
 		return bmat.BlockKey{}, nil, err
 	}
 	return bmat.BlockKey{I: int(i), J: int(j)}, blk, nil
+}
+
+// truncated classifies an I/O error while reading chunk structure: a
+// stream that ends (or breaks) mid-chunk is a corrupt file, so hostile or
+// crash-truncated input always surfaces as ErrBadFormat, never a raw EOF
+// the caller would have to special-case.
+func truncated(err error) error {
+	return fmt.Errorf("%w: truncated chunk: %v", ErrBadFormat, err)
+}
+
+// readCapped reads exactly n declared bytes, but grows its buffer only as
+// data actually arrives (1 MiB steps). A forged length field therefore
+// cannot force an n-sized allocation up front: the allocation is bounded by
+// the real input size.
+func readCapped(r io.Reader, n uint64) ([]byte, error) {
+	const step = 1 << 20
+	buf := make([]byte, 0, minU64(n, step))
+	for uint64(len(buf)) < n {
+		chunk := minU64(n-uint64(len(buf)), step)
+		start := len(buf)
+		buf = append(buf, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // encodeBlock serializes a block to a payload and format tag. CSC blocks
@@ -241,6 +274,11 @@ func encodeCSR(v *matrix.CSR) []byte {
 	return buf
 }
 
+// maxBlockSide bounds decoded block dimensions, mirroring the header's
+// blockSize plausibility cap; anything larger is corruption and must be
+// rejected before the dimensions feed an allocation.
+const maxBlockSide = 1 << 24
+
 func decodeBlock(tag uint8, payload []byte) (matrix.Block, error) {
 	switch tag {
 	case chunkDense:
@@ -249,6 +287,9 @@ func decodeBlock(tag uint8, payload []byte) (matrix.Block, error) {
 		}
 		rows := int(binary.LittleEndian.Uint64(payload[0:]))
 		cols := int(binary.LittleEndian.Uint64(payload[8:]))
+		if rows < 0 || cols < 0 || rows > maxBlockSide || cols > maxBlockSide {
+			return nil, fmt.Errorf("%w: implausible dense dimensions %dx%d", ErrBadFormat, rows, cols)
+		}
 		if len(payload) != 16+8*rows*cols {
 			return nil, fmt.Errorf("%w: dense chunk size mismatch", ErrBadFormat)
 		}
@@ -264,6 +305,12 @@ func decodeBlock(tag uint8, payload []byte) (matrix.Block, error) {
 		rows := int(binary.LittleEndian.Uint64(payload[0:]))
 		cols := int(binary.LittleEndian.Uint64(payload[8:]))
 		nnz := int(binary.LittleEndian.Uint64(payload[16:]))
+		if rows < 0 || cols < 0 || rows > maxBlockSide || cols > maxBlockSide {
+			return nil, fmt.Errorf("%w: implausible CSR dimensions %dx%d", ErrBadFormat, rows, cols)
+		}
+		if nnz < 0 || (rows > 0 && cols > 0 && nnz > rows*cols) || (rows*cols == 0 && nnz != 0) {
+			return nil, fmt.Errorf("%w: implausible CSR entry count %d for %dx%d", ErrBadFormat, nnz, rows, cols)
+		}
 		want := 24 + 8*(rows+1+nnz+nnz)
 		if len(payload) != want {
 			return nil, fmt.Errorf("%w: CSR chunk size mismatch", ErrBadFormat)
