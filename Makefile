@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race fuzz-smoke vet bench bench-kernels clean
+.PHONY: build test test-race fuzz-smoke vet bench bench-kernels bench-wire clean
 
 build:
 	$(GO) build ./...
@@ -9,16 +9,18 @@ test:
 	$(GO) test ./...
 
 # The parallel hot path (threaded kernels, sharded aggregation, buffer
-# pool), the elastic scheduler (retries, speculation, fault injection), and
-# the real-network layer (failure detector, chaos suite, shuffle) must stay
-# race-detector-clean.
+# pool), the elastic scheduler (retries, speculation, fault injection), the
+# real-network layer (failure detector, chaos suite, shuffle), and the wire
+# codec's pooled buffers must stay race-detector-clean.
 test-race:
-	$(GO) test -race ./internal/matrix ./internal/core ./internal/cluster ./internal/engine ./internal/distnet ./internal/shuffle
+	$(GO) test -race ./internal/matrix ./internal/core ./internal/cluster ./internal/engine ./internal/distnet ./internal/shuffle ./internal/codec
 
-# Ten-second fuzz smoke over the storage reader: hostile bytes must come
-# back as ErrBadFormat/ErrChecksum, never a panic or a runaway allocation.
+# Ten-second fuzz smokes: hostile bytes against the storage reader and the
+# wire block decoder must come back as typed errors, never a panic or a
+# runaway allocation.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzRead -fuzztime=10s -run '^$$' ./internal/storage
+	$(GO) test -fuzz=FuzzDecodeBlock -fuzztime=10s -run '^$$' ./internal/codec
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +29,11 @@ vet:
 # trajectory file.
 bench-kernels:
 	$(GO) run ./cmd/distme-bench -kernels -kernels-out BENCH_kernels.json
+
+# Gob-vs-codec wire benchmarks, refreshing the checked-in trajectory file.
+# Exits nonzero if any decode is not bit-identical to its input.
+bench-wire:
+	$(GO) run ./cmd/distme-bench -wire -wire-out BENCH_wire.json
 
 # Full benchmark sweep (paper tables/figures + kernels + end-to-end).
 bench:

@@ -9,6 +9,8 @@
 //	distme-bench -list                # list experiment IDs
 //	distme-bench -kernels             # seed-vs-current kernel benchmarks
 //	distme-bench -kernels -kernels-out BENCH_kernels.json
+//	distme-bench -wire                # gob-vs-codec wire benchmarks
+//	distme-bench -wire -wire-out BENCH_wire.json
 //
 // Paper-scale rows are produced by the cost-model plane at the testbed
 // constants; "-measured" experiments run the real engine at laptop scale.
@@ -23,6 +25,7 @@ import (
 
 	"distme/internal/experiments"
 	"distme/internal/kernbench"
+	"distme/internal/wirebench"
 )
 
 func main() {
@@ -30,11 +33,29 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	kernels := flag.Bool("kernels", false, "run seed-vs-current kernel benchmarks instead of experiments")
 	kernelsOut := flag.String("kernels-out", "", "with -kernels, also write the report as JSON to this path")
+	wire := flag.Bool("wire", false, "run gob-vs-codec wire benchmarks (fails on any decode mismatch)")
+	wireOut := flag.String("wire-out", "", "with -wire, also write the report as JSON to this path")
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *wire {
+		report, err := wirebench.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "distme-bench: wire: %v\n", err)
+			os.Exit(1)
+		}
+		report.Fprint(os.Stdout)
+		if *wireOut != "" {
+			if err := report.WriteJSON(*wireOut); err != nil {
+				fmt.Fprintf(os.Stderr, "distme-bench: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

@@ -26,13 +26,14 @@ import (
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight RPCs")
+	cacheBytes := flag.Int64("cache-bytes", 0, "content-addressed block cache capacity in bytes (0 = default 256 MiB, negative = disabled)")
 	flag.Parse()
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("distme-worker: %v", err)
 	}
-	w, err := distnet.Serve(l)
+	w, err := distnet.ServeOptions(l, distnet.WorkerOptions{CacheBytes: *cacheBytes})
 	if err != nil {
 		log.Fatalf("distme-worker: %v", err)
 	}
@@ -48,5 +49,7 @@ func main() {
 		log.Printf("distme-worker: drain timeout expired: %v (served %d cuboids)", err, w.Multiplies())
 		os.Exit(1)
 	}
-	log.Printf("distme-worker: drained cleanly (served %d cuboids)", w.Multiplies())
+	cs := w.CacheStats()
+	log.Printf("distme-worker: drained cleanly (served %d cuboids; block cache %d hits / %d misses / %d evictions)",
+		w.Multiplies(), cs.Hits, cs.Misses, cs.Evictions)
 }

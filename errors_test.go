@@ -223,7 +223,7 @@ func TestErrDeadlineExceededThroughLayers(t *testing.T) {
 			if err != nil {
 				return
 			}
-			go srv.ServeConn(conn)
+			go srv.ServeCodec(distnet.NewServerCodec(conn))
 		}
 	}()
 

@@ -1,0 +1,530 @@
+// Package codec is the shared binary block serializer used by both the
+// on-disk checkpoint format (internal/storage) and the RPC wire path
+// (internal/distnet). One block encodes to a (tag, payload) pair:
+//
+//   - the portable tags (TagDense, TagCSR) reproduce the original storage
+//     chunk layout byte-for-byte, so checkpoint files written before this
+//     package existed still read back, and
+//   - the wire tags (TagCSR32, TagCSC32, TagCSRDelta, TagCSCDelta) add
+//     compact sparse forms — 32-bit indices when the dimensions fit, and a
+//     delta+varint index stream when that is smaller still — chosen per
+//     block by encoded size.
+//
+// Values always travel as raw little-endian float64 bits, converted to and
+// from []byte in bulk (one memmove on little-endian hardware) instead of
+// element by element, so a decoded block is bit-identical to the encoded
+// one. Encode buffers are pooled; decoding of hostile input is hardened the
+// same way storage's reader is: dimension plausibility caps, allocation
+// bounded by the bytes actually present, and every malformed payload
+// surfacing as ErrBadFormat — never a panic.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"unsafe"
+
+	"distme/internal/matrix"
+)
+
+// Block format tags. TagDense and TagCSR are the legacy storage chunk tags
+// and must keep their values: they are written to disk.
+const (
+	// TagDense is a dense payload: u64 rows, u64 cols, raw float64 values.
+	TagDense uint8 = 0
+	// TagCSR is the portable 64-bit CSR payload: u64 rows/cols/nnz, then
+	// row pointers, column indices and values, all 64-bit.
+	TagCSR uint8 = 1
+	// TagCSR32 is CSR with 32-bit dimensions, row pointers and column
+	// indices — the common wire form for blocks under 2^24 on a side.
+	TagCSR32 uint8 = 2
+	// TagCSC32 is the CSC mirror of TagCSR32 (column pointers, row indices).
+	TagCSC32 uint8 = 3
+	// TagCSRDelta is CSR with varint dimensions, per-row entry counts and
+	// delta+varint column indices; chosen when smaller than TagCSR32.
+	TagCSRDelta uint8 = 4
+	// TagCSCDelta is the CSC mirror of TagCSRDelta.
+	TagCSCDelta uint8 = 5
+)
+
+// ErrBadFormat reports a corrupt, truncated or implausible block payload.
+var ErrBadFormat = errors.New("codec: malformed block")
+
+// MaxBlockSide bounds decoded block dimensions; anything larger is
+// corruption and is rejected before the dimensions feed an allocation.
+const MaxBlockSide = 1 << 24
+
+// nativeLittleEndian gates the bulk []float64 ↔ []byte reinterpretation:
+// the wire format is little-endian, so only little-endian hosts may memmove.
+var nativeLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// bufPool recycles encode buffers; see GetBuffer/PutBuffer.
+var bufPool = sync.Pool{
+	New: func() any {
+		buf := make([]byte, 0, 64<<10)
+		return &buf
+	},
+}
+
+// GetBuffer returns a pooled, zero-length byte slice to append an encoding
+// into. Return it with PutBuffer once the bytes have been written out.
+func GetBuffer() []byte { return (*(bufPool.Get().(*[]byte)))[:0] }
+
+// PutBuffer recycles a buffer obtained from GetBuffer (growing is fine; the
+// grown capacity is what makes the pool worthwhile).
+func PutBuffer(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	bufPool.Put(&buf)
+}
+
+// appendFloats appends the little-endian bits of src: one memmove on
+// little-endian hardware, a conversion loop elsewhere.
+func appendFloats(dst []byte, src []float64) []byte {
+	if len(src) == 0 {
+		return dst
+	}
+	if nativeLittleEndian {
+		return append(dst, unsafe.Slice((*byte)(unsafe.Pointer(&src[0])), 8*len(src))...)
+	}
+	for _, v := range src {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// decodeFloats converts exactly n float64s from payload (len must be 8n).
+func decodeFloats(payload []byte, n int) []float64 {
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if nativeLittleEndian {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), 8*n), payload)
+		return out
+	}
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	return out
+}
+
+// AppendPortable appends the portable (on-disk) encoding of b to dst and
+// returns the extended slice and the chunk tag. The bytes are identical to
+// the original internal/storage encoder: dense blocks as TagDense, sparse
+// blocks — CSC included, converted — as 64-bit TagCSR.
+func AppendPortable(dst []byte, b matrix.Block) ([]byte, uint8, error) {
+	switch v := b.(type) {
+	case *matrix.Dense:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.RowsN))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.ColsN))
+		dst = appendFloats(dst, v.Data)
+		return dst, TagDense, nil
+	case *matrix.CSR:
+		return appendCSR64(dst, v), TagCSR, nil
+	case *matrix.CSC:
+		csr := matrix.NewCSRFromDense(v.Dense())
+		return appendCSR64(dst, csr), TagCSR, nil
+	default:
+		return dst, 0, fmt.Errorf("codec: unsupported block type %T", b)
+	}
+}
+
+func appendCSR64(dst []byte, v *matrix.CSR) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(v.RowsN))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(v.ColsN))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(v.Val)))
+	for _, p := range v.RowPtr {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(p))
+	}
+	for _, c := range v.ColIdx {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(c))
+	}
+	return appendFloats(dst, v.Val)
+}
+
+// wirePlan decides the wire form of a block and its exact payload size, so
+// AppendWire and EncodedBytes always agree.
+func wirePlan(b matrix.Block) (tag uint8, size int, err error) {
+	switch v := b.(type) {
+	case *matrix.Dense:
+		return TagDense, 16 + 8*len(v.Data), nil
+	case *matrix.CSR:
+		return sparsePlan(v.RowsN, v.ColsN, v.RowPtr, v.ColIdx, len(v.Val), TagCSR32, TagCSRDelta, TagCSR)
+	case *matrix.CSC:
+		return sparsePlan(v.ColsN, v.RowsN, v.ColPtr, v.RowIdx, len(v.Val), TagCSC32, TagCSCDelta, TagCSC32)
+	default:
+		return 0, 0, fmt.Errorf("codec: unsupported block type %T", b)
+	}
+}
+
+// sparsePlan sizes the candidate sparse forms for one pointer/index/value
+// triple. major is the pointer axis length (rows for CSR, cols for CSC);
+// minor bounds the index values. fallback64 is used when the data does not
+// fit 32 bits (only reachable for CSR, whose 64-bit form exists).
+func sparsePlan(major, minor int, ptr, idx []int, nnz int, tag32, tagDelta, fallback64 uint8) (uint8, int, error) {
+	if major > math.MaxUint32-1 || minor > math.MaxUint32 || nnz > math.MaxUint32 || pointersOverflow32(ptr) {
+		if fallback64 != TagCSR {
+			return 0, 0, fmt.Errorf("codec: CSC block %dx%d too large for the wire", major, minor)
+		}
+		return TagCSR, 24 + 8*(len(ptr)+nnz+nnz), nil
+	}
+	size32 := 12 + 4*(major+1) + 4*nnz + 8*nnz
+	sizeDelta, ok := deltaSize(major, minor, ptr, idx, nnz)
+	if ok && sizeDelta < size32 {
+		return tagDelta, sizeDelta, nil
+	}
+	return tag32, size32, nil
+}
+
+func pointersOverflow32(ptr []int) bool {
+	for _, p := range ptr {
+		if p < 0 || p > math.MaxUint32 {
+			return true
+		}
+	}
+	return false
+}
+
+// deltaSize sizes the delta+varint form: varint dims and nnz, per-major-axis
+// entry counts, first index absolute then gaps, values raw. Eligible only
+// when the structure is well-formed (monotone pointers spanning the entries,
+// strictly increasing indices within each row/column).
+func deltaSize(major, minor int, ptr, idx []int, nnz int) (int, bool) {
+	if len(ptr) != major+1 || ptr[0] != 0 || ptr[major] != nnz {
+		return 0, false
+	}
+	n := uvarintLen(uint64(major)) + uvarintLen(uint64(minor)) + uvarintLen(uint64(nnz))
+	for i := 0; i < major; i++ {
+		cnt := ptr[i+1] - ptr[i]
+		if cnt < 0 {
+			return 0, false
+		}
+		n += uvarintLen(uint64(cnt))
+		prev := -1
+		for k := ptr[i]; k < ptr[i+1]; k++ {
+			c := idx[k]
+			if c <= prev || c < 0 {
+				return 0, false
+			}
+			if prev < 0 {
+				n += uvarintLen(uint64(c))
+			} else {
+				n += uvarintLen(uint64(c - prev))
+			}
+			prev = c
+		}
+	}
+	return n + 8*nnz, true
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// AppendWire appends the compact wire encoding of b to dst and returns the
+// extended slice and the chosen tag. Unlike AppendPortable, the concrete
+// type round-trips exactly — a CSC block decodes back to CSC — because the
+// local-multiply kernels dispatch on the representation and the distributed
+// product must stay bit-identical to a local one.
+func AppendWire(dst []byte, b matrix.Block) ([]byte, uint8, error) {
+	tag, size, err := wirePlan(b)
+	if err != nil {
+		return dst, 0, err
+	}
+	if cap(dst)-len(dst) < size {
+		grown := make([]byte, len(dst), len(dst)+size)
+		copy(grown, dst)
+		dst = grown
+	}
+	switch tag {
+	case TagDense:
+		v := b.(*matrix.Dense)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.RowsN))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.ColsN))
+		dst = appendFloats(dst, v.Data)
+	case TagCSR:
+		dst = appendCSR64(dst, b.(*matrix.CSR))
+	case TagCSR32:
+		v := b.(*matrix.CSR)
+		dst = appendSparse32(dst, v.RowsN, v.ColsN, v.RowPtr, v.ColIdx, v.Val)
+	case TagCSC32:
+		v := b.(*matrix.CSC)
+		dst = appendSparse32(dst, v.ColsN, v.RowsN, v.ColPtr, v.RowIdx, v.Val)
+	case TagCSRDelta:
+		v := b.(*matrix.CSR)
+		dst = appendSparseDelta(dst, v.RowsN, v.ColsN, v.RowPtr, v.ColIdx, v.Val)
+	case TagCSCDelta:
+		v := b.(*matrix.CSC)
+		dst = appendSparseDelta(dst, v.ColsN, v.RowsN, v.ColPtr, v.RowIdx, v.Val)
+	}
+	return dst, tag, nil
+}
+
+// appendSparse32: u32 major, u32 minor, u32 nnz, u32 pointers, u32 indices,
+// raw values.
+func appendSparse32(dst []byte, major, minor int, ptr, idx []int, val []float64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(major))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(minor))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(val)))
+	for _, p := range ptr {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p))
+	}
+	for _, c := range idx {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(c))
+	}
+	return appendFloats(dst, val)
+}
+
+// appendSparseDelta: uvarint major, minor, nnz; per major line a uvarint
+// entry count, the first index absolute and the rest as gaps; raw values.
+func appendSparseDelta(dst []byte, major, minor int, ptr, idx []int, val []float64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(major))
+	dst = binary.AppendUvarint(dst, uint64(minor))
+	dst = binary.AppendUvarint(dst, uint64(len(val)))
+	for i := 0; i < major; i++ {
+		lo, hi := ptr[i], ptr[i+1]
+		dst = binary.AppendUvarint(dst, uint64(hi-lo))
+		prev := -1
+		for k := lo; k < hi; k++ {
+			c := idx[k]
+			if prev < 0 {
+				dst = binary.AppendUvarint(dst, uint64(c))
+			} else {
+				dst = binary.AppendUvarint(dst, uint64(c-prev))
+			}
+			prev = c
+		}
+	}
+	return appendFloats(dst, val)
+}
+
+// EncodedBytes returns the exact wire payload size of b — the bytes
+// AppendWire would produce — so communication accounting (Eq. (4)
+// comparisons, cache savings) uses the same numbers the socket sees.
+// Unsupported block types report 0.
+func EncodedBytes(b matrix.Block) int64 {
+	_, size, err := wirePlan(b)
+	if err != nil {
+		return 0
+	}
+	return int64(size)
+}
+
+// Decode parses one (tag, payload) pair back into a block. It accepts every
+// tag this package emits and applies the full hostile-input discipline:
+// implausible dimensions, size mismatches, non-monotone pointers and
+// out-of-range indices all return ErrBadFormat.
+func Decode(tag uint8, payload []byte) (matrix.Block, error) {
+	switch tag {
+	case TagDense:
+		return decodeDense(payload)
+	case TagCSR:
+		return decodeCSR64(payload)
+	case TagCSR32, TagCSC32:
+		return decodeSparse32(tag, payload)
+	case TagCSRDelta, TagCSCDelta:
+		return decodeSparseDelta(tag, payload)
+	default:
+		return nil, fmt.Errorf("%w: unknown tag %d", ErrBadFormat, tag)
+	}
+}
+
+func decodeDense(payload []byte) (matrix.Block, error) {
+	if len(payload) < 16 {
+		return nil, fmt.Errorf("%w: short dense payload", ErrBadFormat)
+	}
+	rows := int(binary.LittleEndian.Uint64(payload[0:]))
+	cols := int(binary.LittleEndian.Uint64(payload[8:]))
+	if rows < 0 || cols < 0 || rows > MaxBlockSide || cols > MaxBlockSide {
+		return nil, fmt.Errorf("%w: implausible dense dimensions %dx%d", ErrBadFormat, rows, cols)
+	}
+	if len(payload) != 16+8*rows*cols {
+		return nil, fmt.Errorf("%w: dense payload size mismatch", ErrBadFormat)
+	}
+	return matrix.NewDenseData(rows, cols, decodeFloats(payload[16:], rows*cols)), nil
+}
+
+func decodeCSR64(payload []byte) (matrix.Block, error) {
+	if len(payload) < 24 {
+		return nil, fmt.Errorf("%w: short CSR payload", ErrBadFormat)
+	}
+	rows := int(binary.LittleEndian.Uint64(payload[0:]))
+	cols := int(binary.LittleEndian.Uint64(payload[8:]))
+	nnz := int(binary.LittleEndian.Uint64(payload[16:]))
+	if err := checkSparseDims(rows, cols, nnz); err != nil {
+		return nil, err
+	}
+	if len(payload) != 24+8*(rows+1+nnz+nnz) {
+		return nil, fmt.Errorf("%w: CSR payload size mismatch", ErrBadFormat)
+	}
+	ptr := make([]int, rows+1)
+	off := 24
+	for i := range ptr {
+		ptr[i] = int(binary.LittleEndian.Uint64(payload[off:]))
+		off += 8
+	}
+	idx := make([]int, nnz)
+	for i := range idx {
+		idx[i] = int(binary.LittleEndian.Uint64(payload[off:]))
+		off += 8
+	}
+	val := decodeFloats(payload[off:], nnz)
+	if err := checkSparseStructure(rows, cols, nnz, ptr, idx); err != nil {
+		return nil, err
+	}
+	return &matrix.CSR{RowsN: rows, ColsN: cols, RowPtr: ptr, ColIdx: idx, Val: val}, nil
+}
+
+func decodeSparse32(tag uint8, payload []byte) (matrix.Block, error) {
+	if len(payload) < 12 {
+		return nil, fmt.Errorf("%w: short sparse32 payload", ErrBadFormat)
+	}
+	major := int(binary.LittleEndian.Uint32(payload[0:]))
+	minor := int(binary.LittleEndian.Uint32(payload[4:]))
+	nnz := int(binary.LittleEndian.Uint32(payload[8:]))
+	if err := checkSparseDims(major, minor, nnz); err != nil {
+		return nil, err
+	}
+	if len(payload) != 12+4*(major+1)+4*nnz+8*nnz {
+		return nil, fmt.Errorf("%w: sparse32 payload size mismatch", ErrBadFormat)
+	}
+	ptr := make([]int, major+1)
+	off := 12
+	for i := range ptr {
+		ptr[i] = int(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+	}
+	idx := make([]int, nnz)
+	for i := range idx {
+		idx[i] = int(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+	}
+	val := decodeFloats(payload[off:], nnz)
+	if err := checkSparseStructure(major, minor, nnz, ptr, idx); err != nil {
+		return nil, err
+	}
+	if tag == TagCSR32 {
+		return &matrix.CSR{RowsN: major, ColsN: minor, RowPtr: ptr, ColIdx: idx, Val: val}, nil
+	}
+	return &matrix.CSC{RowsN: minor, ColsN: major, ColPtr: ptr, RowIdx: idx, Val: val}, nil
+}
+
+func decodeSparseDelta(tag uint8, payload []byte) (matrix.Block, error) {
+	major, n1 := binary.Uvarint(payload)
+	if n1 <= 0 {
+		return nil, fmt.Errorf("%w: truncated delta header", ErrBadFormat)
+	}
+	minor, n2 := binary.Uvarint(payload[n1:])
+	if n2 <= 0 {
+		return nil, fmt.Errorf("%w: truncated delta header", ErrBadFormat)
+	}
+	nnz, n3 := binary.Uvarint(payload[n1+n2:])
+	if n3 <= 0 {
+		return nil, fmt.Errorf("%w: truncated delta header", ErrBadFormat)
+	}
+	if major > MaxBlockSide || minor > MaxBlockSide || nnz > uint64(MaxBlockSide)*uint64(MaxBlockSide) {
+		return nil, fmt.Errorf("%w: implausible delta dimensions %dx%d nnz=%d", ErrBadFormat, major, minor, nnz)
+	}
+	rest := payload[n1+n2+n3:]
+	// Every major line costs at least one count byte and every entry at
+	// least one index byte plus its 8 value bytes, so both allocations are
+	// bounded by the bytes actually present — a forged header cannot force
+	// an outsized allocation.
+	if uint64(len(rest)) < major+9*nnz {
+		return nil, fmt.Errorf("%w: delta payload shorter than its own header promises", ErrBadFormat)
+	}
+	mi, mn, nz := int(major), int(minor), int(nnz)
+	if err := checkSparseDims(mi, mn, nz); err != nil {
+		return nil, err
+	}
+	ptr := make([]int, mi+1)
+	idx := make([]int, 0, nz)
+	off := 0
+	for i := 0; i < mi; i++ {
+		cnt, n := binary.Uvarint(rest[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: truncated entry count", ErrBadFormat)
+		}
+		off += n
+		if cnt > uint64(nz-len(idx)) {
+			return nil, fmt.Errorf("%w: entry counts exceed nnz", ErrBadFormat)
+		}
+		prev := -1
+		for k := uint64(0); k < cnt; k++ {
+			gap, n := binary.Uvarint(rest[off:])
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: truncated index stream", ErrBadFormat)
+			}
+			off += n
+			var c int
+			if prev < 0 {
+				c = int(gap)
+			} else {
+				if gap == 0 {
+					return nil, fmt.Errorf("%w: zero index gap", ErrBadFormat)
+				}
+				c = prev + int(gap)
+			}
+			if c < 0 || c >= mn {
+				return nil, fmt.Errorf("%w: index %d outside %d", ErrBadFormat, c, mn)
+			}
+			idx = append(idx, c)
+			prev = c
+		}
+		ptr[i+1] = len(idx)
+	}
+	if len(idx) != nz {
+		return nil, fmt.Errorf("%w: entry counts do not sum to nnz", ErrBadFormat)
+	}
+	if len(rest[off:]) != 8*nz {
+		return nil, fmt.Errorf("%w: delta payload size mismatch", ErrBadFormat)
+	}
+	val := decodeFloats(rest[off:], nz)
+	if tag == TagCSRDelta {
+		return &matrix.CSR{RowsN: mi, ColsN: mn, RowPtr: ptr, ColIdx: idx, Val: val}, nil
+	}
+	return &matrix.CSC{RowsN: mn, ColsN: mi, ColPtr: ptr, RowIdx: idx, Val: val}, nil
+}
+
+func checkSparseDims(major, minor, nnz int) error {
+	if major < 0 || minor < 0 || major > MaxBlockSide || minor > MaxBlockSide {
+		return fmt.Errorf("%w: implausible sparse dimensions %dx%d", ErrBadFormat, major, minor)
+	}
+	if nnz < 0 || (major > 0 && minor > 0 && nnz > major*minor) || (major*minor == 0 && nnz != 0) {
+		return fmt.Errorf("%w: implausible entry count %d for %dx%d", ErrBadFormat, nnz, major, minor)
+	}
+	return nil
+}
+
+// checkSparseStructure rejects well-framed but hand-crafted payloads whose
+// indices would panic later kernel reads.
+func checkSparseStructure(major, minor, nnz int, ptr, idx []int) error {
+	if ptr[0] != 0 || ptr[major] != nnz {
+		return fmt.Errorf("%w: pointers do not span the entries", ErrBadFormat)
+	}
+	for i := 0; i < major; i++ {
+		if ptr[i] > ptr[i+1] {
+			return fmt.Errorf("%w: pointers not monotone", ErrBadFormat)
+		}
+	}
+	for _, c := range idx {
+		if c < 0 || c >= minor {
+			return fmt.Errorf("%w: index %d outside %d", ErrBadFormat, c, minor)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package codec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"distme/internal/matrix"
+)
+
+// Digest identifies a block by content: SHA-256 over the wire tag and
+// payload. Two blocks share a digest exactly when they encode to the same
+// bytes, which is what the distnet block cache needs — resolving a digest
+// can never substitute different data.
+type Digest [sha256.Size]byte
+
+// Short returns an abbreviated hex form for logs and error text.
+func (d Digest) Short() string { return hex.EncodeToString(d[:6]) }
+
+// DigestOf computes the content digest of a block using a pooled encode
+// buffer.
+func DigestOf(b matrix.Block) (Digest, error) {
+	buf := GetBuffer()
+	payload, tag, err := AppendWire(buf, b)
+	if err != nil {
+		PutBuffer(buf)
+		return Digest{}, err
+	}
+	h := sha256.New()
+	h.Write([]byte{tag})
+	h.Write(payload)
+	PutBuffer(payload)
+	var d Digest
+	h.Sum(d[:0])
+	return d, nil
+}

@@ -1,0 +1,152 @@
+package distnet
+
+import (
+	"container/list"
+	"sync"
+
+	"distme/internal/codec"
+	"distme/internal/matrix"
+)
+
+// DefaultCacheBytes is the worker block cache's default capacity.
+const DefaultCacheBytes int64 = 256 << 20
+
+// CacheStats is a snapshot of one worker's block-cache counters.
+type CacheStats struct {
+	// Insertions counts blocks added to the cache (first inline arrival).
+	Insertions int64
+	// Hits counts digest references resolved from the cache; Misses counts
+	// references that failed (wrong epoch, evicted, or never received) and
+	// were answered with the unknown-digest error so the driver resends.
+	Hits   int64
+	Misses int64
+	// Evictions counts entries displaced by the byte-capacity bound.
+	Evictions int64
+	// Bytes and Entries describe the current residency.
+	Bytes   int64
+	Entries int
+}
+
+// blockCache is the worker-side content-addressed block store: a bounded
+// LRU keyed by block digest, scoped to the driver's current job epoch.
+// Correctness is carried entirely by the content addressing — a digest hit
+// can only ever return the exact bytes the driver hashed — so the epoch is
+// purely a lifecycle bound: when a new job's first block arrives, the
+// previous job's entries are purged, which is what keeps RemoveWorker/
+// AddWorker churn from leaking cache entries across jobs.
+type blockCache struct {
+	mu       sync.Mutex
+	capBytes int64
+	bytes    int64
+	epoch    uint64
+	ll       *list.List // front = most recently used
+	byDigest map[codec.Digest]*list.Element
+
+	insertions, hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	dig    codec.Digest
+	blk    matrix.Block
+	weight int64
+}
+
+// newBlockCache sizes a cache; capBytes 0 takes the default, negative
+// disables caching entirely (returns nil; lookups then miss and inserts
+// drop, which the wire protocol's resend path already tolerates).
+func newBlockCache(capBytes int64) *blockCache {
+	if capBytes == 0 {
+		capBytes = DefaultCacheBytes
+	}
+	if capBytes < 0 {
+		return nil
+	}
+	return &blockCache{
+		capBytes: capBytes,
+		ll:       list.New(),
+		byDigest: map[codec.Digest]*list.Element{},
+	}
+}
+
+// insert stores a decoded block under its digest for the given epoch. An
+// insert from a newer epoch retires every older entry first; an insert from
+// an older epoch (a straggler job racing a newer one) is not cached at all
+// — its references will miss and the driver falls back to inline sends.
+func (c *blockCache) insert(epoch uint64, dg codec.Digest, blk matrix.Block, weight int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch < c.epoch {
+		return
+	}
+	if epoch > c.epoch {
+		c.purgeLocked()
+		c.epoch = epoch
+	}
+	if _, ok := c.byDigest[dg]; ok {
+		return
+	}
+	if weight > c.capBytes {
+		return // larger than the whole cache: not worth displacing everything
+	}
+	c.byDigest[dg] = c.ll.PushFront(&cacheEntry{dig: dg, blk: blk, weight: weight})
+	c.bytes += weight
+	c.insertions++
+	for c.bytes > c.capBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.byDigest, e.dig)
+		c.bytes -= e.weight
+		c.evictions++
+	}
+}
+
+// lookup resolves a digest reference for the given epoch.
+func (c *blockCache) lookup(epoch uint64, dg codec.Digest) (matrix.Block, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch != c.epoch {
+		c.misses++
+		return nil, false
+	}
+	el, ok := c.byDigest[dg]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).blk, true
+}
+
+func (c *blockCache) purgeLocked() {
+	c.ll.Init()
+	c.byDigest = map[codec.Digest]*list.Element{}
+	c.bytes = 0
+}
+
+// stats snapshots the counters.
+func (c *blockCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Insertions: c.insertions,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		Bytes:      c.bytes,
+		Entries:    c.ll.Len(),
+	}
+}

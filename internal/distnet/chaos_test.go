@@ -345,7 +345,7 @@ func startSlowWorker(t *testing.T, delay time.Duration) (string, *slowWorker) {
 			if err != nil {
 				return
 			}
-			go srv.ServeConn(conn)
+			go srv.ServeCodec(NewServerCodec(conn))
 		}
 	}()
 	return l.Addr().String(), sw
@@ -638,10 +638,11 @@ func TestWorkerGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := rpc.Dial("tcp", l.Addr().String())
+	conn, err := net.Dial("tcp", l.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
+	client := rpc.NewClientWithCodec(newClientCodec(conn, nil, nil))
 	defer client.Close()
 	var pong PingReply
 	if err := client.Call(serviceName+".Ping", &PingArgs{}, &pong); err != nil {

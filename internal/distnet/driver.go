@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"distme/internal/bmat"
+	"distme/internal/codec"
 	"distme/internal/core"
 	"distme/internal/matrix"
 	"distme/internal/metrics"
@@ -29,6 +30,10 @@ type Driver struct {
 	opts Options
 	wire *wireCounter
 	rec  *metrics.Recorder
+
+	// epoch numbers multiply jobs; digest references on the wire are scoped
+	// to one epoch so worker caches never serve a previous job's blocks.
+	epoch atomic.Uint64
 
 	mu      sync.Mutex
 	members []*member
@@ -72,6 +77,10 @@ type Options struct {
 	// DisableLocalFallback makes a fully-drained pool an error
 	// (ErrWorkerDead / ErrNoWorkers) instead of computing locally.
 	DisableLocalFallback bool
+	// DisableBlockCache ships every block inline on every send instead of
+	// replacing repeats with content-digest references — the pre-cache wire
+	// behavior, kept for measurement baselines and bisection.
+	DisableBlockCache bool
 	// Recorder receives membership, reconnect, and heartbeat counters; a
 	// private recorder is used when nil (see Driver.NetStats).
 	Recorder *metrics.Recorder
@@ -268,10 +277,18 @@ func (d *Driver) runJob(args *MultiplyArgs) (*MultiplyReply, error) {
 		}
 		lastErr = err
 		var se rpc.ServerError
-		if errors.As(err, &se) && !isTransientServerError(se) {
-			// The worker computed and rejected the request: retrying the
-			// same malformed cuboid elsewhere cannot help.
-			return nil, fmt.Errorf("distnet: worker %s rejected cuboid: %w", m.addr, err)
+		if errors.As(err, &se) {
+			if se.Error() == errUnknownDigestMsg {
+				// The worker no longer holds blocks we sent as references
+				// (restart, eviction, or epoch turnover). Forget what we
+				// believed it had; the retry ships everything inline.
+				d.rec.AddCacheRefMiss()
+				m.tracker.forget()
+			} else if !isTransientServerError(se) {
+				// The worker computed and rejected the request: retrying the
+				// same malformed cuboid elsewhere cannot help.
+				return nil, fmt.Errorf("distnet: worker %s rejected cuboid: %w", m.addr, err)
+			}
 		}
 		attempt++
 		if attempt < d.opts.JobAttempts {
@@ -295,9 +312,11 @@ func (d *Driver) runJob(args *MultiplyArgs) (*MultiplyReply, error) {
 }
 
 // isTransientServerError recognizes application-level errors that still
-// warrant reassignment — a draining worker answers RPCs but refuses work.
+// warrant reassignment — a draining worker answers RPCs but refuses work,
+// and a cache miss on a digest reference just means the blocks must be
+// resent inline.
 func isTransientServerError(se rpc.ServerError) bool {
-	return se.Error() == errWorkerDrainingMsg
+	return se.Error() == errWorkerDrainingMsg || se.Error() == errUnknownDigestMsg
 }
 
 // Multiply runs C = A×B with an explicit (P,Q,R)-cuboid partitioning, each
@@ -356,6 +375,10 @@ func (d *Driver) multiply(a, b *bmat.BlockMatrix, params core.Params, ckpt *chec
 		}
 	}
 
+	if !d.opts.DisableBlockCache {
+		d.assignDigests(jobs)
+	}
+
 	if ckpt != nil {
 		if err := ckpt.ensureManifest(a, b, params, len(jobs)); err != nil {
 			return nil, err
@@ -408,6 +431,37 @@ func (d *Driver) multiply(a, b *bmat.BlockMatrix, params core.Params, ckpt *chec
 		}
 	}
 	return out, nil
+}
+
+// assignDigests stamps a fresh job epoch on every cuboid and computes each
+// unique block's content digest once (the same block pointer appears in Q
+// or P cuboids — the replication Eq. (4) counts — so the map collapses the
+// hashing to one SHA-256 per distinct block). Blocks below the cacheable
+// threshold keep a nil digest and always ship inline.
+func (d *Driver) assignDigests(jobs []*MultiplyArgs) {
+	epoch := d.epoch.Add(1)
+	digests := map[matrix.Block]*codec.Digest{}
+	digestOf := func(b matrix.Block) *codec.Digest {
+		if dg, ok := digests[b]; ok {
+			return dg
+		}
+		var dg *codec.Digest
+		if codec.EncodedBytes(b) >= minCacheableBytes {
+			if v, err := codec.DigestOf(b); err == nil {
+				dg = &v
+			}
+		}
+		digests[b] = dg
+		return dg
+	}
+	for _, args := range jobs {
+		args.cacheEpoch = epoch
+		for _, list := range [2][]BlockRec{args.ABlocks, args.BBlocks} {
+			for i := range list {
+				list[i].digest = digestOf(list[i].Block)
+			}
+		}
+	}
 }
 
 // MultiplyAuto optimizes (P,Q,R) for the given per-worker memory budget —

@@ -75,6 +75,13 @@ type member struct {
 	// mid-multiply pick up queued cuboids immediately.
 	slots chan struct{}
 
+	// tracker remembers which block digests this worker has received in
+	// the current job epoch (the driver side of the content-addressed
+	// block cache). It survives reconnects on purpose: a restarted worker
+	// refuses stale references with the unknown-digest error and the
+	// tracker is forgotten then.
+	tracker sendTracker
+
 	mu      sync.Mutex
 	client  *rpc.Client // nil while disconnected
 	state   MemberState
@@ -274,7 +281,11 @@ func (d *Driver) connect(m *member, reconnect bool) error {
 	if err != nil {
 		return fmt.Errorf("%w: dial %s: %v", ErrWorkerDead, m.addr, err)
 	}
-	client := rpc.NewClient(&countingConn{Conn: conn, wire: d.wire})
+	var tracker *sendTracker
+	if !d.opts.DisableBlockCache {
+		tracker = &m.tracker
+	}
+	client := rpc.NewClientWithCodec(newClientCodec(&countingConn{Conn: conn, wire: d.wire}, d.rec, tracker))
 	start := time.Now()
 	var pong PingReply
 	if err := rpcCall(client, "Ping", &PingArgs{}, &pong, d.opts.PingTimeout); err != nil {

@@ -1,31 +1,28 @@
 // Package distnet is the over-the-wire execution path: a driver that runs
 // CuboidMM's local-multiplication step on remote worker processes over TCP
-// (net/rpc + gob), really serializing blocks onto sockets. The in-process
-// cluster substrate simulates Spark's accounting; this package complements
-// it with genuinely distributed execution — same cuboid plans, same
-// results, measured wire bytes — so the repartition/aggregation costs the
-// paper reasons about correspond to observable network traffic.
+// (net/rpc with a custom binary codec), really serializing blocks onto
+// sockets. The in-process cluster substrate simulates Spark's accounting;
+// this package complements it with genuinely distributed execution — same
+// cuboid plans, same results, measured wire bytes — so the repartition/
+// aggregation costs the paper reasons about correspond to observable
+// network traffic.
 package distnet
 
 import (
-	"encoding/gob"
-
 	"distme/internal/bmat"
+	"distme/internal/codec"
 	"distme/internal/matrix"
 )
-
-func init() {
-	// The RPC payloads carry matrix.Block interface values; gob needs the
-	// concrete types registered once.
-	gob.Register(&matrix.Dense{})
-	gob.Register(&matrix.CSR{})
-	gob.Register(&matrix.CSC{})
-}
 
 // BlockRec is one keyed block on the wire.
 type BlockRec struct {
 	Key   bmat.BlockKey
 	Block matrix.Block
+
+	// digest, when set by the driver, is the content address of Block; the
+	// client codec uses it to replace repeat sends to the same worker with
+	// a 32-byte reference (nil means "always ship inline").
+	digest *codec.Digest
 }
 
 // MultiplyArgs ships one cuboid to a worker: the voxel box plus the A- and
@@ -35,6 +32,10 @@ type MultiplyArgs struct {
 	ILo, IHi, JLo, JHi, KLo, KHi int
 	ABlocks                      []BlockRec // A_{i,k} for the box
 	BBlocks                      []BlockRec // B_{k,j} for the box
+
+	// cacheEpoch scopes this cuboid's digest references to one driver job;
+	// the worker's block cache retires older epochs when a new one arrives.
+	cacheEpoch uint64
 }
 
 // MultiplyReply returns the cuboid's partial C blocks.

@@ -1,0 +1,564 @@
+package distnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"distme/internal/bmat"
+	"distme/internal/codec"
+	"distme/internal/matrix"
+	"distme/internal/metrics"
+)
+
+// The custom net/rpc codec pair that replaces gob on the driver↔worker
+// sockets. One message is one length-prefixed frame built in a pooled
+// buffer and written with a single conn.Write; block payloads inside the
+// frame use internal/codec's binary forms (bulk float conversion, compact
+// sparse layouts) instead of gob's per-element reflection. The framing is
+// parsed entirely from the buffered frame, so a body that fails to decode
+// never desynchronizes the stream — net/rpc turns it into an error response
+// and keeps serving, which is exactly what the block cache's unknown-digest
+// recovery relies on.
+
+// errUnknownDigestMsg is the application-level error a worker answers with
+// when a digest reference misses its cache (restart, eviction, or epoch
+// change). The driver treats it as transient: it forgets what it believed
+// this worker had and resends the blocks inline on the retry.
+const errUnknownDigestMsg = "distnet: unknown block digest"
+
+// errWireMsg prefixes malformed-frame errors.
+var errWire = errors.New("distnet: malformed wire frame")
+
+// Block transport flags inside MultiplyArgs.
+const (
+	blockInline      = 0 // tag + payload, not cached
+	blockInlineCache = 1 // digest + tag + payload; worker caches it
+	blockRef         = 2 // digest only; worker resolves from cache
+)
+
+// minCacheableBytes keeps tiny blocks out of the digest machinery — a
+// 32-byte digest plus tracking buys nothing under this size.
+const minCacheableBytes = 256
+
+// maxWireFrame bounds one frame; anything larger is a corrupt length.
+const maxWireFrame = int64(1) << 38
+
+// writeFrameBuf finalizes a frame built in buf (whose first 4 bytes were
+// reserved) and writes it with one conn.Write.
+func writeFrameBuf(w io.Writer, buf []byte) error {
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame into a pooled buffer, growing
+// it only as bytes actually arrive (1 MiB steps) so a forged length cannot
+// force an outsized allocation. The caller owns the returned buffer and
+// must release it with codec.PutBuffer.
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int64(binary.LittleEndian.Uint32(hdr[:]))
+	if n > maxWireFrame {
+		return nil, fmt.Errorf("%w: frame of %d bytes", errWire, n)
+	}
+	const step = 1 << 20
+	buf := codec.GetBuffer()
+	for int64(len(buf)) < n {
+		chunk := n - int64(len(buf))
+		if chunk > step {
+			chunk = step
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, chunk)...)
+		if _, err := io.ReadFull(br, buf[start:]); err != nil {
+			codec.PutBuffer(buf)
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// wireReader is a bounds-checked cursor over one frame.
+type wireReader struct {
+	buf []byte
+	off int
+}
+
+func (r *wireReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint", errWire)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *wireReader) take(n int) ([]byte, error) {
+	if n < 0 || len(r.buf)-r.off < n {
+		return nil, fmt.Errorf("%w: truncated field (%d bytes wanted, %d left)", errWire, n, len(r.buf)-r.off)
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *wireReader) u8() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *wireReader) u32() (int, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return int(binary.LittleEndian.Uint32(b)), nil
+}
+
+func (r *wireReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// sendTracker remembers which block digests a member has already received
+// in the current job epoch, so the driver can replace repeats with
+// references. Marking happens at encode time ("commit at send"): requests
+// on one connection are written and read in order, so a later request's
+// reference can only be decoded after the earlier inline copy was. The
+// tracker is deliberately NOT cleared on reconnect — a restarted worker
+// answers the first stale reference with the unknown-digest error, runJob
+// calls forget(), and the retry ships the blocks inline.
+type sendTracker struct {
+	mu    sync.Mutex
+	epoch uint64
+	sent  map[codec.Digest]struct{}
+}
+
+// seen reports whether dg was already sent this epoch, marking it sent
+// otherwise. An epoch change resets the set.
+func (t *sendTracker) seen(epoch uint64, dg codec.Digest) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.epoch != epoch || t.sent == nil {
+		t.epoch = epoch
+		t.sent = map[codec.Digest]struct{}{}
+	}
+	if _, ok := t.sent[dg]; ok {
+		return true
+	}
+	t.sent[dg] = struct{}{}
+	return false
+}
+
+// forget drops everything the driver believed this worker had (after an
+// unknown-digest refusal or any other evidence the cache is gone).
+func (t *sendTracker) forget() {
+	t.mu.Lock()
+	t.sent = nil
+	t.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Client codec (driver side)
+
+type clientCodec struct {
+	conn    io.ReadWriteCloser
+	br      *bufio.Reader
+	rec     *metrics.Recorder
+	tracker *sendTracker
+
+	resp []byte // pooled frame of the in-progress response
+	body []byte // its body remainder
+}
+
+// newClientCodec builds the driver-side codec. rec (optional) receives
+// encode/decode timing and cache accounting; tracker (optional) enables
+// digest references for blocks that carry digests.
+func newClientCodec(conn io.ReadWriteCloser, rec *metrics.Recorder, tracker *sendTracker) rpc.ClientCodec {
+	return &clientCodec{conn: conn, br: bufio.NewReader(conn), rec: rec, tracker: tracker}
+}
+
+func (c *clientCodec) WriteRequest(r *rpc.Request, body any) error {
+	start := time.Now()
+	buf := codec.GetBuffer()
+	defer func() { codec.PutBuffer(buf) }()
+	buf = append(buf, 0, 0, 0, 0)
+	buf = binary.AppendUvarint(buf, r.Seq)
+	buf = appendString(buf, r.ServiceMethod)
+	var err error
+	switch v := body.(type) {
+	case *MultiplyArgs:
+		buf, err = c.appendMultiplyArgs(buf, v)
+	case *PingArgs:
+		// no body
+	default:
+		err = fmt.Errorf("distnet: unsupported request body %T", body)
+	}
+	if err != nil {
+		return err
+	}
+	if c.rec != nil {
+		c.rec.AddWireEncode(int64(len(buf)-4), time.Since(start))
+	}
+	return writeFrameBuf(c.conn, buf)
+}
+
+func (c *clientCodec) appendMultiplyArgs(buf []byte, a *MultiplyArgs) ([]byte, error) {
+	for _, v := range [6]int{a.ILo, a.IHi, a.JLo, a.JHi, a.KLo, a.KHi} {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	buf = binary.AppendUvarint(buf, a.cacheEpoch)
+	var err error
+	if buf, err = c.appendBlockRecs(buf, a.ABlocks, a.cacheEpoch); err != nil {
+		return nil, err
+	}
+	return c.appendBlockRecs(buf, a.BBlocks, a.cacheEpoch)
+}
+
+func (c *clientCodec) appendBlockRecs(buf []byte, recs []BlockRec, epoch uint64) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+	for i := range recs {
+		rec := &recs[i]
+		buf = binary.AppendUvarint(buf, uint64(rec.Key.I))
+		buf = binary.AppendUvarint(buf, uint64(rec.Key.J))
+		if rec.digest != nil && c.tracker != nil {
+			if c.tracker.seen(epoch, *rec.digest) {
+				buf = append(buf, blockRef)
+				buf = append(buf, rec.digest[:]...)
+				if c.rec != nil {
+					saved := codec.EncodedBytes(rec.Block) - int64(len(rec.digest))
+					if saved < 0 {
+						saved = 0
+					}
+					c.rec.AddCacheRefSent(saved)
+				}
+				continue
+			}
+			buf = append(buf, blockInlineCache)
+			buf = append(buf, rec.digest[:]...)
+		} else {
+			buf = append(buf, blockInline)
+		}
+		var err error
+		if buf, err = appendInlineBlock(buf, rec.Block); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// appendInlineBlock emits tag, u32 payload length, payload.
+func appendInlineBlock(buf []byte, b matrix.Block) ([]byte, error) {
+	tagPos := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0) // tag + length placeholder
+	var tag uint8
+	var err error
+	buf, tag, err = codec.AppendWire(buf, b)
+	if err != nil {
+		return nil, err
+	}
+	buf[tagPos] = tag
+	binary.LittleEndian.PutUint32(buf[tagPos+1:], uint32(len(buf)-tagPos-5))
+	return buf, nil
+}
+
+func (c *clientCodec) ReadResponseHeader(r *rpc.Response) error {
+	frame, err := readFrame(c.br)
+	if err != nil {
+		return err
+	}
+	rd := wireReader{buf: frame}
+	seq, err1 := rd.uvarint()
+	method, err2 := rd.str()
+	errStr, err3 := rd.str()
+	if err1 != nil || err2 != nil || err3 != nil {
+		codec.PutBuffer(frame)
+		return fmt.Errorf("%w: response header", errWire)
+	}
+	r.Seq, r.ServiceMethod, r.Error = seq, method, errStr
+	c.resp, c.body = frame, frame[rd.off:]
+	return nil
+}
+
+func (c *clientCodec) ReadResponseBody(body any) error {
+	defer func() {
+		codec.PutBuffer(c.resp)
+		c.resp, c.body = nil, nil
+	}()
+	if body == nil {
+		return nil
+	}
+	start := time.Now()
+	n := int64(len(c.body))
+	rd := wireReader{buf: c.body}
+	var err error
+	switch v := body.(type) {
+	case *MultiplyReply:
+		err = decodeMultiplyReply(&rd, v)
+	case *PingReply:
+		v.Hostname, err = rd.str()
+	default:
+		err = fmt.Errorf("distnet: unsupported response body %T", body)
+	}
+	if err == nil && c.rec != nil {
+		c.rec.AddWireDecode(n, time.Since(start))
+	}
+	return err
+}
+
+func (c *clientCodec) Close() error { return c.conn.Close() }
+
+// ---------------------------------------------------------------------------
+// Server codec (worker side)
+
+type serverCodec struct {
+	conn  io.ReadWriteCloser
+	br    *bufio.Reader
+	cache *blockCache
+
+	req  []byte // pooled frame of the in-progress request
+	body []byte
+	wmu  sync.Mutex // WriteResponse may race Close on shutdown paths
+}
+
+// NewServerCodec returns the wire-format server codec for one connection,
+// with its own block cache — enough for protocol-compatible stand-in
+// workers built on rpc.NewServer (tests, tools). Production workers share
+// one cache across connections via Serve.
+func NewServerCodec(conn io.ReadWriteCloser) rpc.ServerCodec {
+	return newServerCodec(conn, newBlockCache(0))
+}
+
+func newServerCodec(conn io.ReadWriteCloser, cache *blockCache) rpc.ServerCodec {
+	return &serverCodec{conn: conn, br: bufio.NewReader(conn), cache: cache}
+}
+
+func (s *serverCodec) ReadRequestHeader(r *rpc.Request) error {
+	frame, err := readFrame(s.br)
+	if err != nil {
+		return err
+	}
+	rd := wireReader{buf: frame}
+	seq, err1 := rd.uvarint()
+	method, err2 := rd.str()
+	if err1 != nil || err2 != nil {
+		codec.PutBuffer(frame)
+		return fmt.Errorf("%w: request header", errWire)
+	}
+	r.Seq, r.ServiceMethod = seq, method
+	s.req, s.body = frame, frame[rd.off:]
+	return nil
+}
+
+// ReadRequestBody decodes the typed body from the already-buffered frame.
+// Returning an error here is safe: the frame was fully consumed, so net/rpc
+// sends the error string back as this call's response and keeps reading —
+// the unknown-digest refusal takes exactly that path.
+func (s *serverCodec) ReadRequestBody(body any) error {
+	defer func() {
+		codec.PutBuffer(s.req)
+		s.req, s.body = nil, nil
+	}()
+	if body == nil {
+		return nil
+	}
+	rd := wireReader{buf: s.body}
+	switch v := body.(type) {
+	case *MultiplyArgs:
+		return decodeMultiplyArgs(&rd, v, s.cache)
+	case *PingArgs:
+		return nil
+	default:
+		return fmt.Errorf("distnet: unsupported request body %T", body)
+	}
+}
+
+func (s *serverCodec) WriteResponse(r *rpc.Response, body any) error {
+	buf := codec.GetBuffer()
+	defer func() { codec.PutBuffer(buf) }()
+	buf = append(buf, 0, 0, 0, 0)
+	buf = binary.AppendUvarint(buf, r.Seq)
+	buf = appendString(buf, r.ServiceMethod)
+	buf = appendString(buf, r.Error)
+	if r.Error == "" {
+		var err error
+		switch v := body.(type) {
+		case *MultiplyReply:
+			buf, err = appendMultiplyReply(buf, v)
+		case *PingReply:
+			buf = appendString(buf, v.Hostname)
+		default:
+			err = fmt.Errorf("distnet: unsupported response body %T", body)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return writeFrameBuf(s.conn, buf)
+}
+
+func (s *serverCodec) Close() error { return s.conn.Close() }
+
+// ---------------------------------------------------------------------------
+// Typed body layouts (shared by both directions)
+
+func decodeMultiplyArgs(rd *wireReader, a *MultiplyArgs, cache *blockCache) error {
+	for _, p := range [6]*int{&a.ILo, &a.IHi, &a.JLo, &a.JHi, &a.KLo, &a.KHi} {
+		v, err := rd.uvarint()
+		if err != nil {
+			return err
+		}
+		*p = int(v)
+	}
+	epoch, err := rd.uvarint()
+	if err != nil {
+		return err
+	}
+	a.cacheEpoch = epoch
+	if a.ABlocks, err = decodeBlockRecs(rd, cache, epoch); err != nil {
+		return err
+	}
+	a.BBlocks, err = decodeBlockRecs(rd, cache, epoch)
+	return err
+}
+
+func decodeBlockRecs(rd *wireReader, cache *blockCache, epoch uint64) ([]BlockRec, error) {
+	n, err := rd.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Each record needs at least key + flag bytes; a count beyond the
+	// remaining frame is a forgery, rejected before the allocation.
+	if n > uint64(len(rd.buf)-rd.off) {
+		return nil, fmt.Errorf("%w: %d block records in %d bytes", errWire, n, len(rd.buf)-rd.off)
+	}
+	recs := make([]BlockRec, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ki, err1 := rd.uvarint()
+		kj, err2 := rd.uvarint()
+		flag, err3 := rd.u8()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("%w: block record header", errWire)
+		}
+		rec := BlockRec{Key: bmat.BlockKey{I: int(ki), J: int(kj)}}
+		switch flag {
+		case blockRef:
+			raw, err := rd.take(len(codec.Digest{}))
+			if err != nil {
+				return nil, err
+			}
+			var dg codec.Digest
+			copy(dg[:], raw)
+			blk, ok := cache.lookup(epoch, dg)
+			if !ok {
+				return nil, errors.New(errUnknownDigestMsg)
+			}
+			rec.Block = blk
+		case blockInline, blockInlineCache:
+			var dg codec.Digest
+			if flag == blockInlineCache {
+				raw, err := rd.take(len(dg))
+				if err != nil {
+					return nil, err
+				}
+				copy(dg[:], raw)
+			}
+			blk, weight, err := decodeInlineBlock(rd)
+			if err != nil {
+				return nil, err
+			}
+			if flag == blockInlineCache {
+				cache.insert(epoch, dg, blk, weight)
+			}
+			rec.Block = blk
+		default:
+			return nil, fmt.Errorf("%w: unknown block flag %d", errWire, flag)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+func decodeInlineBlock(rd *wireReader) (matrix.Block, int64, error) {
+	tag, err := rd.u8()
+	if err != nil {
+		return nil, 0, err
+	}
+	n, err := rd.u32()
+	if err != nil {
+		return nil, 0, err
+	}
+	payload, err := rd.take(n)
+	if err != nil {
+		return nil, 0, err
+	}
+	blk, err := codec.Decode(tag, payload)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", errWire, err)
+	}
+	return blk, int64(n), nil
+}
+
+func appendMultiplyReply(buf []byte, r *MultiplyReply) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(len(r.CBlocks)))
+	var err error
+	for i := range r.CBlocks {
+		rec := &r.CBlocks[i]
+		buf = binary.AppendUvarint(buf, uint64(rec.Key.I))
+		buf = binary.AppendUvarint(buf, uint64(rec.Key.J))
+		if buf, err = appendInlineBlock(buf, rec.Block); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func decodeMultiplyReply(rd *wireReader, r *MultiplyReply) error {
+	n, err := rd.uvarint()
+	if err != nil {
+		return err
+	}
+	if n > uint64(len(rd.buf)-rd.off) {
+		return fmt.Errorf("%w: %d C blocks in %d bytes", errWire, n, len(rd.buf)-rd.off)
+	}
+	r.CBlocks = make([]BlockRec, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ki, err1 := rd.uvarint()
+		kj, err2 := rd.uvarint()
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("%w: C block header", errWire)
+		}
+		blk, _, err := decodeInlineBlock(rd)
+		if err != nil {
+			return err
+		}
+		r.CBlocks = append(r.CBlocks, BlockRec{Key: bmat.BlockKey{I: int(ki), J: int(kj)}, Block: blk})
+	}
+	return nil
+}

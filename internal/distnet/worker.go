@@ -28,10 +28,19 @@ type Worker struct {
 	listener   net.Listener
 	conns      map[net.Conn]struct{}
 
+	// cache is the content-addressed block store shared by every
+	// connection this worker serves; nil disables caching (references
+	// then miss and the driver resends inline).
+	cache *blockCache
+
 	inflight     sync.WaitGroup
 	shutdownOnce sync.Once
 	down         chan struct{} // closed when Shutdown completes
 }
+
+// CacheStats snapshots the worker's block-cache counters (insertions,
+// digest hits/misses, evictions, current residency).
+func (w *Worker) CacheStats() CacheStats { return w.cache.stats() }
 
 // beginRPC admits one RPC into the in-flight set; it fails once draining.
 // The admission check and WaitGroup.Add happen under the lock so Shutdown's
@@ -193,13 +202,27 @@ func (w *Worker) Wait() {
 	}
 }
 
+// WorkerOptions tunes a served worker. The zero value gives defaults.
+type WorkerOptions struct {
+	// CacheBytes bounds the content-addressed block cache: 0 takes
+	// DefaultCacheBytes, negative disables caching (every digest reference
+	// then misses and the driver falls back to inline sends).
+	CacheBytes int64
+}
+
 // Serve registers a Worker on the listener and serves connections until the
 // listener closes or Shutdown is called. It returns the worker so callers
 // can inspect it and shut it down.
 func Serve(l net.Listener) (*Worker, error) {
+	return ServeOptions(l, WorkerOptions{})
+}
+
+// ServeOptions is Serve with explicit tuning.
+func ServeOptions(l net.Listener, opts WorkerOptions) (*Worker, error) {
 	w := &Worker{
 		listener: l,
 		conns:    map[net.Conn]struct{}{},
+		cache:    newBlockCache(opts.CacheBytes),
 		down:     make(chan struct{}),
 	}
 	srv := rpc.NewServer()
@@ -216,7 +239,9 @@ func Serve(l net.Listener) (*Worker, error) {
 				continue
 			}
 			go func(conn net.Conn) {
-				srv.ServeConn(conn)
+				// Every connection shares the worker's cache, so a block
+				// one driver connection inlined resolves for another.
+				srv.ServeCodec(newServerCodec(conn, w.cache))
 				w.untrackConn(conn)
 				conn.Close()
 			}(conn)
@@ -228,11 +253,16 @@ func Serve(l net.Listener) (*Worker, error) {
 // ListenAndServe binds addr and serves a worker until it is shut down (the
 // distme-worker command's body).
 func ListenAndServe(addr string) error {
+	return ListenAndServeOptions(addr, WorkerOptions{})
+}
+
+// ListenAndServeOptions is ListenAndServe with explicit tuning.
+func ListenAndServeOptions(addr string, opts WorkerOptions) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	w, err := Serve(l)
+	w, err := ServeOptions(l, opts)
 	if err != nil {
 		l.Close()
 		return err

@@ -424,3 +424,26 @@ func TestExtWireOverheadBounded(t *testing.T) {
 		}
 	}
 }
+
+func TestExtWireCacheSavesBytes(t *testing.T) {
+	tb, err := ExtWireCache(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	coldSent, warmSent := atoiSafe(tb.Rows[0][1]), atoiSafe(tb.Rows[1][1])
+	if warmSent >= coldSent {
+		t.Fatalf("warm cache sent %d bytes, cold sent %d — dedup saved nothing", warmSent, coldSent)
+	}
+	if refs := atoiSafe(tb.Rows[1][2]); refs == 0 {
+		t.Fatal("warm run sent no digest references")
+	}
+	if saved := atoiSafe(tb.Rows[1][3]); saved == 0 {
+		t.Fatal("warm run recorded no bytes saved")
+	}
+	if atoiSafe(tb.Rows[0][2]) != 0 {
+		t.Fatal("cold run should not send digest references")
+	}
+}

@@ -104,7 +104,11 @@ func registry() map[string]Runner {
 			if err != nil {
 				return nil, err
 			}
-			return []*Table{t}, nil
+			tc, err := ExtWireCache(defaultSeed)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{t, tc}, nil
 		},
 		"ext-mps": func() ([]*Table, error) {
 			t, err := ExtMPSContention(defaultSeed)

@@ -50,7 +50,9 @@ type Block interface {
 	// NNZ returns the number of explicitly stored non-zero elements.
 	NNZ() int
 	// SizeBytes returns the in-memory payload size used for memory and
-	// communication accounting.
+	// cost-model accounting. The bytes a block actually occupies on the
+	// wire — where sparse blocks use compact index forms — come from
+	// codec.EncodedBytes instead.
 	SizeBytes() int64
 	// At returns the element at (i, j). It panics when out of range.
 	At(i, j int) float64

@@ -83,7 +83,9 @@ func (m *CSR) Dims() (int, int) { return m.RowsN, m.ColsN }
 func (m *CSR) NNZ() int { return len(m.Val) }
 
 // SizeBytes accounts 8 bytes per value plus 8 bytes per column index plus the
-// row-pointer array, mirroring a 64-bit CSR payload.
+// row-pointer array, mirroring the in-memory 64-bit CSR payload. The wire
+// encoding is usually smaller (32-bit or delta-varint indices); use
+// codec.EncodedBytes when pricing network traffic.
 func (m *CSR) SizeBytes() int64 {
 	return int64(len(m.Val))*elemBytes + int64(len(m.ColIdx))*8 + int64(len(m.RowPtr))*8
 }
@@ -179,7 +181,8 @@ func (m *CSC) Dims() (int, int) { return m.RowsN, m.ColsN }
 // NNZ returns the stored-entry count.
 func (m *CSC) NNZ() int { return len(m.Val) }
 
-// SizeBytes mirrors the CSR accounting.
+// SizeBytes mirrors the CSR accounting (in-memory, not wire — see
+// codec.EncodedBytes for the latter).
 func (m *CSC) SizeBytes() int64 {
 	return int64(len(m.Val))*elemBytes + int64(len(m.RowIdx))*8 + int64(len(m.ColPtr))*8
 }

@@ -119,6 +119,21 @@ type NetStats struct {
 	// LocalFallbacks counts cuboids computed on the driver because the
 	// worker pool had drained (or every attempt failed).
 	LocalFallbacks int64
+	// WireEncodeBytes/Nanos and WireDecodeBytes/Nanos meter the driver's
+	// wire codec: bytes framed for requests and parsed from responses, and
+	// the time spent doing it (the serialization cost the gob path hid).
+	WireEncodeBytes int64
+	WireEncodeNanos int64
+	WireDecodeBytes int64
+	WireDecodeNanos int64
+	// CacheRefsSent counts blocks replaced by 32-byte digest references on
+	// the wire; CacheBytesSaved accumulates the encoded payload bytes those
+	// references avoided resending. CacheRefMisses counts unknown-digest
+	// refusals (worker restart, eviction, epoch turnover) that forced an
+	// inline resend.
+	CacheRefsSent   int64
+	CacheRefMisses  int64
+	CacheBytesSaved int64
 }
 
 // HeartbeatRTTAvg is the mean heartbeat round-trip time.
@@ -145,16 +160,25 @@ func (n NetStats) Sub(o NetStats) NetStats {
 		DeadlineTimeouts:    n.DeadlineTimeouts - o.DeadlineTimeouts,
 		CuboidRetries:       n.CuboidRetries - o.CuboidRetries,
 		LocalFallbacks:      n.LocalFallbacks - o.LocalFallbacks,
+		WireEncodeBytes:     n.WireEncodeBytes - o.WireEncodeBytes,
+		WireEncodeNanos:     n.WireEncodeNanos - o.WireEncodeNanos,
+		WireDecodeBytes:     n.WireDecodeBytes - o.WireDecodeBytes,
+		WireDecodeNanos:     n.WireDecodeNanos - o.WireDecodeNanos,
+		CacheRefsSent:       n.CacheRefsSent - o.CacheRefsSent,
+		CacheRefMisses:      n.CacheRefMisses - o.CacheRefMisses,
+		CacheBytesSaved:     n.CacheBytesSaved - o.CacheBytesSaved,
 	}
 }
 
 // String renders the network-elasticity counters compactly.
 func (n NetStats) String() string {
-	return fmt.Sprintf("heartbeats=%d/%d rtt(avg=%v max=%v) reconnects=%d churn=+%d/-%d dead=%d timeouts=%d retries=%d local=%d",
+	return fmt.Sprintf("heartbeats=%d/%d rtt(avg=%v max=%v) reconnects=%d churn=+%d/-%d dead=%d timeouts=%d retries=%d local=%d wire(enc=%s dec=%s) cache(refs=%d misses=%d saved=%s)",
 		n.HeartbeatsSent-n.HeartbeatMisses, n.HeartbeatsSent,
 		n.HeartbeatRTTAvg(), n.HeartbeatRTTMax,
 		n.Reconnects, n.WorkersJoined, n.WorkersLeft, n.WorkersDeclaredDead,
-		n.DeadlineTimeouts, n.CuboidRetries, n.LocalFallbacks)
+		n.DeadlineTimeouts, n.CuboidRetries, n.LocalFallbacks,
+		FormatBytes(n.WireEncodeBytes), FormatBytes(n.WireDecodeBytes),
+		n.CacheRefsSent, n.CacheRefMisses, FormatBytes(n.CacheBytesSaved))
 }
 
 // Recorder accumulates per-step bytes and durations for one job. The zero
@@ -182,6 +206,14 @@ type Recorder struct {
 	deadlineTimeouts atomic.Int64
 	cuboidRetries    atomic.Int64
 	localFallbacks   atomic.Int64
+
+	wireEncBytes    atomic.Int64
+	wireEncNanos    atomic.Int64
+	wireDecBytes    atomic.Int64
+	wireDecNanos    atomic.Int64
+	cacheRefsSent   atomic.Int64
+	cacheRefMisses  atomic.Int64
+	cacheBytesSaved atomic.Int64
 
 	mu     sync.Mutex
 	spills int64 // bytes written to disk (E.D.C. accounting)
@@ -227,6 +259,29 @@ func (r *Recorder) AddCuboidRetry() { r.cuboidRetries.Add(1) }
 // AddLocalFallback records a cuboid computed locally on the driver.
 func (r *Recorder) AddLocalFallback() { r.localFallbacks.Add(1) }
 
+// AddWireEncode records one RPC frame encoded for the wire.
+func (r *Recorder) AddWireEncode(bytes int64, d time.Duration) {
+	r.wireEncBytes.Add(bytes)
+	r.wireEncNanos.Add(int64(d))
+}
+
+// AddWireDecode records one RPC body decoded from the wire.
+func (r *Recorder) AddWireDecode(bytes int64, d time.Duration) {
+	r.wireDecBytes.Add(bytes)
+	r.wireDecNanos.Add(int64(d))
+}
+
+// AddCacheRefSent records a block replaced by a digest reference on the
+// wire; saved is the encoded payload size the reference avoided.
+func (r *Recorder) AddCacheRefSent(saved int64) {
+	r.cacheRefsSent.Add(1)
+	r.cacheBytesSaved.Add(saved)
+}
+
+// AddCacheRefMiss records an unknown-digest refusal that forced an inline
+// resend.
+func (r *Recorder) AddCacheRefMiss() { r.cacheRefMisses.Add(1) }
+
 // Net returns the current real-network elasticity counters.
 func (r *Recorder) Net() NetStats {
 	return NetStats{
@@ -242,6 +297,13 @@ func (r *Recorder) Net() NetStats {
 		DeadlineTimeouts:    r.deadlineTimeouts.Load(),
 		CuboidRetries:       r.cuboidRetries.Load(),
 		LocalFallbacks:      r.localFallbacks.Load(),
+		WireEncodeBytes:     r.wireEncBytes.Load(),
+		WireEncodeNanos:     r.wireEncNanos.Load(),
+		WireDecodeBytes:     r.wireDecBytes.Load(),
+		WireDecodeNanos:     r.wireDecNanos.Load(),
+		CacheRefsSent:       r.cacheRefsSent.Load(),
+		CacheRefMisses:      r.cacheRefMisses.Load(),
+		CacheBytesSaved:     r.cacheBytesSaved.Load(),
 	}
 }
 
@@ -334,6 +396,13 @@ func (r *Recorder) Reset() {
 	r.deadlineTimeouts.Store(0)
 	r.cuboidRetries.Store(0)
 	r.localFallbacks.Store(0)
+	r.wireEncBytes.Store(0)
+	r.wireEncNanos.Store(0)
+	r.wireDecBytes.Store(0)
+	r.wireDecNanos.Store(0)
+	r.cacheRefsSent.Store(0)
+	r.cacheRefMisses.Store(0)
+	r.cacheBytesSaved.Store(0)
 	r.mu.Lock()
 	r.spills = 0
 	r.mu.Unlock()

@@ -12,10 +12,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"math"
 	"os"
 
 	"distme/internal/bmat"
+	"distme/internal/codec"
 	"distme/internal/matrix"
 )
 
@@ -25,10 +25,12 @@ const magic = "DMEB"
 // formatVersion is bumped on incompatible layout changes.
 const formatVersion = 1
 
-// Chunk format tags.
+// Chunk format tags. These alias the portable tags in internal/codec — the
+// on-disk format predates the shared codec, so the codec's portable layer
+// keeps these exact values and byte layouts.
 const (
-	chunkDense uint8 = 0
-	chunkCSR   uint8 = 1
+	chunkDense = codec.TagDense
+	chunkCSR   = codec.TagCSR
 )
 
 // ErrBadFormat reports a corrupt or foreign file.
@@ -137,11 +139,16 @@ func ReadFile(path string) (*bmat.BlockMatrix, error) {
 }
 
 // writeChunk emits one block: key, format tag, payload, CRC32 of payload.
+// The payload comes from the shared codec's portable encoder, which
+// reproduces this package's original chunk layout byte-for-byte (the
+// golden-file test pins that).
 func writeChunk(w io.Writer, k bmat.BlockKey, b matrix.Block) error {
-	payload, tag, err := encodeBlock(b)
+	payload, tag, err := codec.AppendPortable(codec.GetBuffer(), b)
 	if err != nil {
+		codec.PutBuffer(payload)
 		return err
 	}
+	defer codec.PutBuffer(payload)
 	meta := []uint64{uint64(k.I), uint64(k.J)}
 	for _, v := range meta {
 		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
@@ -230,129 +237,19 @@ func minU64(a, b uint64) uint64 {
 	return b
 }
 
-// encodeBlock serializes a block to a payload and format tag. CSC blocks
-// are converted to CSR on the way out; the format self-describes.
-func encodeBlock(b matrix.Block) ([]byte, uint8, error) {
-	switch v := b.(type) {
-	case *matrix.Dense:
-		buf := make([]byte, 16+8*len(v.Data))
-		binary.LittleEndian.PutUint64(buf[0:], uint64(v.RowsN))
-		binary.LittleEndian.PutUint64(buf[8:], uint64(v.ColsN))
-		for i, x := range v.Data {
-			binary.LittleEndian.PutUint64(buf[16+8*i:], mathFloat64bits(x))
-		}
-		return buf, chunkDense, nil
-	case *matrix.CSR:
-		return encodeCSR(v), chunkCSR, nil
-	case *matrix.CSC:
-		csr := matrix.NewCSRFromDense(v.Dense())
-		return encodeCSR(csr), chunkCSR, nil
-	default:
-		return nil, 0, fmt.Errorf("storage: unsupported block type %T", b)
-	}
-}
-
-func encodeCSR(v *matrix.CSR) []byte {
-	n := len(v.Val)
-	buf := make([]byte, 24+8*(len(v.RowPtr)+n+n))
-	binary.LittleEndian.PutUint64(buf[0:], uint64(v.RowsN))
-	binary.LittleEndian.PutUint64(buf[8:], uint64(v.ColsN))
-	binary.LittleEndian.PutUint64(buf[16:], uint64(n))
-	off := 24
-	for _, p := range v.RowPtr {
-		binary.LittleEndian.PutUint64(buf[off:], uint64(p))
-		off += 8
-	}
-	for _, c := range v.ColIdx {
-		binary.LittleEndian.PutUint64(buf[off:], uint64(c))
-		off += 8
-	}
-	for _, x := range v.Val {
-		binary.LittleEndian.PutUint64(buf[off:], mathFloat64bits(x))
-		off += 8
-	}
-	return buf
-}
-
-// maxBlockSide bounds decoded block dimensions, mirroring the header's
-// blockSize plausibility cap; anything larger is corruption and must be
-// rejected before the dimensions feed an allocation.
-const maxBlockSide = 1 << 24
-
+// decodeBlock parses a chunk payload via the shared codec, restricted to
+// the portable tags this file format writes, and reclassifies codec
+// failures as this package's ErrBadFormat so existing callers (and the fuzz
+// harness) keep seeing the same error taxonomy.
 func decodeBlock(tag uint8, payload []byte) (matrix.Block, error) {
-	switch tag {
-	case chunkDense:
-		if len(payload) < 16 {
-			return nil, fmt.Errorf("%w: short dense chunk", ErrBadFormat)
-		}
-		rows := int(binary.LittleEndian.Uint64(payload[0:]))
-		cols := int(binary.LittleEndian.Uint64(payload[8:]))
-		if rows < 0 || cols < 0 || rows > maxBlockSide || cols > maxBlockSide {
-			return nil, fmt.Errorf("%w: implausible dense dimensions %dx%d", ErrBadFormat, rows, cols)
-		}
-		if len(payload) != 16+8*rows*cols {
-			return nil, fmt.Errorf("%w: dense chunk size mismatch", ErrBadFormat)
-		}
-		data := make([]float64, rows*cols)
-		for i := range data {
-			data[i] = mathFloat64frombits(binary.LittleEndian.Uint64(payload[16+8*i:]))
-		}
-		return matrix.NewDenseData(rows, cols, data), nil
-	case chunkCSR:
-		if len(payload) < 24 {
-			return nil, fmt.Errorf("%w: short CSR chunk", ErrBadFormat)
-		}
-		rows := int(binary.LittleEndian.Uint64(payload[0:]))
-		cols := int(binary.LittleEndian.Uint64(payload[8:]))
-		nnz := int(binary.LittleEndian.Uint64(payload[16:]))
-		if rows < 0 || cols < 0 || rows > maxBlockSide || cols > maxBlockSide {
-			return nil, fmt.Errorf("%w: implausible CSR dimensions %dx%d", ErrBadFormat, rows, cols)
-		}
-		if nnz < 0 || (rows > 0 && cols > 0 && nnz > rows*cols) || (rows*cols == 0 && nnz != 0) {
-			return nil, fmt.Errorf("%w: implausible CSR entry count %d for %dx%d", ErrBadFormat, nnz, rows, cols)
-		}
-		want := 24 + 8*(rows+1+nnz+nnz)
-		if len(payload) != want {
-			return nil, fmt.Errorf("%w: CSR chunk size mismatch", ErrBadFormat)
-		}
-		m := &matrix.CSR{
-			RowsN: rows, ColsN: cols,
-			RowPtr: make([]int, rows+1),
-			ColIdx: make([]int, nnz),
-			Val:    make([]float64, nnz),
-		}
-		off := 24
-		for i := range m.RowPtr {
-			m.RowPtr[i] = int(binary.LittleEndian.Uint64(payload[off:]))
-			off += 8
-		}
-		for i := range m.ColIdx {
-			m.ColIdx[i] = int(binary.LittleEndian.Uint64(payload[off:]))
-			off += 8
-		}
-		for i := range m.Val {
-			m.Val[i] = mathFloat64frombits(binary.LittleEndian.Uint64(payload[off:]))
-			off += 8
-		}
-		// Structural validation: a well-checksummed but hand-crafted file
-		// must not be able to smuggle indices that panic later reads.
-		if m.RowPtr[0] != 0 || m.RowPtr[rows] != nnz {
-			return nil, fmt.Errorf("%w: CSR row pointers do not span the entries", ErrBadFormat)
-		}
-		for i := 0; i < rows; i++ {
-			if m.RowPtr[i] > m.RowPtr[i+1] {
-				return nil, fmt.Errorf("%w: CSR row pointers not monotone", ErrBadFormat)
-			}
-		}
-		for _, c := range m.ColIdx {
-			if c < 0 || c >= cols {
-				return nil, fmt.Errorf("%w: CSR column index %d outside %d columns", ErrBadFormat, c, cols)
-			}
-		}
-		return m, nil
-	default:
+	if tag != chunkDense && tag != chunkCSR {
 		return nil, fmt.Errorf("%w: unknown chunk tag %d", ErrBadFormat, tag)
 	}
+	blk, err := codec.Decode(tag, payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return blk, nil
 }
 
 func sortKeys(keys []bmat.BlockKey) {
@@ -366,8 +263,3 @@ func sortKeys(keys []bmat.BlockKey) {
 		keys[j+1] = v
 	}
 }
-
-// mathFloat64bits and mathFloat64frombits alias math's conversions; kept at
-// the bottom to keep the encoding code free of repeated package qualifiers.
-func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
-func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,372 @@
+// Package wirebench packages the wire-format regression benchmarks behind
+// a library API so `distme-bench -wire` can emit a machine-readable
+// artifact (BENCH_wire.json). Each entry pits gob — the repo's original
+// RPC encoding, exercised through a persistent encoder/decoder pair the
+// way a long-lived connection would — against internal/codec's binary
+// framing on the same blocks, and every decoded block is re-verified
+// bit-for-bit against the original before any number is reported: a
+// decode mismatch fails the run, which is what the CI smoke step keys on.
+//
+// A second section measures what the content-addressed block cache buys
+// end-to-end: one replicated cuboid multiply against a loopback worker,
+// cold (cache disabled) versus warm, in real socket bytes.
+package wirebench
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"distme/internal/bmat"
+	"distme/internal/codec"
+	"distme/internal/core"
+	"distme/internal/distnet"
+	"distme/internal/matrix"
+)
+
+// CodecResult is one gob-vs-codec comparison on a single block shape. The
+// speedup is throughput-based over the full encode+decode round trip.
+type CodecResult struct {
+	Name       string  `json:"name"`
+	GobBytes   int     `json:"gob_bytes"`
+	CodecBytes int     `json:"codec_bytes"`
+	GobEncUs   float64 `json:"gob_encode_us_per_op"`
+	CodecEncUs float64 `json:"codec_encode_us_per_op"`
+	GobDecUs   float64 `json:"gob_decode_us_per_op"`
+	CodecDecUs float64 `json:"codec_decode_us_per_op"`
+	EncSpeedup float64 `json:"encode_speedup"`
+	DecSpeedup float64 `json:"decode_speedup"`
+	RoundTripX float64 `json:"roundtrip_speedup"`
+}
+
+// CacheResult is the cold-vs-warm socket comparison for one replicated
+// multiply: identical plan, identical product, different bytes.
+type CacheResult struct {
+	Params        string `json:"params"`
+	ColdSentBytes int64  `json:"cold_sent_bytes"`
+	WarmSentBytes int64  `json:"warm_sent_bytes"`
+	CacheRefsSent int64  `json:"cache_refs_sent"`
+	BytesSaved    int64  `json:"cache_bytes_saved"`
+}
+
+// Report is the full wire benchmark run.
+type Report struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Codec      []CodecResult `json:"codec"`
+	Cache      CacheResult   `json:"cache"`
+}
+
+// benchBlocks is the shape menagerie: the dense entries are the ones the
+// ≥3× acceptance bar applies to; the sparse entries keep the compact
+// forms honest.
+func benchBlocks() []struct {
+	name string
+	blk  matrix.Block
+} {
+	rng := rand.New(rand.NewSource(8080))
+	dense := func(r, c int) *matrix.Dense {
+		d := matrix.NewDense(r, c)
+		for i := range d.Data {
+			d.Data[i] = rng.NormFloat64()
+		}
+		return d
+	}
+	sparse := func(r, c int, density float64) *matrix.Dense {
+		d := matrix.NewDense(r, c)
+		for i := range d.Data {
+			if rng.Float64() < density {
+				d.Data[i] = rng.NormFloat64()
+			}
+		}
+		return d
+	}
+	return []struct {
+		name string
+		blk  matrix.Block
+	}{
+		{"dense-64x64", dense(64, 64)},
+		{"dense-256x256", dense(256, 256)},
+		{"csr-256x256-5pct", matrix.NewCSRFromDense(sparse(256, 256, 0.05))},
+		{"csc-256x256-20pct", matrix.NewCSCFromDense(sparse(256, 256, 0.20))},
+	}
+}
+
+func init() {
+	// The gob side needs the concrete block types registered, exactly as
+	// the old wire protocol did before the binary codec replaced it.
+	gob.Register(&matrix.Dense{})
+	gob.Register(&matrix.CSR{})
+	gob.Register(&matrix.CSC{})
+}
+
+// replayReader serves the descriptor-bearing first gob message once (the
+// caller primes buf with it), then replays the steady-state message
+// forever — a synthetic long-lived connection, so the decoder is
+// benchmarked without per-message descriptor costs.
+type replayReader struct {
+	steady []byte
+	buf    bytes.Reader
+}
+
+func (r *replayReader) Read(p []byte) (int, error) {
+	n, err := r.buf.Read(p)
+	if err == io.EOF {
+		r.buf.Reset(r.steady)
+		n, err = r.buf.Read(p)
+	}
+	return n, err
+}
+
+// wireEncoding returns codec's exact frame payload for b (tag + body).
+func wireEncoding(b matrix.Block) ([]byte, uint8, error) {
+	payload, tag, err := codec.AppendWire(nil, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	return payload, tag, nil
+}
+
+// verifyBlock re-encodes got with the codec and compares against the
+// original's encoding — one mechanism that catches any value, structure,
+// or concrete-type drift bit-for-bit.
+func verifyBlock(name, path string, want []byte, wantTag uint8, got matrix.Block) error {
+	enc, tag, err := codec.AppendWire(nil, got)
+	if err != nil {
+		return fmt.Errorf("wirebench: %s: %s decode re-encode: %w", name, path, err)
+	}
+	if tag != wantTag || !bytes.Equal(enc, want) {
+		return fmt.Errorf("wirebench: %s: %s decode is not bit-identical to the original", name, path)
+	}
+	return nil
+}
+
+func usPerOp(r testing.BenchmarkResult) float64 {
+	return float64(r.NsPerOp()) / 1e3
+}
+
+// codecResults benchmarks every block shape and hard-fails on any decode
+// that is not bit-identical.
+func codecResults() ([]CodecResult, error) {
+	var out []CodecResult
+	for _, tc := range benchBlocks() {
+		wantPayload, wantTag, err := wireEncoding(tc.blk)
+		if err != nil {
+			return nil, err
+		}
+
+		// gob steady state: one warmup message carries the descriptors,
+		// every later message is the per-block cost a connection pays.
+		var gobBuf bytes.Buffer
+		genc := gob.NewEncoder(&gobBuf)
+		if err := genc.Encode(&tc.blk); err != nil {
+			return nil, fmt.Errorf("wirebench: %s: gob warmup: %w", tc.name, err)
+		}
+		first := append([]byte(nil), gobBuf.Bytes()...)
+		gobBuf.Reset()
+		if err := genc.Encode(&tc.blk); err != nil {
+			return nil, err
+		}
+		steady := append([]byte(nil), gobBuf.Bytes()...)
+
+		rr := &replayReader{steady: steady}
+		rr.buf.Reset(first)
+		gdec := gob.NewDecoder(rr)
+		var warm matrix.Block
+		if err := gdec.Decode(&warm); err != nil {
+			return nil, fmt.Errorf("wirebench: %s: gob warmup decode: %w", tc.name, err)
+		}
+		var gobGot matrix.Block
+		if err := gdec.Decode(&gobGot); err != nil {
+			return nil, fmt.Errorf("wirebench: %s: gob decode: %w", tc.name, err)
+		}
+		if err := verifyBlock(tc.name, "gob", wantPayload, wantTag, gobGot); err != nil {
+			return nil, err
+		}
+
+		codecGot, err := codec.Decode(wantTag, wantPayload)
+		if err != nil {
+			return nil, fmt.Errorf("wirebench: %s: codec decode: %w", tc.name, err)
+		}
+		if err := verifyBlock(tc.name, "codec", wantPayload, wantTag, codecGot); err != nil {
+			return nil, err
+		}
+
+		blk := tc.blk
+		gobEnc := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gobBuf.Reset()
+				if err := genc.Encode(&blk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		gobDec := testing.Benchmark(func(b *testing.B) {
+			var v matrix.Block
+			for i := 0; i < b.N; i++ {
+				if err := gdec.Decode(&v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		scratch := codec.GetBuffer()
+		codecEnc := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var err error
+				scratch, _, err = codec.AppendWire(scratch[:0], blk)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		codecDec := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.Decode(wantTag, wantPayload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		codec.PutBuffer(scratch)
+
+		res := CodecResult{
+			Name:       tc.name,
+			GobBytes:   len(steady),
+			CodecBytes: len(wantPayload),
+			GobEncUs:   usPerOp(gobEnc),
+			CodecEncUs: usPerOp(codecEnc),
+			GobDecUs:   usPerOp(gobDec),
+			CodecDecUs: usPerOp(codecDec),
+		}
+		if res.CodecEncUs > 0 {
+			res.EncSpeedup = res.GobEncUs / res.CodecEncUs
+		}
+		if res.CodecDecUs > 0 {
+			res.DecSpeedup = res.GobDecUs / res.CodecDecUs
+		}
+		if rt := res.CodecEncUs + res.CodecDecUs; rt > 0 {
+			res.RoundTripX = (res.GobEncUs + res.GobDecUs) / rt
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// cacheResult runs the replicated multiply cold and warm over real
+// loopback sockets and verifies the two products are bit-identical.
+func cacheResult() (CacheResult, error) {
+	rng := rand.New(rand.NewSource(8081))
+	a := bmat.RandomDense(rng, 256, 256, 32)
+	b := bmat.RandomDense(rng, 256, 256, 32)
+	params := core.Params{P: 2, Q: 2, R: 2}
+	res := CacheResult{Params: params.String()}
+
+	run := func(disable bool) (int64, int64, int64, *bmat.BlockMatrix, error) {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		defer l.Close()
+		if _, err := distnet.Serve(l); err != nil {
+			return 0, 0, 0, nil, err
+		}
+		d, err := distnet.DialOptions([]string{l.Addr().String()}, distnet.Options{DisableBlockCache: disable})
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		defer d.Close()
+		c, err := d.Multiply(a, b, params)
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		sent, _ := d.WireBytes()
+		stats := d.NetStats()
+		return sent, stats.CacheRefsSent, stats.CacheBytesSaved, c, nil
+	}
+
+	coldSent, _, _, coldC, err := run(true)
+	if err != nil {
+		return res, err
+	}
+	warmSent, refs, saved, warmC, err := run(false)
+	if err != nil {
+		return res, err
+	}
+	cd, wd := coldC.ToDense(), warmC.ToDense()
+	if len(cd.Data) != len(wd.Data) {
+		return res, fmt.Errorf("wirebench: cold/warm product shapes differ")
+	}
+	for i := range cd.Data {
+		if cd.Data[i] != wd.Data[i] {
+			return res, fmt.Errorf("wirebench: warm-cache product differs from cold at element %d", i)
+		}
+	}
+	res.ColdSentBytes = coldSent
+	res.WarmSentBytes = warmSent
+	res.CacheRefsSent = refs
+	res.BytesSaved = saved
+	return res, nil
+}
+
+// Run executes the full wire benchmark. Any decode that is not
+// bit-identical to its input — gob or codec, block or whole product —
+// returns an error, which distme-bench turns into a nonzero exit.
+func Run() (*Report, error) {
+	r := &Report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	cres, err := codecResults()
+	if err != nil {
+		return nil, err
+	}
+	r.Codec = cres
+	cache, err := cacheResult()
+	if err != nil {
+		return nil, err
+	}
+	r.Cache = cache
+	return r, nil
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Fprint renders the report as aligned text tables.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "wire benchmarks  %s  %s/%s  %d CPU (GOMAXPROCS=%d)  %s\n",
+		r.GoVersion, r.GOOS, r.GOARCH, r.NumCPU, r.GOMAXPROCS, r.Date)
+	fmt.Fprintf(w, "%-20s %10s %10s %10s %10s %10s %10s %8s\n",
+		"block", "gob B", "codec B", "gob enc", "codec enc", "gob dec", "codec dec", "rt x")
+	for _, c := range r.Codec {
+		fmt.Fprintf(w, "%-20s %10d %10d %9.1fu %9.1fu %9.1fu %9.1fu %7.2fx\n",
+			c.Name, c.GobBytes, c.CodecBytes,
+			c.GobEncUs, c.CodecEncUs, c.GobDecUs, c.CodecDecUs, c.RoundTripX)
+	}
+	fmt.Fprintf(w, "block cache %s: cold sent %d B, warm sent %d B (%.0f%%), %d refs, %d B saved\n",
+		r.Cache.Params, r.Cache.ColdSentBytes, r.Cache.WarmSentBytes,
+		100*float64(r.Cache.WarmSentBytes)/float64(r.Cache.ColdSentBytes),
+		r.Cache.CacheRefsSent, r.Cache.BytesSaved)
+}
