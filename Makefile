@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race fuzz-smoke vet bench bench-kernels bench-wire clean
+.PHONY: build test test-race fuzz-smoke vet lint-docs bench bench-kernels bench-wire clean
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,11 @@ fuzz-smoke:
 
 vet:
 	$(GO) vet ./...
+
+# Every ```go fence in README.md and docs/*.md must build against the
+# current API — documentation examples cannot rot silently.
+lint-docs:
+	$(GO) run ./cmd/lint-docs
 
 # Seed-vs-current kernel regression benchmarks, refreshing the checked-in
 # trajectory file.

@@ -11,6 +11,7 @@
 //	distme-bench -kernels -kernels-out BENCH_kernels.json
 //	distme-bench -wire                # gob-vs-codec wire benchmarks
 //	distme-bench -wire -wire-out BENCH_wire.json
+//	distme-bench -kernels -trace-out trace.json   # bench timeline for chrome://tracing
 //
 // Paper-scale rows are produced by the cost-model plane at the testbed
 // constants; "-measured" experiments run the real engine at laptop scale.
@@ -25,8 +26,31 @@ import (
 
 	"distme/internal/experiments"
 	"distme/internal/kernbench"
+	"distme/internal/obs"
 	"distme/internal/wirebench"
 )
+
+// benchTracer returns a tracer when -trace-out is set, else nil (no-op).
+func benchTracer(traceOut string) *obs.Tracer {
+	if traceOut == "" {
+		return nil
+	}
+	return obs.NewTracer()
+}
+
+// writeBenchTrace writes the recorded bench timeline as Chrome trace_event
+// JSON; a nil tracer (no -trace-out) writes nothing.
+func writeBenchTrace(tr *obs.Tracer, path string) {
+	if tr == nil {
+		return
+	}
+	snap := tr.Snapshot()
+	if err := snap.WriteFile(path); err != nil {
+		fmt.Fprintf(os.Stderr, "distme-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d bench spans to %s\n", len(snap.Spans), path)
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment ID(s), comma-separated, or 'all'")
@@ -35,6 +59,7 @@ func main() {
 	kernelsOut := flag.String("kernels-out", "", "with -kernels, also write the report as JSON to this path")
 	wire := flag.Bool("wire", false, "run gob-vs-codec wire benchmarks (fails on any decode mismatch)")
 	wireOut := flag.String("wire-out", "", "with -wire, also write the report as JSON to this path")
+	traceOut := flag.String("trace-out", "", "with -kernels or -wire, write a Chrome trace_event timeline of the bench run to this path")
 	flag.Parse()
 
 	if *list {
@@ -45,7 +70,8 @@ func main() {
 	}
 
 	if *wire {
-		report, err := wirebench.Run()
+		tr := benchTracer(*traceOut)
+		report, err := wirebench.RunTraced(tr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "distme-bench: wire: %v\n", err)
 			os.Exit(1)
@@ -57,11 +83,13 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		writeBenchTrace(tr, *traceOut)
 		return
 	}
 
 	if *kernels {
-		report, err := kernbench.Run()
+		tr := benchTracer(*traceOut)
+		report, err := kernbench.RunTraced(tr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "distme-bench: kernels: %v\n", err)
 			os.Exit(1)
@@ -73,6 +101,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		writeBenchTrace(tr, *traceOut)
 		return
 	}
 

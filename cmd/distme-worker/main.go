@@ -6,7 +6,12 @@
 // connections, finishes in-flight cuboids (bounded by -drain), then closes,
 // so a scaled-down executor never drops work it already accepted.
 //
-//	distme-worker -addr :7070 -drain 10s
+// With -debug-addr the worker serves live introspection endpoints — a
+// /debug/distme JSON snapshot (served cuboids, in-flight RPCs, cache
+// occupancy, recent spans) and net/http/pprof — and records a span per
+// served cuboid; see docs/OBSERVABILITY.md.
+//
+//	distme-worker -addr :7070 -drain 10s -debug-addr 127.0.0.1:7071
 package main
 
 import (
@@ -21,23 +26,37 @@ import (
 	"time"
 
 	"distme/internal/distnet"
+	"distme/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight RPCs")
 	cacheBytes := flag.Int64("cache-bytes", 0, "content-addressed block cache capacity in bytes (0 = default 256 MiB, negative = disabled)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/distme and pprof on this address (empty = off, port 0 = pick free port)")
 	flag.Parse()
 
+	wopts := distnet.WorkerOptions{CacheBytes: *cacheBytes}
+	if *debugAddr != "" {
+		wopts.Tracer = obs.NewTracer()
+	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("distme-worker: %v", err)
 	}
-	w, err := distnet.ServeOptions(l, distnet.WorkerOptions{CacheBytes: *cacheBytes})
+	w, err := distnet.ServeOptions(l, wopts)
 	if err != nil {
 		log.Fatalf("distme-worker: %v", err)
 	}
 	fmt.Printf("distme-worker: serving cuboid multiplications on %s\n", l.Addr())
+	if *debugAddr != "" {
+		dbg, err := w.ServeDebug(*debugAddr)
+		if err != nil {
+			log.Fatalf("distme-worker: debug listener: %v", err)
+		}
+		defer dbg.Close()
+		fmt.Printf("distme-worker: debug endpoints on http://%s/debug/distme\n", dbg.Addr())
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,235 @@
+// Command lint-docs compiles every ```go fence in README.md and docs/*.md
+// against the current API, so documentation examples cannot rot: a snippet
+// that no longer builds fails `make lint-docs` (and CI) with the markdown
+// file and fence line in the error.
+//
+// Two snippet shapes are accepted:
+//
+//   - full programs (the fence contains a `package` clause) build verbatim;
+//   - fragments are wrapped in `package main`, given imports inferred from
+//     the package qualifiers they use, placed inside func main(), and every
+//     top-level `x := …` binding is blank-assigned afterwards so
+//     fragments may declare results they don't consume.
+//
+// Fences whose info string is anything other than exactly "go" (sh, json,
+// text, or "go skip" to opt a pseudo-code block out) are ignored.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// snippet is one ```go fence: where it came from and its body.
+type snippet struct {
+	file string // markdown path, for error reporting
+	line int    // 1-based line of the opening fence
+	body string
+}
+
+// knownImports maps package qualifiers that may appear in doc fragments to
+// their import paths. Qualifiers outside this table are assumed to be
+// local variables and ignored.
+var knownImports = map[string]string{
+	"distme":  "distme",
+	"distnet": "distme/internal/distnet",
+	"obs":     "distme/internal/obs",
+	"metrics": "distme/internal/metrics",
+	"plan":    "distme/internal/plan",
+	"bmat":    "distme/internal/bmat",
+	"fmt":     "fmt",
+	"log":     "log",
+	"os":      "os",
+	"rand":    "math/rand",
+	"time":    "time",
+	"runtime": "runtime",
+	"sort":    "sort",
+	"strings": "strings",
+	"context": "context",
+	"errors":  "errors",
+	"math":    "math",
+}
+
+var (
+	fenceOpen  = regexp.MustCompile("^```(.*)$")
+	qualifier  = regexp.MustCompile(`(^|[^\w."'/])([a-z]\w*)\.`)
+	shortDecl  = regexp.MustCompile(`^([A-Za-z_]\w*(?:\s*,\s*[A-Za-z_]\w*)*)\s*:=`)
+	loopOpener = regexp.MustCompile(`^(for|if|switch|select|go|defer|return|case)\b`)
+)
+
+func main() {
+	root, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	files := []string{filepath.Join(root, "README.md")}
+	docs, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		fatal(err)
+	}
+	files = append(files, docs...)
+	sort.Strings(files)
+
+	var snippets []snippet
+	for _, f := range files {
+		s, err := extract(f)
+		if err != nil {
+			fatal(err)
+		}
+		snippets = append(snippets, s...)
+	}
+	if len(snippets) == 0 {
+		fatal(fmt.Errorf("lint-docs: no ```go fences found — wrong directory?"))
+	}
+
+	tmp, err := os.MkdirTemp(root, ".lintdocs-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	failures := 0
+	for i, sn := range snippets {
+		dir := filepath.Join(tmp, fmt.Sprintf("snip%02d", i))
+		if err := os.Mkdir(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		src := sn.body
+		if !strings.Contains(src, "package ") {
+			src = wrapFragment(src)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+			fatal(err)
+		}
+		rel, _ := filepath.Rel(root, dir)
+		cmd := exec.Command("go", "build", "-o", os.DevNull, "./"+filepath.ToSlash(rel))
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL %s:%d: snippet does not build:\n%s\n", sn.file, sn.line, indent(string(out)))
+			fmt.Fprintf(os.Stderr, "--- generated source ---\n%s\n", indent(src))
+		}
+	}
+	if failures > 0 {
+		os.RemoveAll(tmp) // os.Exit skips the defer
+		fmt.Fprintf(os.Stderr, "lint-docs: %d of %d snippets failed\n", failures, len(snippets))
+		os.Exit(1)
+	}
+	fmt.Printf("lint-docs: %d snippets across %d files build cleanly\n", len(snippets), len(files))
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint-docs: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// extract pulls the ```go fences out of one markdown file.
+func extract(path string) ([]snippet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []snippet
+	var cur *snippet
+	inGo, inOther := false, false
+	for i, line := range strings.Split(string(data), "\n") {
+		m := fenceOpen.FindStringSubmatch(strings.TrimRight(line, " \t"))
+		if m == nil {
+			if inGo {
+				cur.body += line + "\n"
+			}
+			continue
+		}
+		info := strings.TrimSpace(m[1])
+		switch {
+		case inGo: // closing fence of a go block
+			out = append(out, *cur)
+			cur, inGo = nil, false
+		case inOther: // closing fence of a non-go block
+			inOther = false
+		case info == "go":
+			cur = &snippet{file: path, line: i + 1}
+			inGo = true
+		default: // opening fence of sh/json/text/"go skip"/bare
+			inOther = true
+		}
+	}
+	if inGo {
+		return nil, fmt.Errorf("%s:%d: unterminated ```go fence", path, cur.line)
+	}
+	return out, nil
+}
+
+// wrapFragment turns a statement-level fragment into a compilable program.
+func wrapFragment(body string) string {
+	imports := map[string]bool{}
+	var uses []string
+	for _, line := range strings.Split(body, "\n") {
+		for _, m := range qualifier.FindAllStringSubmatch(line, -1) {
+			if path, ok := knownImports[m[2]]; ok {
+				imports[path] = true
+			}
+		}
+		// Top-level `a, b := …` declarations may go unused in a doc
+		// fragment; blank-assign them after the fragment runs.
+		if loopOpener.MatchString(line) {
+			continue
+		}
+		if m := shortDecl.FindStringSubmatch(line); m != nil {
+			for _, id := range strings.Split(m[1], ",") {
+				if id = strings.TrimSpace(id); id != "_" {
+					uses = append(uses, id)
+				}
+			}
+		}
+	}
+	paths := make([]string, 0, len(imports))
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	var b strings.Builder
+	b.WriteString("package main\n\n")
+	if len(paths) > 0 {
+		b.WriteString("import (\n")
+		for _, p := range paths {
+			fmt.Fprintf(&b, "\t%q\n", p)
+		}
+		b.WriteString(")\n\n")
+	}
+	b.WriteString("func main() {\n")
+	b.WriteString(body)
+	for _, id := range uses {
+		fmt.Fprintf(&b, "\t_ = %s\n", id)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func indent(s string) string {
+	return "\t" + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n\t")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

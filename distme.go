@@ -39,6 +39,7 @@ import (
 	"distme/internal/matrix"
 	"distme/internal/metrics"
 	"distme/internal/ml"
+	"distme/internal/obs"
 	"distme/internal/plan"
 	"distme/internal/storage"
 	"distme/internal/workload"
@@ -111,6 +112,22 @@ type Faults = cluster.Faults
 // recomputations and injected faults. Available per-multiply on
 // Report.Elastic and cumulatively via the recorder's snapshot.
 type ElasticStats = metrics.ElasticStats
+
+// Tracer collects end-to-end spans of the engine's execution. Set one on
+// EngineConfig.Tracer (or distnet's driver/worker options) to record a span
+// tree per multiplication; a nil tracer disables tracing with zero overhead.
+type Tracer = obs.Tracer
+
+// Trace is a set of completed spans — Report.Trace carries one per traced
+// multiplication, and Trace.WriteChromeTrace renders it as Chrome
+// trace_event JSON for chrome://tracing or Perfetto.
+type Trace = obs.Trace
+
+// SpanData is the record of one completed span within a Trace.
+type SpanData = obs.SpanData
+
+// NewTracer creates a span tracer bounded at a default completed-span limit.
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // GNMFOptions configures Gaussian non-negative matrix factorization.
 type GNMFOptions = ml.GNMFOptions

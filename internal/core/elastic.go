@@ -3,10 +3,12 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"distme/internal/bmat"
 	"distme/internal/cluster"
 	"distme/internal/matrix"
+	"distme/internal/obs"
 	"distme/internal/shuffle"
 )
 
@@ -27,7 +29,7 @@ const maxTransientFetches = 2
 // aggregation, retrying transient shuffle-fetch failures and recomputing
 // lost partials from lineage. A nil injector (no fault config) fetches
 // nothing and returns immediately.
-func recoverCuboidPartials(ctx context.Context, env Env, cuboids []*Cuboid, partials []map[bmat.BlockKey]*matrix.Dense, mult LocalMultiplier) error {
+func recoverCuboidPartials(ctx context.Context, env Env, parent obs.SpanID, cuboids []*Cuboid, partials []map[bmat.BlockKey]*matrix.Dense, mult LocalMultiplier) error {
 	inj := env.Cluster.FaultInjector()
 	if inj == nil || inj.Config().FetchFailRate <= 0 {
 		return nil
@@ -50,12 +52,23 @@ func recoverCuboidPartials(ctx context.Context, env Env, cuboids []*Cuboid, part
 		}
 		releasePartialMap(partials[idx])
 		partials[idx] = nil
+		recomputeStart := time.Now()
 		out, err := mult.Multiply(c)
 		if err != nil {
 			return err
 		}
 		partials[idx] = out
 		rec.AddRecomputedPartial()
+		if env.Tracer.Enabled() {
+			env.Tracer.AddCompleted(obs.SpanData{
+				Parent: parent,
+				Name:   "task.recompute",
+				Kind:   obs.KindTask,
+				Worker: name,
+				P:      c.P, Q: c.Q, R: c.R,
+				Start: recomputeStart, End: time.Now(),
+			})
+		}
 	}
 	return nil
 }
@@ -63,7 +76,7 @@ func recoverCuboidPartials(ctx context.Context, env Env, cuboids []*Cuboid, part
 // recoverVoxelPartials is the RMM variant: taskGroup maps each scheduled
 // cluster task to its voxel group index, and recompute(t) re-derives the
 // group's block-pair products from the operands.
-func recoverVoxelPartials(ctx context.Context, env Env, taskGroup []int, partials []map[bmat.VoxelKey]*matrix.Dense, recompute func(t int) (map[bmat.VoxelKey]*matrix.Dense, error)) error {
+func recoverVoxelPartials(ctx context.Context, env Env, parent obs.SpanID, taskGroup []int, partials []map[bmat.VoxelKey]*matrix.Dense, recompute func(t int) (map[bmat.VoxelKey]*matrix.Dense, error)) error {
 	inj := env.Cluster.FaultInjector()
 	if inj == nil || inj.Config().FetchFailRate <= 0 {
 		return nil
@@ -86,12 +99,23 @@ func recoverVoxelPartials(ctx context.Context, env Env, taskGroup []int, partial
 		}
 		releaseVoxelPartialMap(partials[t])
 		partials[t] = nil
+		recomputeStart := time.Now()
 		out, err := recompute(t)
 		if err != nil {
 			return err
 		}
 		partials[t] = out
 		rec.AddRecomputedPartial()
+		if env.Tracer.Enabled() {
+			env.Tracer.AddCompleted(obs.SpanData{
+				Parent: parent,
+				Name:   "task.recompute",
+				Kind:   obs.KindTask,
+				Worker: name,
+				P:      -1, Q: -1, R: -1,
+				Start: recomputeStart, End: time.Now(),
+			})
+		}
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"distme/internal/cluster"
 	"distme/internal/matrix"
 	"distme/internal/metrics"
+	"distme/internal/obs"
 	"distme/internal/shuffle"
 )
 
@@ -45,6 +46,12 @@ type Env struct {
 	// merge (see aggregate.go); 0 means GOMAXPROCS, 1 forces the
 	// sequential merge. Output bits are identical at any width.
 	AggregationWorkers int
+	// Tracer records phase spans (repartition, local multiply, aggregation)
+	// and one task span per committed cuboid; nil disables tracing with no
+	// overhead. TraceParent is the span the phase spans parent to (0 roots
+	// them).
+	Tracer      *obs.Tracer
+	TraceParent obs.SpanID
 }
 
 // VoxelMultiplier multiplies one block pair — the local multiplication
@@ -316,6 +323,7 @@ func MultiplyCuboidCtx(ctx context.Context, a, b *bmat.BlockMatrix, params Param
 	// block lands in exactly Q cuboids and every B block in exactly P, so
 	// the total equals Eq.(4)'s Q·|A| + P·|B| term exactly.
 	start := time.Now()
+	rsp := env.Tracer.Start(env.TraceParent, "repartition", obs.KindDriver)
 	cuboids := make([]*Cuboid, 0, params.Tasks())
 	var repartitionBytes int64
 	for p := 0; p < params.P; p++ {
@@ -351,12 +359,16 @@ func MultiplyCuboidCtx(ctx context.Context, a, b *bmat.BlockMatrix, params Param
 	}
 	rec.AddBytes(metrics.StepRepartition, repartitionBytes)
 	if err := env.Cluster.ChargeSpill(repartitionBytes); err != nil {
+		endSpanErr(rsp, err)
 		return nil, err
 	}
 	rec.AddDuration(metrics.StepRepartition, time.Since(start))
+	rsp.AddBytes(repartitionBytes)
+	rsp.End()
 
 	// ---- Local multiplication step -----------------------------------
 	start = time.Now()
+	lsp := env.Tracer.Start(env.TraceParent, "local-multiply", obs.KindDriver)
 	if env.BalanceBySparsity {
 		sortCuboidsByWork(cuboids)
 	}
@@ -369,16 +381,29 @@ func MultiplyCuboidCtx(ctx context.Context, a, b *bmat.BlockMatrix, params Param
 			Name:        c.Name(),
 			MemEstimate: c.MemEstimateBytes(),
 			Fn: func() error {
+				attemptStart := time.Now()
 				out, err := mult.Multiply(c)
 				if err != nil {
 					return err
 				}
 				// First-writer-wins commit: a speculative copy losing the
 				// race discards its (identical) result, so concurrent
-				// attempts never double-publish.
+				// attempts never double-publish. Only the winning attempt
+				// records a task span, keeping the invariant of exactly one
+				// span per cuboid across retries and speculation.
 				commitMu.Lock()
 				if partials[idx] == nil {
 					partials[idx] = out
+					if env.Tracer.Enabled() {
+						env.Tracer.AddCompleted(obs.SpanData{
+							Parent: lsp.ID(),
+							Name:   "task.multiply",
+							Kind:   obs.KindTask,
+							Worker: c.Name(),
+							P:      c.P, Q: c.Q, R: c.R,
+							Start: attemptStart, End: time.Now(),
+						})
+					}
 				} else {
 					releasePartialMap(out)
 				}
@@ -388,12 +413,15 @@ func MultiplyCuboidCtx(ctx context.Context, a, b *bmat.BlockMatrix, params Param
 		}
 	}
 	if err := env.Cluster.RunCtx(ctx, tasks); err != nil {
+		endSpanErr(lsp, err)
 		return nil, err
 	}
-	if err := recoverCuboidPartials(ctx, env, cuboids, partials, mult); err != nil {
+	if err := recoverCuboidPartials(ctx, env, lsp.ID(), cuboids, partials, mult); err != nil {
+		endSpanErr(lsp, err)
 		return nil, err
 	}
 	rec.AddDuration(metrics.StepLocalMultiply, time.Since(start))
+	lsp.End()
 
 	// ---- Matrix aggregation step -------------------------------------
 	// With R = 1 the local products are final blocks and no shuffle occurs
@@ -406,6 +434,7 @@ func MultiplyCuboidCtx(ctx context.Context, a, b *bmat.BlockMatrix, params Param
 	// The merge itself is sharded across workers (aggregate.go) with
 	// bit-identical results at any width.
 	start = time.Now()
+	asp := env.Tracer.Start(env.TraceParent, "aggregate", obs.KindDriver)
 	out := bmat.New(a.Rows, b.Cols, a.BlockSize)
 	var sizeOf func(*matrix.Dense) int64
 	if params.R > 1 {
@@ -416,11 +445,23 @@ func MultiplyCuboidCtx(ctx context.Context, a, b *bmat.BlockMatrix, params Param
 	rec.AddBytes(metrics.StepAggregation, aggregationBytes)
 	if aggregationBytes > 0 {
 		if err := env.Cluster.ChargeSpill(aggregationBytes); err != nil {
+			endSpanErr(asp, err)
 			return nil, err
 		}
 	}
 	rec.AddDuration(metrics.StepAggregation, time.Since(start))
+	asp.AddBytes(aggregationBytes)
+	asp.End()
 	return out, nil
+}
+
+// endSpanErr annotates a span with an error and ends it (phase spans on
+// early-return paths).
+func endSpanErr(sp obs.Span, err error) {
+	if sp.Active() {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
 }
 
 // sparseFormatThreshold is the density below which a result block is stored
@@ -555,6 +596,7 @@ func MultiplyRMMCtx(ctx context.Context, a, b *bmat.BlockMatrix, tasks int, env 
 
 	// ---- Matrix repartition step: replicate and hash-shuffle ----------
 	start := time.Now()
+	rsp := env.Tracer.Start(env.TraceParent, "repartition", obs.KindDriver)
 	groups := make([][]bmat.VoxelKey, tasks)
 	var repartitionBytes int64
 	hp := shuffle.HashPartitioner{N: tasks}
@@ -592,12 +634,16 @@ func MultiplyRMMCtx(ctx context.Context, a, b *bmat.BlockMatrix, tasks int, env 
 	}
 	rec.AddBytes(metrics.StepRepartition, repartitionBytes)
 	if err := env.Cluster.ChargeSpill(repartitionBytes); err != nil {
+		endSpanErr(rsp, err)
 		return nil, err
 	}
 	rec.AddDuration(metrics.StepRepartition, time.Since(start))
+	rsp.AddBytes(repartitionBytes)
+	rsp.End()
 
 	// ---- Local multiplication step: one block pair per voxel ----------
 	start = time.Now()
+	lsp := env.Tracer.Start(env.TraceParent, "local-multiply", obs.KindDriver)
 	vm := env.voxelMultiplier()
 	partials := make([]map[bmat.VoxelKey]*matrix.Dense, tasks)
 	var commitMu sync.Mutex
@@ -627,6 +673,7 @@ func MultiplyRMMCtx(ctx context.Context, a, b *bmat.BlockMatrix, tasks int, env 
 			Name:        fmt.Sprintf("rmm-task(%d)", t),
 			MemEstimate: memEstimates[t],
 			Fn: func() error {
+				attemptStart := time.Now()
 				out, err := computeGroup(t)
 				if err != nil {
 					return err
@@ -634,6 +681,16 @@ func MultiplyRMMCtx(ctx context.Context, a, b *bmat.BlockMatrix, tasks int, env 
 				commitMu.Lock()
 				if partials[t] == nil {
 					partials[t] = out
+					if env.Tracer.Enabled() {
+						env.Tracer.AddCompleted(obs.SpanData{
+							Parent: lsp.ID(),
+							Name:   "task.multiply",
+							Kind:   obs.KindTask,
+							Worker: fmt.Sprintf("rmm-task(%d)", t),
+							P:      -1, Q: -1, R: -1,
+							Start: attemptStart, End: time.Now(),
+						})
+					}
 				} else {
 					releaseVoxelPartialMap(out)
 				}
@@ -643,25 +700,32 @@ func MultiplyRMMCtx(ctx context.Context, a, b *bmat.BlockMatrix, tasks int, env 
 		})
 	}
 	if err := env.Cluster.RunCtx(ctx, clusterTasks); err != nil {
+		endSpanErr(lsp, err)
 		return nil, err
 	}
-	if err := recoverVoxelPartials(ctx, env, taskGroup, partials, computeGroup); err != nil {
+	if err := recoverVoxelPartials(ctx, env, lsp.ID(), taskGroup, partials, computeGroup); err != nil {
+		endSpanErr(lsp, err)
 		return nil, err
 	}
 	rec.AddDuration(metrics.StepLocalMultiply, time.Since(start))
+	lsp.End()
 
 	// ---- Matrix aggregation step: shuffle K·|C| partials by (i,j) ------
 	// Voxel partials are merged with the same sharded parallel reduce as
 	// the cuboid path; every partial block crosses the shuffle at stored
 	// size.
 	start = time.Now()
+	asp := env.Tracer.Start(env.TraceParent, "aggregate", obs.KindDriver)
 	out := bmat.New(a.Rows, b.Cols, a.BlockSize)
 	aggregationBytes := aggregateVoxelPartials(out, partials, env.aggWorkers())
 	rec.AddBytes(metrics.StepAggregation, aggregationBytes)
 	if err := env.Cluster.ChargeSpill(aggregationBytes); err != nil {
+		endSpanErr(asp, err)
 		return nil, err
 	}
 	rec.AddDuration(metrics.StepAggregation, time.Since(start))
+	asp.AddBytes(aggregationBytes)
+	asp.End()
 	return out, nil
 }
 

@@ -14,17 +14,17 @@ const DefaultCacheBytes int64 = 256 << 20
 // CacheStats is a snapshot of one worker's block-cache counters.
 type CacheStats struct {
 	// Insertions counts blocks added to the cache (first inline arrival).
-	Insertions int64
+	Insertions int64 `json:"insertions"`
 	// Hits counts digest references resolved from the cache; Misses counts
 	// references that failed (wrong epoch, evicted, or never received) and
 	// were answered with the unknown-digest error so the driver resends.
-	Hits   int64
-	Misses int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 	// Evictions counts entries displaced by the byte-capacity bound.
-	Evictions int64
+	Evictions int64 `json:"evictions"`
 	// Bytes and Entries describe the current residency.
-	Bytes   int64
-	Entries int
+	Bytes   int64 `json:"bytes"`
+	Entries int   `json:"entries"`
 }
 
 // blockCache is the worker-side content-addressed block store: a bounded

@@ -9,6 +9,7 @@ import (
 	"distme/internal/bmat"
 	"distme/internal/core"
 	"distme/internal/matrix"
+	"distme/internal/obs"
 )
 
 // Block-cache churn suite: the content-addressed cache must only ever save
@@ -124,7 +125,7 @@ func TestWorkerRestartMidJobMissesCleanly(t *testing.T) {
 	}
 	d.assignDigests([]*MultiplyArgs{args})
 
-	reply1, err := d.runJob(args)
+	reply1, err := d.runJob(args, obs.Span{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestWorkerRestartMidJobMissesCleanly(t *testing.T) {
 
 	// Same job, same epoch: the tracker still claims every block was sent,
 	// so this send is all references — and they must all miss cleanly.
-	reply2, err := d.runJob(args)
+	reply2, err := d.runJob(args, obs.Span{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -642,7 +642,7 @@ func TestWorkerGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client := rpc.NewClientWithCodec(newClientCodec(conn, nil, nil))
+	client := rpc.NewClientWithCodec(newClientCodec(conn, nil, nil, nil))
 	defer client.Close()
 	var pong PingReply
 	if err := client.Call(serviceName+".Ping", &PingArgs{}, &pong); err != nil {

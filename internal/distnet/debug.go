@@ -1,0 +1,123 @@
+package distnet
+
+import (
+	"time"
+
+	"distme/internal/metrics"
+	"distme/internal/obs"
+)
+
+// The /debug/distme JSON schemas. Driver and worker serve the same shape of
+// envelope — {"kind": "driver"|"worker", ...} — so an operator (or a script)
+// can poll both sides of a job with one decoder. docs/OBSERVABILITY.md
+// documents every field.
+
+// debugRecentSpans bounds the recent-span list in one snapshot.
+const debugRecentSpans = 32
+
+// MemberDebug is one membership-table row in a driver snapshot.
+type MemberDebug struct {
+	Addr string `json:"addr"`
+	// State is the failure detector's verdict: alive, suspect, dead, or
+	// removed.
+	State string `json:"state"`
+	// LastRTTMicros is the last successful probe's round-trip time.
+	LastRTTMicros int64 `json:"last_rtt_micros"`
+	// MissedHeartbeats is the consecutive failed-probe count.
+	MissedHeartbeats int `json:"missed_heartbeats"`
+}
+
+// DriverDebug is the driver's /debug/distme snapshot.
+type DriverDebug struct {
+	Kind string    `json:"kind"` // always "driver"
+	Time time.Time `json:"time"`
+	// JobEpoch is the current multiply-job epoch (scopes block-cache digest
+	// references on the wire).
+	JobEpoch uint64 `json:"job_epoch"`
+	// InFlightCuboids counts cuboids dispatched but not yet aggregated.
+	InFlightCuboids int64 `json:"inflight_cuboids"`
+	// WireSentBytes / WireReceivedBytes are real socket traffic since Dial.
+	WireSentBytes     int64 `json:"wire_sent_bytes"`
+	WireReceivedBytes int64 `json:"wire_received_bytes"`
+	// Members is the full membership table, including dead/removed entries.
+	Members []MemberDebug `json:"members"`
+	// Net is the driver's elasticity and wire-codec counter block.
+	Net metrics.NetStats `json:"net"`
+	// Trace summarizes the tracer (absent when tracing is off).
+	Trace *obs.TraceDebug `json:"trace,omitempty"`
+}
+
+// DebugSnapshot captures the driver's current state for the debug endpoint.
+// It is safe to call concurrently with multiplies.
+func (d *Driver) DebugSnapshot() DriverDebug {
+	sent, received := d.WireBytes()
+	members := d.Members()
+	rows := make([]MemberDebug, len(members))
+	for i, m := range members {
+		rows[i] = MemberDebug{
+			Addr:             m.Addr,
+			State:            m.State.String(),
+			LastRTTMicros:    m.LastRTT.Microseconds(),
+			MissedHeartbeats: m.Missed,
+		}
+	}
+	return DriverDebug{
+		Kind:              "driver",
+		Time:              time.Now(),
+		JobEpoch:          d.epoch.Load(),
+		InFlightCuboids:   d.inflight.Load(),
+		WireSentBytes:     sent,
+		WireReceivedBytes: received,
+		Members:           rows,
+		Net:               d.NetStats(),
+		Trace:             d.tracer.DebugSnapshot(debugRecentSpans),
+	}
+}
+
+// WorkerDebug is the worker's /debug/distme snapshot.
+type WorkerDebug struct {
+	Kind string    `json:"kind"` // always "worker"
+	Time time.Time `json:"time"`
+	// Addr is the worker's listen address ("" for unserved test workers).
+	Addr string `json:"addr,omitempty"`
+	// Draining reports graceful shutdown in progress (new work refused).
+	Draining bool `json:"draining"`
+	// Multiplies is the count of cuboids served since start; InFlightRPCs
+	// the RPCs currently executing.
+	Multiplies   int   `json:"multiplies"`
+	InFlightRPCs int64 `json:"inflight_rpcs"`
+	// Cache is the content-addressed block cache's occupancy and counters.
+	Cache CacheStats `json:"cache"`
+	// Trace summarizes the tracer (absent when tracing is off).
+	Trace *obs.TraceDebug `json:"trace,omitempty"`
+}
+
+// DebugSnapshot captures the worker's current state for the debug endpoint.
+// It is safe to call concurrently with served RPCs.
+func (w *Worker) DebugSnapshot() WorkerDebug {
+	w.mu.Lock()
+	draining := w.draining
+	multiplies := w.multiplies
+	var addr string
+	if w.listener != nil {
+		addr = w.listener.Addr().String()
+	}
+	w.mu.Unlock()
+	return WorkerDebug{
+		Kind:         "worker",
+		Time:         time.Now(),
+		Addr:         addr,
+		Draining:     draining,
+		Multiplies:   multiplies,
+		InFlightRPCs: w.inflightN.Load(),
+		Cache:        w.CacheStats(),
+		Trace:        w.tracer.DebugSnapshot(debugRecentSpans),
+	}
+}
+
+// ServeDebug starts the worker's introspection endpoint on addr (port 0
+// picks a free port). The caller closes the returned server; Shutdown does
+// not.
+func (w *Worker) ServeDebug(addr string) (*obs.Server, error) {
+	return obs.Serve(addr, func() any { return w.DebugSnapshot() })
+}

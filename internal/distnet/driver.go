@@ -15,6 +15,7 @@ import (
 	"distme/internal/core"
 	"distme/internal/matrix"
 	"distme/internal/metrics"
+	"distme/internal/obs"
 	"distme/internal/shuffle"
 )
 
@@ -27,13 +28,19 @@ import (
 // is byte-identical no matter what the network did. Every byte that crosses
 // a socket is counted.
 type Driver struct {
-	opts Options
-	wire *wireCounter
-	rec  *metrics.Recorder
+	opts   Options
+	wire   *wireCounter
+	rec    *metrics.Recorder
+	tracer *obs.Tracer
+	dbg    *obs.Server
 
 	// epoch numbers multiply jobs; digest references on the wire are scoped
 	// to one epoch so worker caches never serve a previous job's blocks.
 	epoch atomic.Uint64
+
+	// inflight counts cuboids dispatched but not yet aggregated, surfaced
+	// by the debug endpoint.
+	inflight atomic.Int64
 
 	mu      sync.Mutex
 	members []*member
@@ -84,6 +91,17 @@ type Options struct {
 	// Recorder receives membership, reconnect, and heartbeat counters; a
 	// private recorder is used when nil (see Driver.NetStats).
 	Recorder *metrics.Recorder
+	// Tracer, when set, records spans for every multiply: one root per
+	// Multiply call, one span per dispatched cuboid, one per RPC attempt
+	// (with wire send/recv children), and an aggregation span. The trace
+	// span ID also travels to workers so their compute spans parent into
+	// the same tree when driver and worker share a tracer (in-process
+	// tests) or are merged offline. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
+	// DebugAddr, when non-empty, serves the live introspection endpoints
+	// (/debug/distme JSON snapshot, net/http/pprof) on that address for the
+	// driver's lifetime. Port 0 picks a free port; see Driver.DebugAddr.
+	DebugAddr string
 }
 
 func (o Options) withDefaults() Options {
@@ -152,9 +170,10 @@ func DialOptions(addrs []string, opts Options) (*Driver, error) {
 		return nil, fmt.Errorf("distnet: no worker addresses")
 	}
 	d := &Driver{
-		opts: opts.withDefaults(),
-		wire: &wireCounter{},
-		rec:  opts.Recorder,
+		opts:   opts.withDefaults(),
+		wire:   &wireCounter{},
+		rec:    opts.Recorder,
+		tracer: opts.Tracer,
 	}
 	if d.rec == nil {
 		d.rec = &metrics.Recorder{}
@@ -166,6 +185,14 @@ func DialOptions(addrs []string, opts Options) (*Driver, error) {
 			return nil, fmt.Errorf("distnet: dial %s: %w", addr, err)
 		}
 		d.members = append(d.members, m)
+	}
+	if opts.DebugAddr != "" {
+		srv, err := obs.Serve(opts.DebugAddr, func() any { return d.DebugSnapshot() })
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("distnet: debug listener %s: %w", opts.DebugAddr, err)
+		}
+		d.dbg = srv
 	}
 	if !d.opts.DisableHeartbeat {
 		d.stopDetector = make(chan struct{})
@@ -186,6 +213,9 @@ func (d *Driver) Close() {
 	members := append([]*member(nil), d.members...)
 	stop, done := d.stopDetector, d.detectorDone
 	d.mu.Unlock()
+	if d.dbg != nil {
+		d.dbg.Close()
+	}
 	if stop != nil {
 		close(stop)
 		<-done
@@ -213,6 +243,19 @@ func (d *Driver) WireBytes() (sent, received int64) {
 // NetStats returns the driver's membership, reconnect, and heartbeat
 // counters.
 func (d *Driver) NetStats() metrics.NetStats { return d.rec.Net() }
+
+// Tracer returns the tracer the driver records spans into (nil when
+// tracing is off).
+func (d *Driver) Tracer() *obs.Tracer { return d.tracer }
+
+// DebugAddr returns the bound address of the driver's debug endpoint, or ""
+// when Options.DebugAddr was empty.
+func (d *Driver) DebugAddr() string {
+	if d.dbg == nil {
+		return ""
+	}
+	return d.dbg.Addr()
+}
 
 // call performs one RPC on a member under the deadline, applying the
 // failure state machine: transport errors and timeouts declare the member
@@ -247,7 +290,11 @@ func (d *Driver) call(m *member, method string, args, reply any, timeout time.Du
 // live member (reconnecting dead ones when the pool looks empty). When
 // every attempt fails — or no worker is left — the cuboid is computed
 // locally with the workers' exact arithmetic, unless fallback is disabled.
-func (d *Driver) runJob(args *MultiplyArgs) (*MultiplyReply, error) {
+//
+// parent is the cuboid's span: each RPC attempt (and the local fallback)
+// records a child under it, so retries and reassignments are visible as
+// sibling attempts on the timeline.
+func (d *Driver) runJob(args *MultiplyArgs, parent obs.Span) (*MultiplyReply, error) {
 	backoff := d.opts.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt < d.opts.JobAttempts; {
@@ -269,9 +316,19 @@ func (d *Driver) runJob(args *MultiplyArgs) (*MultiplyReply, error) {
 			}
 			break
 		}
+		asp := d.tracer.Start(parent.ID(), "rpc.multiply", obs.KindRPC)
+		if asp.Active() {
+			asp.SetWorker(m.addr)
+			asp.SetCuboid(args.cuboidP, args.cuboidQ, args.cuboidR)
+		}
+		args.traceSpan = uint64(asp.ID())
 		var reply MultiplyReply
 		err := d.call(m, "Multiply", args, &reply, d.opts.CallTimeout)
 		m.release()
+		if err != nil && asp.Active() {
+			asp.SetAttr("error", err.Error())
+		}
+		asp.End()
 		if err == nil {
 			return &reply, nil
 		}
@@ -302,10 +359,19 @@ func (d *Driver) runJob(args *MultiplyArgs) (*MultiplyReply, error) {
 	}
 	if !d.opts.DisableLocalFallback {
 		d.rec.AddLocalFallback()
+		lsp := d.tracer.Start(parent.ID(), "local-fallback", obs.KindDriver)
+		if lsp.Active() {
+			lsp.SetCuboid(args.cuboidP, args.cuboidQ, args.cuboidR)
+			if lastErr != nil {
+				lsp.SetAttr("cause", lastErr.Error())
+			}
+		}
 		var reply MultiplyReply
 		if err := computeCuboid(args, &reply); err != nil {
+			lsp.End()
 			return nil, err
 		}
+		lsp.End()
 		return &reply, nil
 	}
 	return nil, fmt.Errorf("distnet: cuboid failed after %d attempts: %w", d.opts.JobAttempts, lastErr)
@@ -345,6 +411,13 @@ func (d *Driver) multiply(a, b *bmat.BlockMatrix, params core.Params, ckpt *chec
 		return nil, fmt.Errorf("distnet: params %v outside grid %dx%dx%d", params, s.I, s.J, s.K)
 	}
 
+	root := d.tracer.Start(0, "distnet.multiply", obs.KindDriver)
+	if root.Active() {
+		root.SetAttr("params", fmt.Sprintf("%v", params))
+		root.SetAttr("grid", fmt.Sprintf("%dx%dx%d blocks", s.I, s.J, s.K))
+	}
+	defer root.End()
+
 	var jobs []*MultiplyArgs
 	for p := 0; p < params.P; p++ {
 		ilo, ihi := shuffle.GridSpan(p, s.I, params.P)
@@ -355,7 +428,10 @@ func (d *Driver) multiply(a, b *bmat.BlockMatrix, params core.Params, ckpt *chec
 				if ihi <= ilo || jhi <= jlo || khi <= klo {
 					continue
 				}
-				args := &MultiplyArgs{ILo: ilo, IHi: ihi, JLo: jlo, JHi: jhi, KLo: klo, KHi: khi}
+				args := &MultiplyArgs{
+					ILo: ilo, IHi: ihi, JLo: jlo, JHi: jhi, KLo: klo, KHi: khi,
+					cuboidP: p, cuboidQ: q, cuboidR: r,
+				}
 				for i := ilo; i < ihi; i++ {
 					for k := klo; k < khi; k++ {
 						if blk := a.Block(i, k); blk != nil {
@@ -387,19 +463,29 @@ func (d *Driver) multiply(a, b *bmat.BlockMatrix, params core.Params, ckpt *chec
 
 	replies := make([]*MultiplyReply, len(jobs))
 	errs := make([]error, len(jobs))
+	var restored int
 	var wg sync.WaitGroup
 	for idx, args := range jobs {
 		if ckpt != nil {
 			if reply, ok := ckpt.load(idx, a.Rows, b.Cols, a.BlockSize); ok {
 				replies[idx] = reply
+				restored++
 				continue
 			}
 		}
 		wg.Add(1)
+		d.inflight.Add(1)
 		go func(idx int, args *MultiplyArgs) {
 			defer wg.Done()
-			reply, err := d.runJob(args)
+			defer d.inflight.Add(-1)
+			csp := d.tracer.Start(root.ID(), "cuboid", obs.KindDriver)
+			csp.SetCuboid(args.cuboidP, args.cuboidQ, args.cuboidR)
+			defer csp.End()
+			reply, err := d.runJob(args, csp)
 			if err != nil {
+				if csp.Active() {
+					csp.SetAttr("error", err.Error())
+				}
 				errs[idx] = err
 				return
 			}
@@ -410,12 +496,16 @@ func (d *Driver) multiply(a, b *bmat.BlockMatrix, params core.Params, ckpt *chec
 		}(idx, args)
 	}
 	wg.Wait()
+	if restored > 0 && root.Active() {
+		root.SetAttr("checkpoint-restored", fmt.Sprintf("%d", restored))
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("distnet: multiply: %w", err)
 		}
 	}
 
+	agg := d.tracer.Start(root.ID(), "aggregate", obs.KindDriver)
 	out := bmat.New(a.Rows, b.Cols, a.BlockSize)
 	for _, reply := range replies {
 		for _, rec := range reply.CBlocks {
@@ -430,6 +520,7 @@ func (d *Driver) multiply(a, b *bmat.BlockMatrix, params core.Params, ckpt *chec
 			}
 		}
 	}
+	agg.End()
 	return out, nil
 }
 

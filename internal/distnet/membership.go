@@ -105,6 +105,9 @@ type MemberInfo struct {
 	Addr    string
 	State   MemberState
 	LastRTT time.Duration
+	// Missed is the member's consecutive failed-heartbeat count at snapshot
+	// time (what stands between it and the Suspect/Dead thresholds).
+	Missed int
 }
 
 // snapshot returns the state and client under the member's lock.
@@ -156,7 +159,7 @@ func (d *Driver) Members() []MemberInfo {
 	out := make([]MemberInfo, 0, len(members))
 	for _, m := range members {
 		m.mu.Lock()
-		out = append(out, MemberInfo{Addr: m.addr, State: m.state, LastRTT: m.lastRTT})
+		out = append(out, MemberInfo{Addr: m.addr, State: m.state, LastRTT: m.lastRTT, Missed: m.missed})
 		m.mu.Unlock()
 	}
 	return out
@@ -285,7 +288,7 @@ func (d *Driver) connect(m *member, reconnect bool) error {
 	if !d.opts.DisableBlockCache {
 		tracker = &m.tracker
 	}
-	client := rpc.NewClientWithCodec(newClientCodec(&countingConn{Conn: conn, wire: d.wire}, d.rec, tracker))
+	client := rpc.NewClientWithCodec(newClientCodec(&countingConn{Conn: conn, wire: d.wire}, d.rec, tracker, d.tracer))
 	start := time.Now()
 	var pong PingReply
 	if err := rpcCall(client, "Ping", &PingArgs{}, &pong, d.opts.PingTimeout); err != nil {

@@ -1,0 +1,384 @@
+package distnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"distme/internal/bmat"
+	"distme/internal/core"
+	"distme/internal/matrix"
+	"distme/internal/obs"
+)
+
+// startTracedWorkers is startWorkers with a shared tracer, so worker-side
+// compute spans land in the same tree as the driver's.
+func startTracedWorkers(t *testing.T, n int, tr *obs.Tracer) []string {
+	t.Helper()
+	var addrs []string
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		if _, err := ServeOptions(l, WorkerOptions{Tracer: tr}); err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, l.Addr().String())
+	}
+	return addrs
+}
+
+// spanIndex maps span IDs to spans and groups spans by name.
+func spanIndex(spans []obs.SpanData) (byID map[obs.SpanID]obs.SpanData, byName map[string][]obs.SpanData) {
+	byID = make(map[obs.SpanID]obs.SpanData, len(spans))
+	byName = make(map[string][]obs.SpanData)
+	for _, s := range spans {
+		byID[s.ID] = s
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	return byID, byName
+}
+
+// checkNoOrphans fails if any span references a parent that is neither 0 nor
+// present in the snapshot.
+func checkNoOrphans(t *testing.T, spans []obs.SpanData) {
+	t.Helper()
+	byID, _ := spanIndex(spans)
+	for _, s := range spans {
+		if s.Parent == 0 {
+			continue
+		}
+		if _, ok := byID[s.Parent]; !ok {
+			t.Errorf("span %d (%s) references missing parent %d", s.ID, s.Name, s.Parent)
+		}
+	}
+}
+
+// checkOneSpanPerCuboid verifies the dispatch invariant: the spans named
+// `name` carry each expected cuboid coordinate exactly once.
+func checkOneSpanPerCuboid(t *testing.T, spans []obs.SpanData, name string, params core.Params) {
+	t.Helper()
+	_, byName := spanIndex(spans)
+	got := map[[3]int]int{}
+	for _, s := range byName[name] {
+		p, q, r, ok := s.Cuboid()
+		if !ok {
+			t.Errorf("%s span %d has no cuboid coordinate", name, s.ID)
+			continue
+		}
+		got[[3]int{p, q, r}]++
+	}
+	for p := 0; p < params.P; p++ {
+		for q := 0; q < params.Q; q++ {
+			for r := 0; r < params.R; r++ {
+				if n := got[[3]int{p, q, r}]; n != 1 {
+					t.Errorf("cuboid (%d,%d,%d): %d %q spans, want exactly 1", p, q, r, n, name)
+				}
+			}
+		}
+	}
+	if len(got) != params.Tasks() {
+		t.Errorf("%d distinct cuboids traced, want %d", len(got), params.Tasks())
+	}
+}
+
+// TestTracedMultiplySpanTree checks the failure-free span tree of one remote
+// multiply: a root, one cuboid span per dispatched cuboid, RPC attempts with
+// wire children, worker compute spans parented across the wire, and no
+// orphan parents — while the product stays byte-identical to an untraced run.
+func TestTracedMultiplySpanTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(500))
+	a := bmat.RandomDense(rng, 32, 32, 4)
+	b := bmat.RandomDense(rng, 32, 32, 4)
+	params := core.Params{P: 4, Q: 2, R: 2}
+
+	// Untraced reference.
+	refAddrs, _ := startWorkers(t, 2)
+	ref, err := Dial(refAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want, err := ref.Multiply(a, b, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := obs.NewTracer()
+	addrs := startTracedWorkers(t, 2, tr)
+	opts := fastOpts()
+	opts.Tracer = tr
+	d, err := DialOptions(addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	got, err := d.Multiply(a, b, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, got, want)
+
+	spans := tr.Snapshot().Spans
+	byID, byName := spanIndex(spans)
+	checkNoOrphans(t, spans)
+	checkOneSpanPerCuboid(t, spans, "cuboid", params)
+
+	if len(byName["distnet.multiply"]) != 1 {
+		t.Fatalf("%d root spans, want 1", len(byName["distnet.multiply"]))
+	}
+	root := byName["distnet.multiply"][0]
+	for _, c := range byName["cuboid"] {
+		if c.Parent != root.ID {
+			t.Errorf("cuboid span %d not parented to root", c.ID)
+		}
+	}
+	// Every successful cuboid has an RPC attempt under it, and (sharing the
+	// tracer) a worker compute span parented to that attempt.
+	if len(byName["rpc.multiply"]) < params.Tasks() {
+		t.Errorf("%d rpc.multiply spans, want >= %d", len(byName["rpc.multiply"]), params.Tasks())
+	}
+	if len(byName["worker.compute"]) != params.Tasks() {
+		t.Errorf("%d worker.compute spans, want %d", len(byName["worker.compute"]), params.Tasks())
+	}
+	for _, w := range byName["worker.compute"] {
+		parent, ok := byID[w.Parent]
+		if !ok || parent.Name != "rpc.multiply" {
+			t.Errorf("worker.compute span %d not parented to an rpc.multiply attempt", w.ID)
+		}
+	}
+	// Wire spans carry payload bytes.
+	for _, s := range byName["wire.send"] {
+		if s.Bytes <= 0 {
+			t.Errorf("wire.send span %d carries no bytes", s.ID)
+		}
+	}
+	if len(byName["wire.send"]) == 0 || len(byName["wire.recv"]) == 0 {
+		t.Error("no wire send/recv spans recorded")
+	}
+	if len(byName["aggregate"]) != 1 {
+		t.Errorf("%d aggregate spans, want 1", len(byName["aggregate"]))
+	}
+}
+
+// TestTraceSpanTreeUnderChaos reruns the chaos multiply with tracing on:
+// retries and reassignments may multiply the RPC-attempt spans, but each
+// dispatched cuboid must still close exactly one cuboid span, the tree must
+// stay orphan-free, and the product must stay byte-identical to the
+// failure-free untraced run.
+func TestTraceSpanTreeUnderChaos(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	a := bmat.RandomDense(rng, 32, 32, 4)
+	b := bmat.RandomDense(rng, 32, 32, 4)
+	params := core.Params{P: 4, Q: 2, R: 2}
+
+	refAddrs, _ := startWorkers(t, 3)
+	ref, err := Dial(refAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want, err := ref.Multiply(a, b, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := obs.NewTracer()
+	addrs := startTracedWorkers(t, 3, tr)
+	var proxied []string
+	for i, addr := range addrs {
+		p := startChaosProxy(t, addr, int64(520+i), chaosConfig{
+			AcceptDelayMax: 10 * time.Millisecond,
+			DropRate:       0.5,
+			DropBytesMax:   48 << 10,
+			CleanConns:     1,
+		})
+		proxied = append(proxied, p.Addr())
+	}
+	opts := fastOpts()
+	opts.Tracer = tr
+	d, err := DialOptions(proxied, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	for round := 0; round < 3; round++ {
+		mark := tr.Len()
+		got, err := d.Multiply(a, b, params)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		bitIdentical(t, got, want)
+
+		spans := tr.SnapshotSince(mark).Spans
+		checkOneSpanPerCuboid(t, spans, "cuboid", params)
+		// Under chaos a worker can still be computing an abandoned attempt
+		// when the driver finishes, so worker-side spans from this round may
+		// land after the snapshot; restrict the orphan check to driver-side
+		// spans, whose parents always precede them in the buffer.
+		var driverSide []obs.SpanData
+		for _, s := range spans {
+			if s.Name != "worker.compute" && s.Name != "wire.decode" {
+				driverSide = append(driverSide, s)
+			}
+		}
+		checkNoOrphans(t, driverSide)
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("tracer dropped %d spans", tr.Dropped())
+	}
+}
+
+// TestDriverDebugEndpointMidMultiply polls /debug/distme while a multiply is
+// in flight on a deliberately slow worker and checks the snapshot decodes
+// into the documented schema.
+func TestDriverDebugEndpointMidMultiply(t *testing.T) {
+	slowAddr, _ := startSlowWorker(t, 10*time.Millisecond)
+	opts := fastOpts()
+	opts.DisableHeartbeat = true
+	opts.Tracer = obs.NewTracer()
+	opts.DebugAddr = "127.0.0.1:0"
+	d, err := DialOptions([]string{slowAddr}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.DebugAddr() == "" {
+		t.Fatal("DebugAddr empty despite Options.DebugAddr")
+	}
+
+	rng := rand.New(rand.NewSource(502))
+	a := bmat.RandomDense(rng, 16, 16, 4)
+	b := bmat.RandomDense(rng, 16, 16, 4)
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Multiply(a, b, core.Params{P: 4, Q: 4, R: 1})
+		done <- err
+	}()
+
+	time.Sleep(20 * time.Millisecond) // well inside the 16×10ms serialized job
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/distme", d.DebugAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var snap DriverDebug
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("mid-multiply snapshot is not valid JSON: %v\n%s", err, body)
+	}
+	if snap.Kind != "driver" {
+		t.Errorf("kind = %q, want driver", snap.Kind)
+	}
+	if len(snap.Members) != 1 {
+		t.Errorf("%d members, want 1", len(snap.Members))
+	}
+	if snap.InFlightCuboids <= 0 {
+		t.Errorf("inflight_cuboids = %d mid-multiply, want > 0", snap.InFlightCuboids)
+	}
+	if snap.Trace == nil {
+		t.Error("trace summary absent despite tracer")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerServeDebug checks the worker-side debug endpoint's schema.
+func TestWorkerServeDebug(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	w, err := ServeOptions(l, WorkerOptions{Tracer: obs.NewTracer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := w.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	d, err := Dial([]string{l.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	rng := rand.New(rand.NewSource(503))
+	a := bmat.RandomDense(rng, 8, 8, 4)
+	got, err := d.Multiply(a, a, core.Params{P: 2, Q: 2, R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.Mul(a.ToDense(), a.ToDense()).Dense()
+	if !got.ToDense().EqualApprox(want, 1e-9) {
+		t.Fatal("product wrong")
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/distme", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap WorkerDebug
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("worker snapshot is not valid JSON: %v\n%s", err, body)
+	}
+	if snap.Kind != "worker" {
+		t.Errorf("kind = %q, want worker", snap.Kind)
+	}
+	if snap.Multiplies != 4 {
+		t.Errorf("multiplies = %d, want 4", snap.Multiplies)
+	}
+	if snap.Addr == "" {
+		t.Error("worker addr missing from snapshot")
+	}
+	if snap.Trace == nil || snap.Trace.Completed == 0 {
+		t.Error("worker trace summary empty despite served cuboids")
+	}
+}
+
+// TestUntracedRunsRecordNothing pins the off state: a driver and workers
+// without tracers must complete a multiply with no tracer anywhere to
+// record into (compile-time nil threading), and MultiplyArgs must leave
+// traceSpan zero so the wire carries the tracing-off sentinel.
+func TestUntracedRunsRecordNothing(t *testing.T) {
+	addrs, _ := startWorkers(t, 1)
+	d, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Tracer() != nil {
+		t.Fatal("untraced driver has a tracer")
+	}
+	if d.DebugAddr() != "" {
+		t.Fatal("untraced driver serves a debug endpoint")
+	}
+	rng := rand.New(rand.NewSource(504))
+	a := bmat.RandomDense(rng, 8, 8, 4)
+	if _, err := d.Multiply(a, a, core.Params{P: 2, Q: 1, R: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -36,6 +36,14 @@ type MultiplyArgs struct {
 	// cacheEpoch scopes this cuboid's digest references to one driver job;
 	// the worker's block cache retires older epochs when a new one arrives.
 	cacheEpoch uint64
+
+	// traceSpan is the driver-side span the worker parents its compute span
+	// to (0 when tracing is off); cuboidP/Q/R are the cuboid's grid
+	// coordinate, carried so worker-side spans are labeled like driver-side
+	// ones. Both travel on the wire via the custom codec but are invisible
+	// to the arithmetic, so traced and untraced runs are byte-identical.
+	traceSpan                 uint64
+	cuboidP, cuboidQ, cuboidR int
 }
 
 // MultiplyReply returns the cuboid's partial C blocks.

@@ -14,6 +14,7 @@ import (
 	"distme/internal/codec"
 	"distme/internal/matrix"
 	"distme/internal/metrics"
+	"distme/internal/obs"
 )
 
 // The custom net/rpc codec pair that replaces gob on the driver↔worker
@@ -190,6 +191,14 @@ type clientCodec struct {
 	br      *bufio.Reader
 	rec     *metrics.Recorder
 	tracker *sendTracker
+	tracer  *obs.Tracer
+
+	// pending maps in-flight request seq numbers to their trace parent so
+	// the response decode can emit a wire.recv span under the same RPC
+	// attempt. Touched only when tracing is on.
+	pmu        sync.Mutex
+	pending    map[uint64]obs.SpanID
+	respParent obs.SpanID // parent of the response being decoded (read loop only)
 
 	resp []byte // pooled frame of the in-progress response
 	body []byte // its body remainder
@@ -197,9 +206,10 @@ type clientCodec struct {
 
 // newClientCodec builds the driver-side codec. rec (optional) receives
 // encode/decode timing and cache accounting; tracker (optional) enables
-// digest references for blocks that carry digests.
-func newClientCodec(conn io.ReadWriteCloser, rec *metrics.Recorder, tracker *sendTracker) rpc.ClientCodec {
-	return &clientCodec{conn: conn, br: bufio.NewReader(conn), rec: rec, tracker: tracker}
+// digest references for blocks that carry digests; tracer (optional) emits
+// wire.send/wire.recv spans under each traced Multiply attempt.
+func newClientCodec(conn io.ReadWriteCloser, rec *metrics.Recorder, tracker *sendTracker, tracer *obs.Tracer) rpc.ClientCodec {
+	return &clientCodec{conn: conn, br: bufio.NewReader(conn), rec: rec, tracker: tracker, tracer: tracer}
 }
 
 func (c *clientCodec) WriteRequest(r *rpc.Request, body any) error {
@@ -224,6 +234,22 @@ func (c *clientCodec) WriteRequest(r *rpc.Request, body any) error {
 	if c.rec != nil {
 		c.rec.AddWireEncode(int64(len(buf)-4), time.Since(start))
 	}
+	if c.tracer.Enabled() {
+		if a, ok := body.(*MultiplyArgs); ok && a.traceSpan != 0 {
+			parent := obs.SpanID(a.traceSpan)
+			c.pmu.Lock()
+			if c.pending == nil {
+				c.pending = map[uint64]obs.SpanID{}
+			}
+			c.pending[r.Seq] = parent
+			c.pmu.Unlock()
+			c.tracer.AddCompleted(obs.SpanData{
+				Parent: parent, Name: "wire.send", Kind: obs.KindRPC,
+				P: a.cuboidP, Q: a.cuboidQ, R: a.cuboidR,
+				Start: start, End: time.Now(), Bytes: int64(len(buf) - 4),
+			})
+		}
+	}
 	return writeFrameBuf(c.conn, buf)
 }
 
@@ -232,6 +258,10 @@ func (c *clientCodec) appendMultiplyArgs(buf []byte, a *MultiplyArgs) ([]byte, e
 		buf = binary.AppendUvarint(buf, uint64(v))
 	}
 	buf = binary.AppendUvarint(buf, a.cacheEpoch)
+	buf = binary.AppendUvarint(buf, a.traceSpan)
+	for _, v := range [3]int{a.cuboidP, a.cuboidQ, a.cuboidR} {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
 	var err error
 	if buf, err = c.appendBlockRecs(buf, a.ABlocks, a.cacheEpoch); err != nil {
 		return nil, err
@@ -301,6 +331,15 @@ func (c *clientCodec) ReadResponseHeader(r *rpc.Response) error {
 	}
 	r.Seq, r.ServiceMethod, r.Error = seq, method, errStr
 	c.resp, c.body = frame, frame[rd.off:]
+	c.respParent = 0
+	if c.tracer.Enabled() {
+		c.pmu.Lock()
+		if parent, ok := c.pending[seq]; ok {
+			c.respParent = parent
+			delete(c.pending, seq)
+		}
+		c.pmu.Unlock()
+	}
 	return nil
 }
 
@@ -327,6 +366,13 @@ func (c *clientCodec) ReadResponseBody(body any) error {
 	if err == nil && c.rec != nil {
 		c.rec.AddWireDecode(n, time.Since(start))
 	}
+	if err == nil && c.respParent != 0 {
+		c.tracer.AddCompleted(obs.SpanData{
+			Parent: c.respParent, Name: "wire.recv", Kind: obs.KindRPC,
+			P: -1, Q: -1, R: -1,
+			Start: start, End: time.Now(), Bytes: n,
+		})
+	}
 	return err
 }
 
@@ -336,9 +382,10 @@ func (c *clientCodec) Close() error { return c.conn.Close() }
 // Server codec (worker side)
 
 type serverCodec struct {
-	conn  io.ReadWriteCloser
-	br    *bufio.Reader
-	cache *blockCache
+	conn   io.ReadWriteCloser
+	br     *bufio.Reader
+	cache  *blockCache
+	tracer *obs.Tracer
 
 	req  []byte // pooled frame of the in-progress request
 	body []byte
@@ -350,11 +397,11 @@ type serverCodec struct {
 // workers built on rpc.NewServer (tests, tools). Production workers share
 // one cache across connections via Serve.
 func NewServerCodec(conn io.ReadWriteCloser) rpc.ServerCodec {
-	return newServerCodec(conn, newBlockCache(0))
+	return newServerCodec(conn, newBlockCache(0), nil)
 }
 
-func newServerCodec(conn io.ReadWriteCloser, cache *blockCache) rpc.ServerCodec {
-	return &serverCodec{conn: conn, br: bufio.NewReader(conn), cache: cache}
+func newServerCodec(conn io.ReadWriteCloser, cache *blockCache, tracer *obs.Tracer) rpc.ServerCodec {
+	return &serverCodec{conn: conn, br: bufio.NewReader(conn), cache: cache, tracer: tracer}
 }
 
 func (s *serverCodec) ReadRequestHeader(r *rpc.Request) error {
@@ -389,7 +436,16 @@ func (s *serverCodec) ReadRequestBody(body any) error {
 	rd := wireReader{buf: s.body}
 	switch v := body.(type) {
 	case *MultiplyArgs:
-		return decodeMultiplyArgs(&rd, v, s.cache)
+		start := time.Now()
+		err := decodeMultiplyArgs(&rd, v, s.cache)
+		if err == nil && s.tracer.Enabled() && v.traceSpan != 0 {
+			s.tracer.AddCompleted(obs.SpanData{
+				Parent: obs.SpanID(v.traceSpan), Name: "wire.decode", Kind: obs.KindWorker,
+				P: v.cuboidP, Q: v.cuboidQ, R: v.cuboidR,
+				Start: start, End: time.Now(), Bytes: int64(len(s.body)),
+			})
+		}
+		return err
 	case *PingArgs:
 		return nil
 	default:
@@ -441,6 +497,16 @@ func decodeMultiplyArgs(rd *wireReader, a *MultiplyArgs, cache *blockCache) erro
 		return err
 	}
 	a.cacheEpoch = epoch
+	if a.traceSpan, err = rd.uvarint(); err != nil {
+		return err
+	}
+	for _, p := range [3]*int{&a.cuboidP, &a.cuboidQ, &a.cuboidR} {
+		v, err := rd.uvarint()
+		if err != nil {
+			return err
+		}
+		*p = int(v)
+	}
 	if a.ABlocks, err = decodeBlockRecs(rd, cache, epoch); err != nil {
 		return err
 	}

@@ -8,9 +8,11 @@ import (
 	"net/rpc"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"distme/internal/bmat"
 	"distme/internal/matrix"
+	"distme/internal/obs"
 )
 
 // errWorkerDrainingMsg is the application-level refusal a draining worker
@@ -33,6 +35,12 @@ type Worker struct {
 	// then miss and the driver resends inline).
 	cache *blockCache
 
+	// tracer records worker-side compute spans (nil = off); inflightN
+	// mirrors the inflight WaitGroup as a readable counter for the debug
+	// endpoint.
+	tracer    *obs.Tracer
+	inflightN atomic.Int64
+
 	inflight     sync.WaitGroup
 	shutdownOnce sync.Once
 	down         chan struct{} // closed when Shutdown completes
@@ -52,10 +60,14 @@ func (w *Worker) beginRPC() bool {
 		return false
 	}
 	w.inflight.Add(1)
+	w.inflightN.Add(1)
 	return true
 }
 
-func (w *Worker) endRPC() { w.inflight.Done() }
+func (w *Worker) endRPC() {
+	w.inflightN.Add(-1)
+	w.inflight.Done()
+}
 
 // computeCuboid is the cuboid arithmetic itself: for every (i, j) in the
 // box, the sum over the box's k range of A_{i,k}·B_{k,j} — the same
@@ -103,9 +115,23 @@ func (w *Worker) Multiply(args *MultiplyArgs, reply *MultiplyReply) error {
 		return errors.New(errWorkerDrainingMsg)
 	}
 	defer w.endRPC()
+	sp := w.tracer.Start(obs.SpanID(args.traceSpan), "worker.compute", obs.KindWorker)
+	if sp.Active() {
+		sp.SetCuboid(args.cuboidP, args.cuboidQ, args.cuboidR)
+		sp.SetAttr("a-blocks", fmt.Sprintf("%d", len(args.ABlocks)))
+		sp.SetAttr("b-blocks", fmt.Sprintf("%d", len(args.BBlocks)))
+	}
 	if err := computeCuboid(args, reply); err != nil {
+		if sp.Active() {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
 		return err
 	}
+	if sp.Active() {
+		sp.SetAttr("c-blocks", fmt.Sprintf("%d", len(reply.CBlocks)))
+	}
+	sp.End()
 	w.mu.Lock()
 	w.multiplies++
 	w.mu.Unlock()
@@ -208,6 +234,10 @@ type WorkerOptions struct {
 	// DefaultCacheBytes, negative disables caching (every digest reference
 	// then misses and the driver falls back to inline sends).
 	CacheBytes int64
+	// Tracer, when set, records a worker.compute span per served cuboid
+	// (parented to the driver's RPC-attempt span via the wire) plus
+	// wire.decode spans for request parsing. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // Serve registers a Worker on the listener and serves connections until the
@@ -223,6 +253,7 @@ func ServeOptions(l net.Listener, opts WorkerOptions) (*Worker, error) {
 		listener: l,
 		conns:    map[net.Conn]struct{}{},
 		cache:    newBlockCache(opts.CacheBytes),
+		tracer:   opts.Tracer,
 		down:     make(chan struct{}),
 	}
 	srv := rpc.NewServer()
@@ -241,7 +272,7 @@ func ServeOptions(l net.Listener, opts WorkerOptions) (*Worker, error) {
 			go func(conn net.Conn) {
 				// Every connection shares the worker's cache, so a block
 				// one driver connection inlined resolves for another.
-				srv.ServeCodec(newServerCodec(conn, w.cache))
+				srv.ServeCodec(newServerCodec(conn, w.cache, w.tracer))
 				w.untrackConn(conn)
 				conn.Close()
 			}(conn)

@@ -18,6 +18,7 @@ import (
 	"distme/internal/core"
 	"distme/internal/gpu"
 	"distme/internal/metrics"
+	"distme/internal/obs"
 )
 
 // ErrEngineClosed reports a call on an engine after Close.
@@ -81,6 +82,13 @@ type Config struct {
 	// BalanceBySparsity schedules cuboids longest-estimated-work-first,
 	// the §8 load-balancing extension for skewed sparse inputs.
 	BalanceBySparsity bool
+	// Tracer, when set, records an end-to-end span tree for every
+	// multiplication — the multiply root, optimizer choice, repartition,
+	// one task span per cuboid, aggregation, and (with the GPU enabled)
+	// the device's stream timeline grafted in. Each Report then carries
+	// that multiplication's spans in Report.Trace. Nil disables tracing
+	// with zero overhead.
+	Tracer *obs.Tracer
 }
 
 // Engine is a DistME instance bound to a (simulated) cluster.
@@ -101,6 +109,11 @@ type Engine struct {
 	closed      bool
 	layouts     map[*bmat.BlockMatrix]layoutTag
 	layoutOrder []*bmat.BlockMatrix // insertion order, for bounded eviction
+
+	// deviceTraceArmed marks that the engine itself enabled the device's
+	// event trace for span grafting, so it may reset it per multiply
+	// without clobbering a caller-enabled trace (see trace.go).
+	deviceTraceArmed bool
 }
 
 // maxTrackedLayouts bounds the layout table. Iterative workloads (GNMF)
@@ -179,6 +192,10 @@ type Report struct {
 	// task retries, speculative copies launched/won, shuffle-fetch retries
 	// and lineage recomputations.
 	Elastic metrics.ElasticStats
+	// Trace holds this multiplication's completed spans (nil unless the
+	// engine was configured with a Tracer). Trace.WriteChromeTrace renders
+	// it for chrome://tracing / Perfetto.
+	Trace *obs.Trace
 }
 
 // Multiply computes A×B with the engine's default method.
@@ -198,6 +215,29 @@ func (e *Engine) MultiplyOpt(a, b *bmat.BlockMatrix, opts MulOptions) (*bmat.Blo
 // attempts — and returns an error matching errors.Is(err, ErrCancelled)
 // that wraps ctx.Err(). A nil ctx behaves like context.Background().
 func (e *Engine) MultiplyCtx(ctx context.Context, a, b *bmat.BlockMatrix, opts MulOptions) (*bmat.BlockMatrix, *Report, error) {
+	tr := e.cfg.Tracer
+	if tr == nil {
+		return e.multiplyCtx(ctx, a, b, opts, obs.Span{})
+	}
+	// Mark the completed-span buffer so the report extracts exactly this
+	// multiplication's spans, even on a shared long-lived tracer.
+	mark := tr.Len()
+	root := tr.Start(0, "engine.multiply", obs.KindDriver)
+	c, report, err := e.multiplyCtx(ctx, a, b, opts, root)
+	if err != nil {
+		root.SetAttr("error", err.Error())
+	}
+	root.End()
+	if report != nil {
+		snap := tr.SnapshotSince(mark)
+		report.Trace = &snap
+	}
+	return c, report, err
+}
+
+// multiplyCtx is the body of MultiplyCtx; root is the multiplication's root
+// span (inert when tracing is off).
+func (e *Engine) multiplyCtx(ctx context.Context, a, b *bmat.BlockMatrix, opts MulOptions, root obs.Span) (*bmat.BlockMatrix, *Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -213,10 +253,22 @@ func (e *Engine) MultiplyCtx(ctx context.Context, a, b *bmat.BlockMatrix, opts M
 	gpuBefore := e.device.Stats()
 	start := time.Now()
 
-	env := core.Env{Cluster: e.cluster, Recorder: rec, BalanceBySparsity: e.cfg.BalanceBySparsity}
+	env := core.Env{
+		Cluster:           e.cluster,
+		Recorder:          rec,
+		BalanceBySparsity: e.cfg.BalanceBySparsity,
+		Tracer:            e.cfg.Tracer,
+		TraceParent:       root.ID(),
+	}
 	if useGPU {
 		env.Multiplier = &gpu.Multiplier{Device: e.device, Recorder: rec}
 		env.VoxelMultiplier = &gpu.BlockLevel{Device: e.device, Recorder: rec}
+	}
+	// With the GPU on, capture the device's virtual-clock event trace so the
+	// stream timeline can be grafted under this multiplication's spans.
+	graftGPU := root.Active() && useGPU
+	if graftGPU {
+		e.armDeviceTrace()
 	}
 
 	method := opts.Method
@@ -225,7 +277,9 @@ func (e *Engine) MultiplyCtx(ctx context.Context, a, b *bmat.BlockMatrix, opts M
 	var err error
 	switch method {
 	case MethodAuto:
+		osp := e.cfg.Tracer.Start(root.ID(), "optimize", obs.KindDriver)
 		params, err = core.Optimize(s, e.cfg.Cluster.TaskMemBytes, e.cfg.Cluster.Slots())
+		finishOptimizeSpan(osp, params, err)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -265,7 +319,10 @@ func (e *Engine) MultiplyCtx(ctx context.Context, a, b *bmat.BlockMatrix, opts M
 					return nil, nil, fmt.Errorf("%w: %w", cluster.ErrCancelled, cerr)
 				}
 				minTasks := params.Tasks() * 2
+				osp := e.cfg.Tracer.Start(root.ID(), "optimize", obs.KindDriver)
+				osp.SetAttr("refine", "true")
 				params, err = core.Optimize(s, e.cfg.Cluster.TaskMemBytes, minTasks)
+				finishOptimizeSpan(osp, params, err)
 				if err != nil {
 					break
 				}
@@ -278,6 +335,14 @@ func (e *Engine) MultiplyCtx(ctx context.Context, a, b *bmat.BlockMatrix, opts M
 	}
 	if err != nil {
 		return nil, nil, err
+	}
+
+	if graftGPU {
+		e.graftDeviceTrace(root.ID(), start, time.Now())
+	}
+	if root.Active() {
+		root.SetAttr("method", method.String())
+		root.SetAttr("params", fmt.Sprintf("(%d,%d,%d)", params.P, params.Q, params.R))
 	}
 
 	if e.cfg.TrackLayouts {
@@ -294,6 +359,18 @@ func (e *Engine) MultiplyCtx(ctx context.Context, a, b *bmat.BlockMatrix, opts M
 		Elastic: comm.Elastic,
 	}
 	return c, report, nil
+}
+
+// finishOptimizeSpan annotates one optimizer-choice span with its outcome.
+func finishOptimizeSpan(osp obs.Span, params core.Params, err error) {
+	if osp.Active() {
+		if err != nil {
+			osp.SetAttr("error", err.Error())
+		} else {
+			osp.SetAttr("params", fmt.Sprintf("(%d,%d,%d)", params.P, params.Q, params.R))
+		}
+	}
+	osp.End()
 }
 
 // checkOpen fails calls on a closed engine.

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"distme/internal/obs"
+)
+
+// GPU-trace grafting: the simulated device records its stream timeline —
+// H2D copies, kernel launches, D2H copies, the rows of the paper's
+// Figure 5(b) — on a virtual clock. A traced multiplication grafts those
+// events into its span tree as KindDevice spans by affine-scaling the
+// virtual window onto the multiplication's wall-clock window, so the
+// Chrome trace shows kernels and copies overlapping (or not) inside the
+// cuboid that launched them. Virtual timestamps are preserved verbatim in
+// span attributes.
+
+// engineGPUTraceLimit bounds the per-multiply device event capture. At
+// 3 events per subcuboid iteration this covers tens of thousands of
+// iterations; past it the timeline is truncated, never wrong.
+const engineGPUTraceLimit = 1 << 15
+
+// armDeviceTrace enables (or, when the engine armed it before, resets) the
+// device's event trace for one traced multiplication. A trace the caller
+// enabled directly is left untouched — the engine then grafts whatever the
+// caller's capture holds rather than clobbering it.
+func (e *Engine) armDeviceTrace() {
+	e.mu.Lock()
+	armed := e.deviceTraceArmed
+	e.mu.Unlock()
+	if !armed && e.device.TraceLimit() != 0 {
+		return // caller owns the device trace
+	}
+	e.device.EnableTrace(engineGPUTraceLimit)
+	e.mu.Lock()
+	e.deviceTraceArmed = true
+	e.mu.Unlock()
+}
+
+// graftDeviceTrace converts the device's recorded events into completed
+// spans parented to parent, mapping the virtual window [vmin, vmax] onto
+// the wall window [wallStart, wallEnd].
+func (e *Engine) graftDeviceTrace(parent obs.SpanID, wallStart, wallEnd time.Time) {
+	tr := e.cfg.Tracer
+	events := e.device.Trace()
+	if tr == nil || len(events) == 0 {
+		return
+	}
+	vmin, vmax := events[0].Start, events[0].End
+	for _, ev := range events {
+		if ev.Start < vmin {
+			vmin = ev.Start
+		}
+		if ev.End > vmax {
+			vmax = ev.End
+		}
+	}
+	window := wallEnd.Sub(wallStart)
+	vspan := float64(vmax - vmin)
+	at := func(v float64) time.Time {
+		if vspan <= 0 {
+			return wallStart
+		}
+		return wallStart.Add(time.Duration(float64(window) * (v - float64(vmin)) / vspan))
+	}
+	for _, ev := range events {
+		lane := fmt.Sprintf("gpu t%d copy", ev.Task)
+		if ev.Stream >= 0 {
+			lane = fmt.Sprintf("gpu t%d str %d", ev.Task, ev.Stream)
+		}
+		sd := obs.SpanData{
+			Parent: parent,
+			Name:   ev.Kind + " " + ev.Label,
+			Kind:   obs.KindDevice,
+			Worker: lane,
+			P:      -1, Q: -1, R: -1,
+			Start: at(float64(ev.Start)),
+			End:   at(float64(ev.End)),
+			Bytes: ev.Bytes,
+			Attrs: []obs.Attr{
+				{Key: "virtual-start-us", Value: fmt.Sprintf("%.1f", 1e6*float64(ev.Start))},
+				{Key: "virtual-end-us", Value: fmt.Sprintf("%.1f", 1e6*float64(ev.End))},
+			},
+		}
+		if ev.Flops > 0 {
+			sd.Attrs = append(sd.Attrs, obs.Attr{Key: "flops", Value: fmt.Sprintf("%.0f", ev.Flops)})
+		}
+		tr.AddCompleted(sd)
+	}
+}

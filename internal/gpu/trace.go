@@ -34,6 +34,15 @@ func (d *Device) EnableTrace(limit int) {
 	d.trace = nil
 }
 
+// TraceLimit returns the current event-recording limit (0 = disabled), so
+// callers layering their own tracing (the engine's span grafting) can tell
+// whether someone else already enabled the device trace.
+func (d *Device) TraceLimit() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.traceLimit
+}
+
 // Trace returns the recorded events, ordered by task then start time.
 func (d *Device) Trace() []TraceEvent {
 	d.mu.Lock()

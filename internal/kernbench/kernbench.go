@@ -24,6 +24,7 @@ import (
 	"distme/internal/cluster"
 	"distme/internal/core"
 	"distme/internal/matrix"
+	"distme/internal/obs"
 )
 
 // Result is one seed-vs-current comparison. End-to-end entries have no
@@ -52,7 +53,12 @@ type Report struct {
 // Run executes every kernel and end-to-end benchmark and returns the
 // report. Each timing comes from testing.Benchmark, i.e. the standard
 // auto-scaled b.N loop.
-func Run() (*Report, error) {
+func Run() (*Report, error) { return RunTraced(nil) }
+
+// RunTraced is Run with each benchmark stage recorded as a KindBench span
+// on tr (nil traces nothing), so `distme-bench -kernels -trace-out` leaves
+// an inspectable timeline of the run alongside the numbers.
+func RunTraced(tr *obs.Tracer) (*Report, error) {
 	r := &Report{
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
@@ -61,14 +67,38 @@ func Run() (*Report, error) {
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
-	r.Results = append(r.Results, gemmResults()...)
-	r.Results = append(r.Results, csrMulDenseResult())
-	r.Results = append(r.Results, denseMulCSCResult())
-	r.Results = append(r.Results, csrMulCSRResults()...)
+	root := tr.Start(0, "kernbench", obs.KindBench)
+	defer root.End()
+	stage := func(name string, f func() []Result) {
+		sp := tr.Start(root.ID(), name, obs.KindBench)
+		res := f()
+		if sp.Active() {
+			for _, b := range res {
+				sp.SetAttr(b.Name, fmt.Sprintf("%.3f ms/op", b.CurrentMs))
+			}
+		}
+		sp.End()
+		r.Results = append(r.Results, res...)
+	}
+	stage("gemm", gemmResults)
+	stage("csr-mul-dense", func() []Result { return []Result{csrMulDenseResult()} })
+	stage("dense-mul-csc", func() []Result { return []Result{denseMulCSCResult()} })
+	stage("csr-mul-csr", csrMulCSRResults)
+	sp := tr.Start(root.ID(), "end-to-end", obs.KindBench)
 	e2e, err := endToEndResults()
 	if err != nil {
+		if sp.Active() {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
 		return nil, err
 	}
+	if sp.Active() {
+		for _, b := range e2e {
+			sp.SetAttr(b.Name, fmt.Sprintf("%.3f ms/op", b.CurrentMs))
+		}
+	}
+	sp.End()
 	r.Results = append(r.Results, e2e...)
 	return r, nil
 }

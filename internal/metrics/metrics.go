@@ -53,20 +53,20 @@ func (s Step) String() string {
 // subtraction, like the byte counters.
 type ElasticStats struct {
 	// TaskRetries is the number of task re-executions after failed attempts.
-	TaskRetries int64
+	TaskRetries int64 `json:"task_retries"`
 	// SpeculativeLaunched counts speculative copies launched for stragglers.
-	SpeculativeLaunched int64
+	SpeculativeLaunched int64 `json:"speculative_launched"`
 	// SpeculativeWins counts speculative copies that finished before the
 	// original attempt (the original is cancelled and its result discarded).
-	SpeculativeWins int64
+	SpeculativeWins int64 `json:"speculative_wins"`
 	// FetchRetries counts transient shuffle-fetch failures that were retried.
-	FetchRetries int64
+	FetchRetries int64 `json:"fetch_retries"`
 	// RecomputedPartials counts aggregation partials recomputed from lineage
 	// after their producing task's output was lost.
-	RecomputedPartials int64
+	RecomputedPartials int64 `json:"recomputed_partials"`
 	// FaultsInjected counts faults the deterministic injector delivered
 	// (crashes, injected O.O.M., straggler delays, fetch failures).
-	FaultsInjected int64
+	FaultsInjected int64 `json:"faults_injected"`
 }
 
 // Sub returns the counter-wise difference e − o.
@@ -96,44 +96,44 @@ func (e ElasticStats) String() string {
 type NetStats struct {
 	// HeartbeatsSent and HeartbeatMisses count failure-detector probes and
 	// the ones that failed or timed out.
-	HeartbeatsSent  int64
-	HeartbeatMisses int64
+	HeartbeatsSent  int64 `json:"heartbeats_sent"`
+	HeartbeatMisses int64 `json:"heartbeat_misses"`
 	// HeartbeatRTTNanos and HeartbeatRTTCount accumulate successful-probe
 	// round-trip time (see HeartbeatRTTAvg); HeartbeatRTTMax is the largest
 	// single RTT observed.
-	HeartbeatRTTNanos int64
-	HeartbeatRTTCount int64
-	HeartbeatRTTMax   time.Duration
+	HeartbeatRTTNanos int64         `json:"heartbeat_rtt_nanos"`
+	HeartbeatRTTCount int64         `json:"heartbeat_rtt_count"`
+	HeartbeatRTTMax   time.Duration `json:"heartbeat_rtt_max_nanos"`
 	// Reconnects counts dead workers successfully redialed.
-	Reconnects int64
+	Reconnects int64 `json:"reconnects"`
 	// WorkersJoined and WorkersLeft count dynamic membership changes
 	// (AddWorker / RemoveWorker); WorkersDeclaredDead counts members the
 	// detector or a failed call retired.
-	WorkersJoined       int64
-	WorkersLeft         int64
-	WorkersDeclaredDead int64
+	WorkersJoined       int64 `json:"workers_joined"`
+	WorkersLeft         int64 `json:"workers_left"`
+	WorkersDeclaredDead int64 `json:"workers_declared_dead"`
 	// DeadlineTimeouts counts RPCs abandoned past their per-call deadline.
-	DeadlineTimeouts int64
+	DeadlineTimeouts int64 `json:"deadline_timeouts"`
 	// CuboidRetries counts cuboid scheduling attempts beyond the first.
-	CuboidRetries int64
+	CuboidRetries int64 `json:"cuboid_retries"`
 	// LocalFallbacks counts cuboids computed on the driver because the
 	// worker pool had drained (or every attempt failed).
-	LocalFallbacks int64
+	LocalFallbacks int64 `json:"local_fallbacks"`
 	// WireEncodeBytes/Nanos and WireDecodeBytes/Nanos meter the driver's
 	// wire codec: bytes framed for requests and parsed from responses, and
 	// the time spent doing it (the serialization cost the gob path hid).
-	WireEncodeBytes int64
-	WireEncodeNanos int64
-	WireDecodeBytes int64
-	WireDecodeNanos int64
+	WireEncodeBytes int64 `json:"wire_encode_bytes"`
+	WireEncodeNanos int64 `json:"wire_encode_nanos"`
+	WireDecodeBytes int64 `json:"wire_decode_bytes"`
+	WireDecodeNanos int64 `json:"wire_decode_nanos"`
 	// CacheRefsSent counts blocks replaced by 32-byte digest references on
 	// the wire; CacheBytesSaved accumulates the encoded payload bytes those
 	// references avoided resending. CacheRefMisses counts unknown-digest
 	// refusals (worker restart, eviction, epoch turnover) that forced an
 	// inline resend.
-	CacheRefsSent   int64
-	CacheRefMisses  int64
-	CacheBytesSaved int64
+	CacheRefsSent   int64 `json:"cache_refs_sent"`
+	CacheRefMisses  int64 `json:"cache_ref_misses"`
+	CacheBytesSaved int64 `json:"cache_bytes_saved"`
 }
 
 // HeartbeatRTTAvg is the mean heartbeat round-trip time.
@@ -425,19 +425,19 @@ func (r *Recorder) StepRatios() (repartition, local, aggregation float64) {
 // Snapshot is an immutable copy of a Recorder's counters, convenient for
 // reporting after a run.
 type Snapshot struct {
-	RepartitionBytes int64
-	AggregationBytes int64
-	PCIEBytes        int64
-	Repartition      time.Duration
-	LocalMultiply    time.Duration
-	Aggregation      time.Duration
-	PCIE             time.Duration
-	SpillBytes       int64
+	RepartitionBytes int64         `json:"repartition_bytes"`
+	AggregationBytes int64         `json:"aggregation_bytes"`
+	PCIEBytes        int64         `json:"pcie_bytes"`
+	Repartition      time.Duration `json:"repartition_nanos"`
+	LocalMultiply    time.Duration `json:"local_multiply_nanos"`
+	Aggregation      time.Duration `json:"aggregation_nanos"`
+	PCIE             time.Duration `json:"pcie_nanos"`
+	SpillBytes       int64         `json:"spill_bytes"`
 	// Elastic carries the fault-tolerant-execution counters.
-	Elastic ElasticStats
+	Elastic ElasticStats `json:"elastic"`
 	// Net carries the real-network elasticity counters (heartbeats,
 	// reconnects, membership churn); zero outside the distnet path.
-	Net NetStats
+	Net NetStats `json:"net"`
 }
 
 // Snapshot captures the current counter values.

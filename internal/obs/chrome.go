@@ -1,0 +1,153 @@
+// Chrome trace_event export: a Trace renders itself as the JSON array-of-
+// events format understood by chrome://tracing and https://ui.perfetto.dev.
+// Each distinct lane (worker address, GPU stream, or span kind) becomes a
+// named "thread" row; spans become "X" (complete) events with microsecond
+// timestamps relative to the earliest span in the trace.
+
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// Trace is an immutable copy of completed spans, as returned by
+// Tracer.Snapshot. It is what engine reports carry and what the Chrome
+// exporter consumes.
+type Trace struct {
+	Spans []SpanData `json:"spans"`
+}
+
+// Empty reports whether the trace holds no spans.
+func (tr Trace) Empty() bool { return len(tr.Spans) == 0 }
+
+// chromeEvent is one entry of the trace_event JSON array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// lane returns the timeline row a span is drawn on: the worker address when
+// set (one row per remote worker / GPU stream / cuboid lane), else the span
+// kind.
+func (s SpanData) lane() string {
+	if s.Worker != "" {
+		return s.Worker
+	}
+	return s.Kind.String()
+}
+
+// WriteChromeTrace writes the trace as Chrome trace_event JSON. Load the
+// result in chrome://tracing or Perfetto; rows are lanes (driver, one per
+// worker, GPU streams), boxes are spans, and box args carry cuboid
+// coordinates, byte counts, and attributes.
+func (tr Trace) WriteChromeTrace(w io.Writer) error {
+	// Deterministic lane numbering: driver lane first, then the rest sorted.
+	laneIDs := make(map[string]int)
+	var lanes []string
+	for _, s := range tr.Spans {
+		l := s.lane()
+		if _, ok := laneIDs[l]; !ok {
+			laneIDs[l] = 0
+			lanes = append(lanes, l)
+		}
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		pi, pj := lanePriority(lanes[i]), lanePriority(lanes[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return lanes[i] < lanes[j]
+	})
+	for i, l := range lanes {
+		laneIDs[l] = i + 1
+	}
+
+	var origin time.Time
+	for _, s := range tr.Spans {
+		if origin.IsZero() || s.Start.Before(origin) {
+			origin = s.Start
+		}
+	}
+
+	events := make([]chromeEvent, 0, len(tr.Spans)+len(lanes)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "distme"},
+	})
+	for _, l := range lanes {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: laneIDs[l],
+			Args: map[string]any{"name": l},
+		})
+	}
+	for _, s := range tr.Spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  s.Kind.String(),
+			Ph:   "X",
+			Ts:   float64(s.Start.Sub(origin)) / float64(time.Microsecond),
+			Dur:  float64(s.Duration()) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  laneIDs[s.lane()],
+		}
+		args := map[string]any{"span": uint64(s.ID)}
+		if s.Parent != 0 {
+			args["parent"] = uint64(s.Parent)
+		}
+		if s.P >= 0 {
+			args["cuboid"] = fmt.Sprintf("(%d,%d,%d)", s.P, s.Q, s.R)
+		}
+		if s.Bytes != 0 {
+			args["bytes"] = s.Bytes
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		ev.Args = args
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// lanePriority orders rows in the viewer: driver orchestration on top, then
+// network, workers/tasks, devices, benches.
+func lanePriority(lane string) int {
+	switch lane {
+	case "driver":
+		return 0
+	case "rpc":
+		return 1
+	case "worker", "task":
+		return 2
+	case "device":
+		return 4
+	case "bench":
+		return 5
+	}
+	return 3
+}
+
+// WriteFile writes the Chrome trace JSON to path (0644).
+func (tr Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

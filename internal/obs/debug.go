@@ -1,0 +1,113 @@
+// Live introspection endpoints. Handler builds a private ServeMux (never
+// http.DefaultServeMux, so importing this package does not leak endpoints
+// into unrelated servers) serving:
+//
+//	/debug/distme   JSON snapshot from the provided callback (driver or
+//	                worker state: NetStats, membership, cache occupancy,
+//	                in-flight cuboids, recent spans)
+//	/debug/pprof/*  the standard net/http/pprof profiles
+//	/               a plain-text index of the above
+//
+// Serve binds a listener and runs the handler until Close; the driver uses
+// it for Options.DebugAddr and distme-worker for -debug-addr.
+
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the debug surface. snapshot is
+// called per /debug/distme request and its result rendered as indented
+// JSON; it must be safe for concurrent use.
+func Handler(snapshot func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/distme", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "distme debug endpoints:")
+		fmt.Fprintln(w, "  /debug/distme        JSON state snapshot")
+		fmt.Fprintln(w, "  /debug/pprof/        pprof profile index")
+	})
+	return mux
+}
+
+// Server is a running debug HTTP server, as returned by Serve.
+type Server struct {
+	l   net.Listener
+	srv *http.Server
+
+	once sync.Once
+	err  error
+}
+
+// Serve binds addr (host:port; port 0 picks a free one) and serves the
+// debug Handler on it in a background goroutine until Close.
+func Serve(addr string, snapshot func() any) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		l: l,
+		srv: &http.Server{
+			Handler:           Handler(snapshot),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(l) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Close shuts the server down and releases the listener. Idempotent.
+func (s *Server) Close() error {
+	s.once.Do(func() { s.err = s.srv.Close() })
+	return s.err
+}
+
+// TraceDebug is the tracer section of a /debug/distme snapshot.
+type TraceDebug struct {
+	Completed int        `json:"completed_spans"`
+	InFlight  int64      `json:"inflight_spans"`
+	Dropped   uint64     `json:"dropped_spans"`
+	Recent    []SpanData `json:"recent,omitempty"`
+}
+
+// DebugSnapshot summarizes a tracer for the debug endpoint: counters plus
+// the n most recent completed spans. Safe on a nil tracer (returns nil).
+func (t *Tracer) DebugSnapshot(n int) *TraceDebug {
+	if t == nil {
+		return nil
+	}
+	return &TraceDebug{
+		Completed: t.Len(),
+		InFlight:  t.InFlight(),
+		Dropped:   t.Dropped(),
+		Recent:    t.Recent(n),
+	}
+}

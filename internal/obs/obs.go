@@ -1,0 +1,367 @@
+// Package obs is the engine's observability layer: a lock-cheap span tracer
+// threaded end-to-end through plan, optimizer choice, per-cuboid dispatch,
+// RPC send/recv, worker compute, and aggregation, plus the live debug HTTP
+// endpoints that serve snapshots of it.
+//
+// The design constraint that shapes the API is that tracing must cost nothing
+// when it is off. A nil *Tracer is the off state: every method on Tracer and
+// on the Span handles it returns is nil-safe and allocation-free, so call
+// sites thread the tracer unconditionally and never guard with an if. The
+// hot-path pattern is
+//
+//	sp := tr.Start(parent, "cuboid", obs.KindDriver) // no-op when tr == nil
+//	sp.SetCuboid(p, q, r)
+//	defer sp.End()
+//
+// Attribute strings that themselves cost an allocation to build (fmt.Sprintf
+// and friends) should be guarded with sp.Active().
+//
+// Completed spans accumulate in a bounded in-memory buffer; Snapshot copies
+// them out as a Trace, which knows how to render itself as Chrome
+// trace_event JSON (chrome://tracing, Perfetto).
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies a span within one Tracer. IDs start at 1; 0 means
+// "no span" and is the parent of root spans.
+type SpanID uint64
+
+// Kind classifies a span for display: which lane of the timeline it belongs
+// to and how the debug endpoint groups it.
+type Kind uint8
+
+const (
+	// KindDriver marks driver-side orchestration: the multiply root,
+	// optimizer choice, per-cuboid dispatch, aggregation.
+	KindDriver Kind = iota
+	// KindRPC marks network activity: a remote Multiply attempt and the
+	// wire-codec encode/decode windows under it.
+	KindRPC
+	// KindWorker marks worker-side compute: decoding a request and running
+	// the cuboid product.
+	KindWorker
+	// KindTask marks a local (in-process cluster) cuboid task.
+	KindTask
+	// KindDevice marks GPU-simulator activity grafted from gpu.TraceEvent:
+	// h2d/d2h copies and kernel launches on their virtual streams.
+	KindDevice
+	// KindBench marks spans emitted by the benchmark harnesses
+	// (distme-bench -trace-out).
+	KindBench
+)
+
+// String returns the lowercase name used in Chrome trace categories and in
+// the debug endpoint JSON.
+func (k Kind) String() string {
+	switch k {
+	case KindDriver:
+		return "driver"
+	case KindRPC:
+		return "rpc"
+	case KindWorker:
+		return "worker"
+	case KindTask:
+		return "task"
+	case KindDevice:
+		return "device"
+	case KindBench:
+		return "bench"
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the kind as its string name so the debug endpoint's
+// JSON is self-describing.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the string names written by MarshalJSON.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"driver"`:
+		*k = KindDriver
+	case `"rpc"`:
+		*k = KindRPC
+	case `"worker"`:
+		*k = KindWorker
+	case `"task"`:
+		*k = KindTask
+	case `"device"`:
+		*k = KindDevice
+	case `"bench"`:
+		*k = KindBench
+	default:
+		return fmt.Errorf("obs: unknown span kind %s", b)
+	}
+	return nil
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// SpanData is the record of one span. P/Q/R are the cuboid coordinate the
+// span worked on, or -1 when the span is not cuboid-scoped. Worker is the
+// address (or lane label) the work ran on; empty means the driver process.
+type SpanData struct {
+	ID     SpanID    `json:"id"`
+	Parent SpanID    `json:"parent,omitempty"`
+	Name   string    `json:"name"`
+	Kind   Kind      `json:"kind"`
+	Worker string    `json:"worker,omitempty"`
+	P      int       `json:"p"`
+	Q      int       `json:"q"`
+	R      int       `json:"r"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+	Bytes  int64     `json:"bytes,omitempty"`
+	Attrs  []Attr    `json:"attrs,omitempty"`
+
+	ended bool
+}
+
+// Duration is End-Start, or 0 for a span that has not ended.
+func (s SpanData) Duration() time.Duration {
+	if s.End.IsZero() {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// Cuboid reports the (p,q,r) coordinate and whether one was set.
+func (s SpanData) Cuboid() (p, q, r int, ok bool) {
+	return s.P, s.Q, s.R, s.P >= 0
+}
+
+// DefaultSpanLimit bounds the completed-span buffer of a Tracer created by
+// NewTracer. At ~150 bytes per span this is a few MiB at most; spans past
+// the limit are counted in Dropped rather than stored.
+const DefaultSpanLimit = 1 << 17
+
+// Tracer collects completed spans. The zero value is not usable; use
+// NewTracer. A nil *Tracer is the disabled state: all methods no-op without
+// allocating, so it can be threaded unconditionally.
+//
+// Span start is lock-free (an atomic ID allocation); only span completion
+// takes the mutex, briefly, to append the record.
+type Tracer struct {
+	nextID  atomic.Uint64
+	open    atomic.Int64
+	dropped atomic.Uint64
+
+	mu    sync.Mutex
+	done  []SpanData
+	limit int
+}
+
+// NewTracer returns a Tracer bounded at DefaultSpanLimit completed spans.
+func NewTracer() *Tracer { return NewTracerLimit(DefaultSpanLimit) }
+
+// NewTracerLimit returns a Tracer that stores at most limit completed spans
+// (further completions are dropped and counted).
+func NewTracerLimit(limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultSpanLimit
+	}
+	return &Tracer{limit: limit}
+}
+
+// Enabled reports whether the tracer is non-nil (tracing on).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Start begins a span. parent may be 0 for a root span. Safe on a nil
+// tracer, in which case the returned Span is inert.
+func (t *Tracer) Start(parent SpanID, name string, kind Kind) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.open.Add(1)
+	return Span{t: t, rec: &SpanData{
+		ID:     SpanID(t.nextID.Add(1)),
+		Parent: parent,
+		Name:   name,
+		Kind:   kind,
+		P:      -1,
+		Q:      -1,
+		R:      -1,
+		Start:  time.Now(),
+	}}
+}
+
+// AddCompleted records an already-finished span (used to graft externally
+// timed events, e.g. the GPU simulator's virtual-clock trace, into the
+// tree). A zero ID is assigned; the possibly-assigned ID is returned.
+// Safe on a nil tracer (returns 0).
+func (t *Tracer) AddCompleted(s SpanData) SpanID {
+	if t == nil {
+		return 0
+	}
+	if s.ID == 0 {
+		s.ID = SpanID(t.nextID.Add(1))
+	}
+	s.ended = true
+	t.add(s)
+	return s.ID
+}
+
+func (t *Tracer) add(s SpanData) {
+	t.mu.Lock()
+	if len(t.done) >= t.limit {
+		t.dropped.Add(1)
+	} else {
+		t.done = append(t.done, s)
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of completed spans currently stored. Use it as a
+// mark before a multiply and SnapshotSince(mark) after to extract just that
+// multiply's spans. Safe on a nil tracer (returns 0).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	n := len(t.done)
+	t.mu.Unlock()
+	return n
+}
+
+// InFlight returns the number of started-but-not-ended spans. Safe on nil.
+func (t *Tracer) InFlight() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.open.Load()
+}
+
+// Dropped returns how many completed spans were discarded because the
+// buffer was full. Safe on nil.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Snapshot copies out every completed span, ordered by start time.
+// Safe on a nil tracer (returns an empty Trace).
+func (t *Tracer) Snapshot() Trace { return t.SnapshotSince(0) }
+
+// SnapshotSince copies out completed spans from index mark (a previous
+// Len() result) onward, ordered by start time.
+func (t *Tracer) SnapshotSince(mark int) Trace {
+	if t == nil {
+		return Trace{}
+	}
+	t.mu.Lock()
+	if mark < 0 || mark > len(t.done) {
+		mark = len(t.done)
+	}
+	spans := make([]SpanData, len(t.done)-mark)
+	copy(spans, t.done[mark:])
+	t.mu.Unlock()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	return Trace{Spans: spans}
+}
+
+// Recent returns up to n of the most recently completed spans, newest
+// first — the debug endpoint's "what just happened" view. Safe on nil.
+func (t *Tracer) Recent(n int) []SpanData {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	if n > len(t.done) {
+		n = len(t.done)
+	}
+	out := make([]SpanData, n)
+	for i := 0; i < n; i++ {
+		out[i] = t.done[len(t.done)-1-i]
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// Reset discards all completed spans and the dropped counter (open-span
+// accounting is preserved). Safe on nil.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.done = t.done[:0]
+	t.mu.Unlock()
+	t.dropped.Store(0)
+}
+
+// Span is a live handle to an in-progress span. The zero value (from a nil
+// tracer) is inert: every method is a no-op and allocation-free. Spans are
+// value types; pass them by value. A span must be ended by exactly one
+// goroutine; the setters are not synchronized.
+type Span struct {
+	t   *Tracer
+	rec *SpanData
+}
+
+// Active reports whether the span is recording. Use it to guard attribute
+// construction that would itself allocate.
+func (sp Span) Active() bool { return sp.t != nil }
+
+// ID returns the span's ID, or 0 for an inert span. Children parent to this.
+func (sp Span) ID() SpanID {
+	if sp.rec == nil {
+		return 0
+	}
+	return sp.rec.ID
+}
+
+// SetWorker records the worker address (timeline lane) the span ran on.
+func (sp Span) SetWorker(addr string) {
+	if sp.rec != nil {
+		sp.rec.Worker = addr
+	}
+}
+
+// SetCuboid records the (p,q,r) cuboid coordinate the span worked on.
+func (sp Span) SetCuboid(p, q, r int) {
+	if sp.rec != nil {
+		sp.rec.P, sp.rec.Q, sp.rec.R = p, q, r
+	}
+}
+
+// AddBytes adds n to the span's byte counter (payload moved or produced).
+func (sp Span) AddBytes(n int64) {
+	if sp.rec != nil {
+		sp.rec.Bytes += n
+	}
+}
+
+// SetAttr appends a key/value annotation.
+func (sp Span) SetAttr(key, value string) {
+	if sp.rec != nil {
+		sp.rec.Attrs = append(sp.rec.Attrs, Attr{Key: key, Value: value})
+	}
+}
+
+// End stamps the span's end time and commits it to the tracer. Ending an
+// already-ended or inert span is a no-op.
+func (sp Span) End() {
+	if sp.t == nil || sp.rec == nil || sp.rec.ended {
+		return
+	}
+	sp.rec.ended = true
+	sp.rec.End = time.Now()
+	sp.t.open.Add(-1)
+	sp.t.add(*sp.rec)
+}

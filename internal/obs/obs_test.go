@@ -1,0 +1,335 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanLifecycle(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start(0, "multiply", KindDriver)
+	if !root.Active() || root.ID() == 0 {
+		t.Fatalf("root span inactive: active=%v id=%d", root.Active(), root.ID())
+	}
+	child := tr.Start(root.ID(), "cuboid", KindDriver)
+	child.SetCuboid(1, 2, 3)
+	child.SetWorker("w1:7070")
+	child.AddBytes(100)
+	child.AddBytes(28)
+	child.SetAttr("attempt", "1")
+	if got := tr.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	child.End()
+	child.End() // double-End must be a no-op
+	root.End()
+	if got := tr.InFlight(); got != 0 {
+		t.Fatalf("InFlight after End = %d, want 0", got)
+	}
+	if got := tr.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 2 {
+		t.Fatalf("snapshot has %d spans, want 2", len(snap.Spans))
+	}
+	// Ordered by start time: root first.
+	got := snap.Spans[0]
+	if got.Name != "multiply" || got.Parent != 0 {
+		t.Fatalf("first span = %+v, want root multiply", got)
+	}
+	c := snap.Spans[1]
+	if c.Parent != got.ID {
+		t.Fatalf("child parent = %d, want %d", c.Parent, got.ID)
+	}
+	if p, q, r, ok := c.Cuboid(); !ok || p != 1 || q != 2 || r != 3 {
+		t.Fatalf("child cuboid = (%d,%d,%d,%v)", p, q, r, ok)
+	}
+	if c.Bytes != 128 || c.Worker != "w1:7070" || len(c.Attrs) != 1 {
+		t.Fatalf("child = %+v", c)
+	}
+	if c.Duration() < 0 {
+		t.Fatalf("negative duration %v", c.Duration())
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.Start(0, "x", KindDriver)
+	if sp.Active() || sp.ID() != 0 {
+		t.Fatalf("nil tracer span active: %v id=%d", sp.Active(), sp.ID())
+	}
+	sp.SetWorker("w")
+	sp.SetCuboid(0, 0, 0)
+	sp.AddBytes(1)
+	sp.SetAttr("k", "v")
+	sp.End()
+	if tr.Len() != 0 || tr.InFlight() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer accumulated state")
+	}
+	if id := tr.AddCompleted(SpanData{Name: "n"}); id != 0 {
+		t.Fatalf("nil AddCompleted id = %d", id)
+	}
+	if !tr.Snapshot().Empty() {
+		t.Fatal("nil snapshot not empty")
+	}
+	if tr.DebugSnapshot(10) != nil {
+		t.Fatal("nil DebugSnapshot non-nil")
+	}
+	tr.Reset()
+}
+
+// The acceptance criterion: with tracing disabled the hot path adds zero
+// allocations.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start(0, "cuboid", KindDriver)
+		sp.SetCuboid(1, 2, 3)
+		sp.SetWorker("w1:7070")
+		sp.AddBytes(4096)
+		if sp.Active() {
+			sp.SetAttr("never", "reached")
+		}
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer hot path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkNilTracer(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(0, "cuboid", KindDriver)
+		sp.SetCuboid(1, 2, 3)
+		sp.AddBytes(4096)
+		sp.End()
+	}
+}
+
+func BenchmarkTracerStartEnd(b *testing.B) {
+	tr := NewTracerLimit(1 << 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(0, "cuboid", KindDriver)
+		sp.SetCuboid(1, 2, 3)
+		sp.End()
+		if i%512 == 0 {
+			tr.Reset()
+		}
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start(0, "root", KindDriver)
+	var wg sync.WaitGroup
+	const G, N = 8, 200
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < N; i++ {
+				sp := tr.Start(root.ID(), "work", KindTask)
+				sp.AddBytes(1)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := tr.Len(); got != G*N+1 {
+		t.Fatalf("Len = %d, want %d", got, G*N+1)
+	}
+	if tr.InFlight() != 0 {
+		t.Fatalf("InFlight = %d, want 0", tr.InFlight())
+	}
+}
+
+func TestTracerLimitDrops(t *testing.T) {
+	tr := NewTracerLimit(2)
+	for i := 0; i < 5; i++ {
+		tr.Start(0, "s", KindDriver).End()
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", tr.Dropped())
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestSnapshotSinceAndRecent(t *testing.T) {
+	tr := NewTracer()
+	tr.Start(0, "a", KindDriver).End()
+	mark := tr.Len()
+	tr.Start(0, "b", KindDriver).End()
+	tr.Start(0, "c", KindDriver).End()
+	snap := tr.SnapshotSince(mark)
+	if len(snap.Spans) != 2 {
+		t.Fatalf("SnapshotSince = %d spans, want 2", len(snap.Spans))
+	}
+	rec := tr.Recent(2)
+	if len(rec) != 2 || rec[0].Name != "c" || rec[1].Name != "b" {
+		t.Fatalf("Recent = %+v", rec)
+	}
+	if got := tr.Recent(100); len(got) != 3 {
+		t.Fatalf("Recent(100) = %d spans, want 3", len(got))
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start(0, "engine.multiply", KindDriver)
+	cub := tr.Start(root.ID(), "cuboid", KindDriver)
+	cub.SetCuboid(0, 1, 0)
+	rpc := tr.Start(cub.ID(), "rpc.multiply", KindRPC)
+	rpc.SetWorker("127.0.0.1:7070")
+	rpc.AddBytes(2048)
+	time.Sleep(time.Millisecond)
+	rpc.End()
+	cub.End()
+	tr.AddCompleted(SpanData{
+		Parent: root.ID(), Name: "sgemm", Kind: KindDevice,
+		Worker: "gpu0/stream1", P: -1, Q: -1, R: -1,
+		Start: time.Now().Add(-time.Millisecond), End: time.Now(),
+	})
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.Snapshot().WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	var complete, meta int
+	names := map[string]bool{}
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "X":
+			complete++
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("X event without numeric ts: %v", ev)
+			}
+		case "M":
+			meta++
+			if args, ok := ev["args"].(map[string]any); ok {
+				if n, ok := args["name"].(string); ok {
+					names[n] = true
+				}
+			}
+		}
+	}
+	if complete != 4 {
+		t.Fatalf("complete events = %d, want 4", complete)
+	}
+	if meta < 3 { // process_name + at least driver/rpc lanes
+		t.Fatalf("metadata events = %d, want >= 3", meta)
+	}
+	if !names["driver"] || !names["127.0.0.1:7070"] || !names["gpu0/stream1"] {
+		t.Fatalf("lane names missing: %v", names)
+	}
+	// Cuboid coordinate must surface as an arg.
+	if !strings.Contains(buf.String(), `"cuboid":"(0,1,0)"`) {
+		t.Fatalf("cuboid arg missing from output: %s", buf.String())
+	}
+}
+
+func TestDebugHandler(t *testing.T) {
+	tr := NewTracer()
+	tr.Start(0, "warm", KindDriver).End()
+	type snap struct {
+		Kind  string      `json:"kind"`
+		Trace *TraceDebug `json:"trace"`
+	}
+	h := Handler(func() any {
+		return snap{Kind: "test", Trace: tr.DebugSnapshot(5)}
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/distme")
+	if err != nil {
+		t.Fatalf("GET /debug/distme: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var got snap
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if got.Kind != "test" || got.Trace == nil || got.Trace.Completed != 1 || len(got.Trace.Recent) != 1 {
+		t.Fatalf("snapshot = %+v", got)
+	}
+
+	for _, path := range []string{"/", "/debug/pprof/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s status = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestServe(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", func() any { return map[string]string{"kind": "x"} })
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/debug/distme")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	var m map[string]string
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil || m["kind"] != "x" {
+		t.Fatalf("decode: %v, %v", err, m)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestKindJSON(t *testing.T) {
+	b, err := json.Marshal(struct {
+		K Kind `json:"k"`
+	}{KindWorker})
+	if err != nil || string(b) != `{"k":"worker"}` {
+		t.Fatalf("marshal kind: %v %s", err, b)
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatal("unknown kind string")
+	}
+}

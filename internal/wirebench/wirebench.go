@@ -30,6 +30,7 @@ import (
 	"distme/internal/core"
 	"distme/internal/distnet"
 	"distme/internal/matrix"
+	"distme/internal/obs"
 )
 
 // CodecResult is one gob-vs-codec comparison on a single block shape. The
@@ -323,7 +324,12 @@ func cacheResult() (CacheResult, error) {
 // Run executes the full wire benchmark. Any decode that is not
 // bit-identical to its input — gob or codec, block or whole product —
 // returns an error, which distme-bench turns into a nonzero exit.
-func Run() (*Report, error) {
+func Run() (*Report, error) { return RunTraced(nil) }
+
+// RunTraced is Run with the codec and cache stages recorded as KindBench
+// spans on tr (nil traces nothing), so `distme-bench -wire -trace-out`
+// leaves an inspectable timeline of the run alongside the numbers.
+func RunTraced(tr *obs.Tracer) (*Report, error) {
 	r := &Report{
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
@@ -332,17 +338,43 @@ func Run() (*Report, error) {
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+	root := tr.Start(0, "wirebench", obs.KindBench)
+	defer root.End()
+
+	csp := tr.Start(root.ID(), "codec", obs.KindBench)
 	cres, err := codecResults()
 	if err != nil {
+		endBenchErr(csp, err)
 		return nil, err
 	}
+	if csp.Active() {
+		for _, b := range cres {
+			csp.SetAttr(b.Name, fmt.Sprintf("gob %d B, codec %d B", b.GobBytes, b.CodecBytes))
+		}
+	}
+	csp.End()
 	r.Codec = cres
+
+	ksp := tr.Start(root.ID(), "cache", obs.KindBench)
 	cache, err := cacheResult()
 	if err != nil {
+		endBenchErr(ksp, err)
 		return nil, err
 	}
+	if ksp.Active() {
+		ksp.SetAttr("cold-sent", fmt.Sprintf("%d B", cache.ColdSentBytes))
+		ksp.SetAttr("warm-sent", fmt.Sprintf("%d B", cache.WarmSentBytes))
+	}
+	ksp.End()
 	r.Cache = cache
 	return r, nil
+}
+
+func endBenchErr(sp obs.Span, err error) {
+	if sp.Active() {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
 }
 
 // WriteJSON writes the report, indented, to path.
