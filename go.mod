@@ -1,3 +1,3 @@
 module distme
 
-go 1.22
+go 1.24

@@ -8,7 +8,10 @@
 //   - the wire tags (TagCSR32, TagCSC32, TagCSRDelta, TagCSCDelta) add
 //     compact sparse forms — 32-bit indices when the dimensions fit, and a
 //     delta+varint index stream when that is smaller still — chosen per
-//     block by encoded size.
+//     block by encoded size, and
+//   - the opt-in encoding tags (TagDenseF32 through TagCSCXor, see
+//     encoding.go) trade value bytes for precision (fp32) or encode time
+//     (XOR+varint compression), selected per job via Encoding.
 //
 // Values always travel as raw little-endian float64 bits, converted to and
 // from []byte in bulk (one memmove on little-endian hardware) instead of
@@ -241,75 +244,7 @@ func uvarintLen(v uint64) int {
 // local-multiply kernels dispatch on the representation and the distributed
 // product must stay bit-identical to a local one.
 func AppendWire(dst []byte, b matrix.Block) ([]byte, uint8, error) {
-	tag, size, err := wirePlan(b)
-	if err != nil {
-		return dst, 0, err
-	}
-	if cap(dst)-len(dst) < size {
-		grown := make([]byte, len(dst), len(dst)+size)
-		copy(grown, dst)
-		dst = grown
-	}
-	switch tag {
-	case TagDense:
-		v := b.(*matrix.Dense)
-		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.RowsN))
-		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.ColsN))
-		dst = appendFloats(dst, v.Data)
-	case TagCSR:
-		dst = appendCSR64(dst, b.(*matrix.CSR))
-	case TagCSR32:
-		v := b.(*matrix.CSR)
-		dst = appendSparse32(dst, v.RowsN, v.ColsN, v.RowPtr, v.ColIdx, v.Val)
-	case TagCSC32:
-		v := b.(*matrix.CSC)
-		dst = appendSparse32(dst, v.ColsN, v.RowsN, v.ColPtr, v.RowIdx, v.Val)
-	case TagCSRDelta:
-		v := b.(*matrix.CSR)
-		dst = appendSparseDelta(dst, v.RowsN, v.ColsN, v.RowPtr, v.ColIdx, v.Val)
-	case TagCSCDelta:
-		v := b.(*matrix.CSC)
-		dst = appendSparseDelta(dst, v.ColsN, v.RowsN, v.ColPtr, v.RowIdx, v.Val)
-	}
-	return dst, tag, nil
-}
-
-// appendSparse32: u32 major, u32 minor, u32 nnz, u32 pointers, u32 indices,
-// raw values.
-func appendSparse32(dst []byte, major, minor int, ptr, idx []int, val []float64) []byte {
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(major))
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(minor))
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(val)))
-	for _, p := range ptr {
-		dst = binary.LittleEndian.AppendUint32(dst, uint32(p))
-	}
-	for _, c := range idx {
-		dst = binary.LittleEndian.AppendUint32(dst, uint32(c))
-	}
-	return appendFloats(dst, val)
-}
-
-// appendSparseDelta: uvarint major, minor, nnz; per major line a uvarint
-// entry count, the first index absolute and the rest as gaps; raw values.
-func appendSparseDelta(dst []byte, major, minor int, ptr, idx []int, val []float64) []byte {
-	dst = binary.AppendUvarint(dst, uint64(major))
-	dst = binary.AppendUvarint(dst, uint64(minor))
-	dst = binary.AppendUvarint(dst, uint64(len(val)))
-	for i := 0; i < major; i++ {
-		lo, hi := ptr[i], ptr[i+1]
-		dst = binary.AppendUvarint(dst, uint64(hi-lo))
-		prev := -1
-		for k := lo; k < hi; k++ {
-			c := idx[k]
-			if prev < 0 {
-				dst = binary.AppendUvarint(dst, uint64(c))
-			} else {
-				dst = binary.AppendUvarint(dst, uint64(c-prev))
-			}
-			prev = c
-		}
-	}
-	return appendFloats(dst, val)
+	return AppendWireEnc(dst, b, EncodingFP64)
 }
 
 // EncodedBytes returns the exact wire payload size of b — the bytes
@@ -338,6 +273,14 @@ func Decode(tag uint8, payload []byte) (matrix.Block, error) {
 		return decodeSparse32(tag, payload)
 	case TagCSRDelta, TagCSCDelta:
 		return decodeSparseDelta(tag, payload)
+	case TagDenseF32:
+		return decodeDenseF32(payload)
+	case TagCSRF32, TagCSCF32:
+		return decodeSparseF32(tag, payload)
+	case TagDenseXor:
+		return decodeDenseXor(payload)
+	case TagCSRXor, TagCSCXor:
+		return decodeSparseXor(tag, payload)
 	default:
 		return nil, fmt.Errorf("%w: unknown tag %d", ErrBadFormat, tag)
 	}

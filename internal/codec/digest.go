@@ -18,9 +18,15 @@ func (d Digest) Short() string { return hex.EncodeToString(d[:6]) }
 
 // DigestOf computes the content digest of a block using a pooled encode
 // buffer.
-func DigestOf(b matrix.Block) (Digest, error) {
+func DigestOf(b matrix.Block) (Digest, error) { return DigestOfEnc(b, EncodingFP64) }
+
+// DigestOfEnc is DigestOf under an explicit encoding. The digest covers
+// the encoded tag and payload, so the same block under two encodings has
+// two digests — which is what the cache needs, since the worker stores
+// whatever the bytes decoded to.
+func DigestOfEnc(b matrix.Block, enc Encoding) (Digest, error) {
 	buf := GetBuffer()
-	payload, tag, err := AppendWire(buf, b)
+	payload, tag, err := AppendWireEnc(buf, b, enc)
 	if err != nil {
 		PutBuffer(buf)
 		return Digest{}, err

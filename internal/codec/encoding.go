@@ -1,0 +1,535 @@
+// Opt-in wire encodings. The default wire form (EncodingFP64) ships raw
+// little-endian float64 values and is bit-exact; two cheaper modes trade
+// bytes for either precision or encode time:
+//
+//   - EncodingFP32 stores values as float32 (tags TagDenseF32, TagCSRF32,
+//     TagCSCF32). It is lossy: each value is rounded to the nearest float32
+//     on encode and widened back on decode, so round-tripped values carry a
+//     relative error of at most 2^-24 (≈6e-8) per element, and values
+//     outside float32 range overflow to ±Inf. Callers must opt in
+//     explicitly; sparse blocks whose dimensions or entry counts do not fit
+//     32 bits fall back to the lossless 64-bit form.
+//   - EncodingCompress is lossless: values travel as a varint stream of
+//     XOR-ed consecutive float64 bit patterns (the Gorilla trick — repeated
+//     or structured values compress hard, white noise does not), with
+//     delta+varint indices on sparse blocks (tags TagDenseXor, TagCSRXor,
+//     TagCSCXor). Per block, the encoder compares against the raw plan and
+//     keeps whichever is smaller, so a compressed send is never larger
+//     than the default one.
+//
+// Both directions of the RPC path accept every tag unconditionally; the
+// mode only steers the encoder, so mixed-mode traffic decodes fine.
+
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+
+	"distme/internal/matrix"
+)
+
+// Opt-in encoding tags (continuing the wire tag space of codec.go).
+const (
+	// TagDenseF32 is a dense payload with float32 values: u64 rows, u64
+	// cols, raw float32 values.
+	TagDenseF32 uint8 = 6
+	// TagCSRF32 is the 32-bit CSR layout of TagCSR32 with float32 values.
+	TagCSRF32 uint8 = 7
+	// TagCSCF32 is the CSC mirror of TagCSRF32.
+	TagCSCF32 uint8 = 8
+	// TagDenseXor is a dense payload with XOR+varint-compressed values:
+	// u64 rows, u64 cols, then rows·cols uvarints, each the XOR of one
+	// value's float64 bits with the previous value's (first value XOR 0).
+	TagDenseXor uint8 = 9
+	// TagCSRXor is the delta+varint index layout of TagCSRDelta with
+	// XOR+varint-compressed values.
+	TagCSRXor uint8 = 10
+	// TagCSCXor is the CSC mirror of TagCSRXor.
+	TagCSCXor uint8 = 11
+)
+
+// Encoding selects the wire value encoding for a job's block payloads.
+// The zero value is the bit-exact default.
+type Encoding uint8
+
+const (
+	// EncodingFP64 is the default: raw little-endian float64 values,
+	// bit-identical round trip.
+	EncodingFP64 Encoding = 0
+	// EncodingFP32 halves value bytes by rounding to float32 — lossy,
+	// explicit opt-in only (see the package comment for error semantics).
+	EncodingFP32 Encoding = 1
+	// EncodingCompress XOR+varint-compresses values losslessly, falling
+	// back to the raw form per block when compression does not win.
+	EncodingCompress Encoding = 2
+)
+
+// Valid reports whether e is a known encoding.
+func (e Encoding) Valid() bool { return e <= EncodingCompress }
+
+// String names the encoding for options, logs, and bench rows.
+func (e Encoding) String() string {
+	switch e {
+	case EncodingFP64:
+		return "fp64"
+	case EncodingFP32:
+		return "fp32"
+	case EncodingCompress:
+		return "compress"
+	default:
+		return fmt.Sprintf("encoding(%d)", uint8(e))
+	}
+}
+
+// PlanRatio is the nominal repartition-bytes ratio of the encoding
+// relative to EncodingFP64, for Eq.(4) pricing before any block has been
+// encoded: fp32 halves value bytes (values dominate every form), and the
+// compressed mode is credited a conservative 15% — its per-block fallback
+// guarantees the true ratio never exceeds 1.
+func (e Encoding) PlanRatio() float64 {
+	switch e {
+	case EncodingFP32:
+		return 0.5
+	case EncodingCompress:
+		return 0.85
+	default:
+		return 1.0
+	}
+}
+
+// wirePlanEnc extends wirePlan with the opt-in encodings: it decides the
+// tag and exact payload size AppendWireEnc would produce for b under enc.
+func wirePlanEnc(b matrix.Block, enc Encoding) (tag uint8, size int, err error) {
+	switch enc {
+	case EncodingFP32:
+		return planF32(b)
+	case EncodingCompress:
+		return planCompress(b)
+	default:
+		return wirePlan(b)
+	}
+}
+
+func planF32(b matrix.Block) (uint8, int, error) {
+	switch v := b.(type) {
+	case *matrix.Dense:
+		return TagDenseF32, 16 + 4*len(v.Data), nil
+	case *matrix.CSR:
+		if sparseOverflows32(v.RowsN, v.ColsN, v.RowPtr, len(v.Val)) {
+			// Indices too large for the 32-bit layout: stay lossless.
+			return wirePlan(b)
+		}
+		return TagCSRF32, 12 + 4*(v.RowsN+1) + 4*len(v.Val) + 4*len(v.Val), nil
+	case *matrix.CSC:
+		if sparseOverflows32(v.ColsN, v.RowsN, v.ColPtr, len(v.Val)) {
+			return wirePlan(b)
+		}
+		return TagCSCF32, 12 + 4*(v.ColsN+1) + 4*len(v.Val) + 4*len(v.Val), nil
+	default:
+		return 0, 0, fmt.Errorf("codec: unsupported block type %T", b)
+	}
+}
+
+func sparseOverflows32(major, minor int, ptr []int, nnz int) bool {
+	return major > math.MaxUint32-1 || minor > math.MaxUint32 || nnz > math.MaxUint32 ||
+		pointersOverflow32(ptr)
+}
+
+func planCompress(b matrix.Block) (uint8, int, error) {
+	rawTag, rawSize, err := wirePlan(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	switch v := b.(type) {
+	case *matrix.Dense:
+		if size := 16 + xorFloatsSize(v.Data); size < rawSize {
+			return TagDenseXor, size, nil
+		}
+	case *matrix.CSR:
+		if structural, ok := deltaSize(v.RowsN, v.ColsN, v.RowPtr, v.ColIdx, len(v.Val)); ok {
+			if size := structural - 8*len(v.Val) + xorFloatsSize(v.Val); size < rawSize {
+				return TagCSRXor, size, nil
+			}
+		}
+	case *matrix.CSC:
+		if structural, ok := deltaSize(v.ColsN, v.RowsN, v.ColPtr, v.RowIdx, len(v.Val)); ok {
+			if size := structural - 8*len(v.Val) + xorFloatsSize(v.Val); size < rawSize {
+				return TagCSCXor, size, nil
+			}
+		}
+	}
+	return rawTag, rawSize, nil
+}
+
+// xorFloatsSize sizes the XOR+varint value stream of vals.
+func xorFloatsSize(vals []float64) int {
+	n := 0
+	var prev uint64
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		n += uvarintLen(bits ^ prev)
+		prev = bits
+	}
+	return n
+}
+
+// appendXorFloats appends vals as uvarints of consecutive-bit XORs.
+func appendXorFloats(dst []byte, vals []float64) []byte {
+	var prev uint64
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		dst = binary.AppendUvarint(dst, bits^prev)
+		prev = bits
+	}
+	return dst
+}
+
+func appendF32(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(float32(v)))
+	}
+	return dst
+}
+
+// valueBytes reinterprets raw float64 storage as its little-endian wire
+// bytes without copying. Callers must only use it on little-endian hosts
+// and must not outlive the backing slice.
+func valueBytes(vals []float64) []byte {
+	if len(vals) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), 8*len(vals))
+}
+
+// AppendWireSG is the scatter-gather encoder: it appends the structural
+// part of b's encoding under enc to dst and, when the chosen wire form
+// ends in raw float64 bytes on a little-endian host, returns the value
+// bytes as a zero-copy tail view of the block's own storage instead of
+// copying them into dst. The frame writer ships (out, tail) as separate
+// writev segments; out followed by tail is byte-identical to
+// AppendWireEnc's contiguous payload. A nil tail means everything landed
+// in out (non-raw value encodings, big-endian hosts, empty blocks). The
+// tail aliases the block until the write completes.
+func AppendWireSG(dst []byte, b matrix.Block, enc Encoding) (out []byte, tag uint8, tail []byte, err error) {
+	tag, size, err := wirePlanEnc(b, enc)
+	if err != nil {
+		return dst, 0, nil, err
+	}
+	if cap(dst)-len(dst) < size {
+		grown := make([]byte, len(dst), len(dst)+size)
+		copy(grown, dst)
+		dst = grown
+	}
+	var rawVals []float64 // non-nil → raw fp64 tail candidate
+	switch tag {
+	case TagDense:
+		v := b.(*matrix.Dense)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.RowsN))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.ColsN))
+		rawVals = v.Data
+	case TagCSR:
+		v := b.(*matrix.CSR)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.RowsN))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.ColsN))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(len(v.Val)))
+		for _, p := range v.RowPtr {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(p))
+		}
+		for _, c := range v.ColIdx {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(c))
+		}
+		rawVals = v.Val
+	case TagCSR32:
+		v := b.(*matrix.CSR)
+		dst = appendSparse32Struct(dst, v.RowsN, v.ColsN, v.RowPtr, v.ColIdx, len(v.Val))
+		rawVals = v.Val
+	case TagCSC32:
+		v := b.(*matrix.CSC)
+		dst = appendSparse32Struct(dst, v.ColsN, v.RowsN, v.ColPtr, v.RowIdx, len(v.Val))
+		rawVals = v.Val
+	case TagCSRDelta:
+		v := b.(*matrix.CSR)
+		dst = appendSparseDeltaStruct(dst, v.RowsN, v.ColsN, v.RowPtr, v.ColIdx, len(v.Val))
+		rawVals = v.Val
+	case TagCSCDelta:
+		v := b.(*matrix.CSC)
+		dst = appendSparseDeltaStruct(dst, v.ColsN, v.RowsN, v.ColPtr, v.RowIdx, len(v.Val))
+		rawVals = v.Val
+	case TagDenseF32:
+		v := b.(*matrix.Dense)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.RowsN))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.ColsN))
+		dst = appendF32(dst, v.Data)
+	case TagCSRF32:
+		v := b.(*matrix.CSR)
+		dst = appendSparse32Struct(dst, v.RowsN, v.ColsN, v.RowPtr, v.ColIdx, len(v.Val))
+		dst = appendF32(dst, v.Val)
+	case TagCSCF32:
+		v := b.(*matrix.CSC)
+		dst = appendSparse32Struct(dst, v.ColsN, v.RowsN, v.ColPtr, v.RowIdx, len(v.Val))
+		dst = appendF32(dst, v.Val)
+	case TagDenseXor:
+		v := b.(*matrix.Dense)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.RowsN))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.ColsN))
+		dst = appendXorFloats(dst, v.Data)
+	case TagCSRXor:
+		v := b.(*matrix.CSR)
+		dst = appendSparseDeltaStruct(dst, v.RowsN, v.ColsN, v.RowPtr, v.ColIdx, len(v.Val))
+		dst = appendXorFloats(dst, v.Val)
+	case TagCSCXor:
+		v := b.(*matrix.CSC)
+		dst = appendSparseDeltaStruct(dst, v.ColsN, v.RowsN, v.ColPtr, v.RowIdx, len(v.Val))
+		dst = appendXorFloats(dst, v.Val)
+	}
+	if rawVals != nil {
+		if nativeLittleEndian && len(rawVals) > 0 {
+			return dst, tag, valueBytes(rawVals), nil
+		}
+		dst = appendFloats(dst, rawVals)
+	}
+	return dst, tag, nil, nil
+}
+
+// appendSparse32Struct is appendSparse32 minus the trailing values.
+func appendSparse32Struct(dst []byte, major, minor int, ptr, idx []int, nnz int) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(major))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(minor))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(nnz))
+	for _, p := range ptr {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p))
+	}
+	for _, c := range idx {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(c))
+	}
+	return dst
+}
+
+// appendSparseDeltaStruct is appendSparseDelta minus the trailing values.
+func appendSparseDeltaStruct(dst []byte, major, minor int, ptr, idx []int, nnz int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(major))
+	dst = binary.AppendUvarint(dst, uint64(minor))
+	dst = binary.AppendUvarint(dst, uint64(nnz))
+	for i := 0; i < major; i++ {
+		lo, hi := ptr[i], ptr[i+1]
+		dst = binary.AppendUvarint(dst, uint64(hi-lo))
+		prev := -1
+		for k := lo; k < hi; k++ {
+			c := idx[k]
+			if prev < 0 {
+				dst = binary.AppendUvarint(dst, uint64(c))
+			} else {
+				dst = binary.AppendUvarint(dst, uint64(c-prev))
+			}
+			prev = c
+		}
+	}
+	return dst
+}
+
+// AppendWireEnc appends the contiguous wire encoding of b under enc —
+// AppendWire generalized over the opt-in encodings. EncodingFP64 produces
+// exactly AppendWire's bytes.
+func AppendWireEnc(dst []byte, b matrix.Block, enc Encoding) ([]byte, uint8, error) {
+	out, tag, tail, err := AppendWireSG(dst, b, enc)
+	if err != nil {
+		return dst, 0, err
+	}
+	return append(out, tail...), tag, nil
+}
+
+// EncodedBytesEnc is EncodedBytes under an explicit encoding: the exact
+// payload size AppendWireEnc would produce. Unsupported block types
+// report 0.
+func EncodedBytesEnc(b matrix.Block, enc Encoding) int64 {
+	_, size, err := wirePlanEnc(b, enc)
+	if err != nil {
+		return 0
+	}
+	return int64(size)
+}
+
+// ---------------------------------------------------------------------------
+// Decoders for the opt-in tags (wired into Decode's switch).
+
+func decodeDenseF32(payload []byte) (matrix.Block, error) {
+	if len(payload) < 16 {
+		return nil, fmt.Errorf("%w: short dense-f32 payload", ErrBadFormat)
+	}
+	rows := int(binary.LittleEndian.Uint64(payload[0:]))
+	cols := int(binary.LittleEndian.Uint64(payload[8:]))
+	if rows < 0 || cols < 0 || rows > MaxBlockSide || cols > MaxBlockSide {
+		return nil, fmt.Errorf("%w: implausible dense dimensions %dx%d", ErrBadFormat, rows, cols)
+	}
+	if len(payload) != 16+4*rows*cols {
+		return nil, fmt.Errorf("%w: dense-f32 payload size mismatch", ErrBadFormat)
+	}
+	return matrix.NewDenseData(rows, cols, decodeF32(payload[16:], rows*cols)), nil
+}
+
+func decodeF32(payload []byte, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:])))
+	}
+	return out
+}
+
+func decodeSparseF32(tag uint8, payload []byte) (matrix.Block, error) {
+	if len(payload) < 12 {
+		return nil, fmt.Errorf("%w: short sparse-f32 payload", ErrBadFormat)
+	}
+	major := int(binary.LittleEndian.Uint32(payload[0:]))
+	minor := int(binary.LittleEndian.Uint32(payload[4:]))
+	nnz := int(binary.LittleEndian.Uint32(payload[8:]))
+	if err := checkSparseDims(major, minor, nnz); err != nil {
+		return nil, err
+	}
+	if len(payload) != 12+4*(major+1)+4*nnz+4*nnz {
+		return nil, fmt.Errorf("%w: sparse-f32 payload size mismatch", ErrBadFormat)
+	}
+	ptr := make([]int, major+1)
+	off := 12
+	for i := range ptr {
+		ptr[i] = int(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+	}
+	idx := make([]int, nnz)
+	for i := range idx {
+		idx[i] = int(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+	}
+	val := decodeF32(payload[off:], nnz)
+	if err := checkSparseStructure(major, minor, nnz, ptr, idx); err != nil {
+		return nil, err
+	}
+	if tag == TagCSRF32 {
+		return &matrix.CSR{RowsN: major, ColsN: minor, RowPtr: ptr, ColIdx: idx, Val: val}, nil
+	}
+	return &matrix.CSC{RowsN: minor, ColsN: major, ColPtr: ptr, RowIdx: idx, Val: val}, nil
+}
+
+// decodeXorFloats parses exactly n XOR+varint values; it returns the bytes
+// consumed so callers can enforce exact payload consumption.
+func decodeXorFloats(payload []byte, n int) ([]float64, int, error) {
+	out := make([]float64, n)
+	var prev uint64
+	off := 0
+	for i := range out {
+		x, k := binary.Uvarint(payload[off:])
+		if k <= 0 {
+			return nil, 0, fmt.Errorf("%w: truncated xor value stream", ErrBadFormat)
+		}
+		off += k
+		prev ^= x
+		out[i] = math.Float64frombits(prev)
+	}
+	return out, off, nil
+}
+
+func decodeDenseXor(payload []byte) (matrix.Block, error) {
+	if len(payload) < 16 {
+		return nil, fmt.Errorf("%w: short dense-xor payload", ErrBadFormat)
+	}
+	rows := int(binary.LittleEndian.Uint64(payload[0:]))
+	cols := int(binary.LittleEndian.Uint64(payload[8:]))
+	if rows < 0 || cols < 0 || rows > MaxBlockSide || cols > MaxBlockSide {
+		return nil, fmt.Errorf("%w: implausible dense dimensions %dx%d", ErrBadFormat, rows, cols)
+	}
+	n := rows * cols
+	rest := payload[16:]
+	// Every value costs at least one varint byte, so the allocation is
+	// bounded by the bytes actually present.
+	if len(rest) < n {
+		return nil, fmt.Errorf("%w: dense-xor payload shorter than its header promises", ErrBadFormat)
+	}
+	vals, used, err := decodeXorFloats(rest, n)
+	if err != nil {
+		return nil, err
+	}
+	if used != len(rest) {
+		return nil, fmt.Errorf("%w: dense-xor payload size mismatch", ErrBadFormat)
+	}
+	return matrix.NewDenseData(rows, cols, vals), nil
+}
+
+func decodeSparseXor(tag uint8, payload []byte) (matrix.Block, error) {
+	major, n1 := binary.Uvarint(payload)
+	if n1 <= 0 {
+		return nil, fmt.Errorf("%w: truncated xor header", ErrBadFormat)
+	}
+	minor, n2 := binary.Uvarint(payload[n1:])
+	if n2 <= 0 {
+		return nil, fmt.Errorf("%w: truncated xor header", ErrBadFormat)
+	}
+	nnz, n3 := binary.Uvarint(payload[n1+n2:])
+	if n3 <= 0 {
+		return nil, fmt.Errorf("%w: truncated xor header", ErrBadFormat)
+	}
+	if major > MaxBlockSide || minor > MaxBlockSide || nnz > uint64(MaxBlockSide)*uint64(MaxBlockSide) {
+		return nil, fmt.Errorf("%w: implausible xor dimensions %dx%d nnz=%d", ErrBadFormat, major, minor, nnz)
+	}
+	rest := payload[n1+n2+n3:]
+	// One count byte per major line, one index byte and one value byte per
+	// entry at minimum: allocations stay bounded by the input.
+	if uint64(len(rest)) < major+2*nnz {
+		return nil, fmt.Errorf("%w: xor payload shorter than its own header promises", ErrBadFormat)
+	}
+	mi, mn, nz := int(major), int(minor), int(nnz)
+	if err := checkSparseDims(mi, mn, nz); err != nil {
+		return nil, err
+	}
+	ptr := make([]int, mi+1)
+	idx := make([]int, 0, nz)
+	off := 0
+	for i := 0; i < mi; i++ {
+		cnt, n := binary.Uvarint(rest[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: truncated entry count", ErrBadFormat)
+		}
+		off += n
+		if cnt > uint64(nz-len(idx)) {
+			return nil, fmt.Errorf("%w: entry counts exceed nnz", ErrBadFormat)
+		}
+		prev := -1
+		for k := uint64(0); k < cnt; k++ {
+			gap, n := binary.Uvarint(rest[off:])
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: truncated index stream", ErrBadFormat)
+			}
+			off += n
+			var c int
+			if prev < 0 {
+				c = int(gap)
+			} else {
+				if gap == 0 {
+					return nil, fmt.Errorf("%w: zero index gap", ErrBadFormat)
+				}
+				c = prev + int(gap)
+			}
+			if c < 0 || c >= mn {
+				return nil, fmt.Errorf("%w: index %d outside %d", ErrBadFormat, c, mn)
+			}
+			idx = append(idx, c)
+			prev = c
+		}
+		ptr[i+1] = len(idx)
+	}
+	if len(idx) != nz {
+		return nil, fmt.Errorf("%w: entry counts do not sum to nnz", ErrBadFormat)
+	}
+	vals, used, err := decodeXorFloats(rest[off:], nz)
+	if err != nil {
+		return nil, err
+	}
+	if used != len(rest[off:]) {
+		return nil, fmt.Errorf("%w: xor payload size mismatch", ErrBadFormat)
+	}
+	if tag == TagCSRXor {
+		return &matrix.CSR{RowsN: mi, ColsN: mn, RowPtr: ptr, ColIdx: idx, Val: vals}, nil
+	}
+	return &matrix.CSC{RowsN: mn, ColsN: mi, ColPtr: ptr, RowIdx: idx, Val: vals}, nil
+}

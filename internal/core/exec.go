@@ -52,6 +52,10 @@ type Env struct {
 	// them).
 	Tracer      *obs.Tracer
 	TraceParent obs.SpanID
+	// Wire prices Eq.(4) for MultiplyAuto's optimizer when the execution
+	// path ships blocks under a cheaper wire encoding (see WireCost); the
+	// zero value is the paper's unscaled cost.
+	Wire WireCost
 }
 
 // VoxelMultiplier multiplies one block pair — the local multiplication
@@ -771,7 +775,7 @@ func MultiplyAuto(a, b *bmat.BlockMatrix, env Env) (*bmat.BlockMatrix, Params, e
 func MultiplyAutoCtx(ctx context.Context, a, b *bmat.BlockMatrix, env Env) (*bmat.BlockMatrix, Params, error) {
 	s := ShapeOf(a, b)
 	cfg := env.Cluster.Config()
-	params, err := Optimize(s, cfg.TaskMemBytes, cfg.Slots())
+	params, err := OptimizeWire(s, cfg.TaskMemBytes, cfg.Slots(), env.Wire)
 	if err != nil {
 		return nil, Params{}, err
 	}

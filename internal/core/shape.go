@@ -71,6 +71,50 @@ func (s Shape) CostBytes(p Params) float64 {
 	return cost
 }
 
+// WireCost scales the two terms of Eq.(4) for the actual cost of moving a
+// byte in each direction. The default (both ratios 1) is the paper's model;
+// an opt-in wire encoding (codec.Encoding) makes input bytes cheaper than
+// the |A|,|B| payload sizes suggest, and the ratios let the optimizer see
+// that. The two directions are priced independently because distnet applies
+// encodings only to driver→worker block payloads — the aggregated C
+// partials always return as bit-exact fp64 — so a cheap encoding shifts the
+// optimum toward plans that repartition more and aggregate less.
+type WireCost struct {
+	// InputRatio scales the repartition terms Q·|A| + P·|B| (the
+	// driver→worker direction the encodings apply to). Values in (0, 1];
+	// non-positive means 1.
+	InputRatio float64
+	// AggRatio scales the aggregation term R·|C| (worker→driver partials).
+	// distnet always ships these fp64, so it passes 1; the knob exists so
+	// the model prices asymmetric links too. Non-positive means 1.
+	AggRatio float64
+}
+
+// DefaultWireCost is Eq.(4) exactly as the paper writes it.
+func DefaultWireCost() WireCost { return WireCost{InputRatio: 1, AggRatio: 1} }
+
+func (w WireCost) normalized() WireCost {
+	if w.InputRatio <= 0 {
+		w.InputRatio = 1
+	}
+	if w.AggRatio <= 0 {
+		w.AggRatio = 1
+	}
+	return w
+}
+
+// CostBytesWire evaluates Eq.(4) under a wire-cost scaling:
+// InputRatio·(Q·|A| + P·|B|) + AggRatio·R·|C|, the R·|C| term again charged
+// only when R>1. With DefaultWireCost it equals CostBytes.
+func (s Shape) CostBytesWire(p Params, w WireCost) float64 {
+	w = w.normalized()
+	cost := w.InputRatio * (float64(p.Q)*float64(s.ABytes) + float64(p.P)*float64(s.BBytes))
+	if p.R > 1 {
+		cost += w.AggRatio * float64(p.R) * float64(s.CBytes)
+	}
+	return cost
+}
+
 // BMMParams returns the parameters that make CuboidMM behave like BMM
 // broadcasting B: (I,1,1).
 func (s Shape) BMMParams() Params { return Params{P: s.I, Q: 1, R: 1} }
@@ -96,6 +140,17 @@ var ErrInfeasible = errors.New("core: no cuboid partitioning fits the per-task m
 // procedure that returns exactly the argmin of the full O(I·J·K) scan (a
 // property the tests verify against a brute-force reference).
 func Optimize(s Shape, taskMemBytes int64, slots int) (Params, error) {
+	return OptimizeWire(s, taskMemBytes, slots, DefaultWireCost())
+}
+
+// OptimizeWire is Optimize with the cost evaluated as CostBytesWire: the
+// feasible (P,Q,R) minimizing the wire-priced Eq.(4). The O(I·K) search
+// stays valid because scaling by positive ratios keeps the cost monotone
+// increasing in Q for fixed (P,R) — minFeasibleQ's argument is unchanged.
+// A cheaper InputRatio can genuinely flip the argmin: it discounts the
+// repartition terms but not R·|C|, so plans that buy a smaller aggregation
+// with more replication win ties they previously lost.
+func OptimizeWire(s Shape, taskMemBytes int64, slots int, w WireCost) (Params, error) {
 	if err := s.Validate(); err != nil {
 		return Params{}, err
 	}
@@ -105,6 +160,7 @@ func Optimize(s Shape, taskMemBytes int64, slots int) (Params, error) {
 	if slots < 1 {
 		slots = 1
 	}
+	w = w.normalized()
 	// Exceptional case (§3.2): fewer voxels than slots.
 	if s.I*s.J*s.K < slots {
 		return Params{P: s.I, Q: s.J, R: s.K}, nil
@@ -121,7 +177,7 @@ func Optimize(s Shape, taskMemBytes int64, slots int) (Params, error) {
 				continue
 			}
 			cand := Params{P: p, Q: q, R: r}
-			cost := s.CostBytes(cand)
+			cost := s.CostBytesWire(cand, w)
 			if !found || cost < bestCost || (cost == bestCost && less(cand, best)) {
 				best, bestCost, found = cand, cost, true
 			}

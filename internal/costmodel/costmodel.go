@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"distme/internal/cluster"
+	"distme/internal/codec"
 	"distme/internal/core"
 )
 
@@ -92,6 +93,13 @@ type Model struct {
 	// ext-wire experiment measures ≈13% over real TCP, validating the 1.15
 	// default.
 	SerializationFactor float64
+	// WireEncoding deflates repartition bytes for an opt-in block encoding
+	// (fp32 or compressed input payloads). Aggregation traffic is NOT
+	// scaled: the wire always returns C partials as bit-exact fp64. The
+	// zero value (EncodingFP64) leaves the model unchanged; the ratio is
+	// the encoding's nominal PlanRatio, the same number OptimizeWire
+	// prices into Eq.(4).
+	WireEncoding codec.Encoding
 	// NetEfficiency derates the aggregate network bandwidth (protocol
 	// overhead, skew); 0.5 by default.
 	NetEfficiency float64
@@ -196,7 +204,7 @@ func (m Model) EstimateCuboid(w Workload, p core.Params, useGPU bool) Estimate {
 	s := w.Shape()
 	est := Estimate{Label: fmt.Sprintf("CuboidMM%v", p), Params: p, Tasks: p.Tasks()}
 
-	repart := float64(p.Q)*float64(s.ABytes) + float64(p.P)*float64(s.BBytes)
+	repart := m.WireEncoding.PlanRatio() * (float64(p.Q)*float64(s.ABytes) + float64(p.P)*float64(s.BBytes))
 	var agg float64
 	if p.R > 1 {
 		agg = float64(p.R) * float64(s.CBytes)
@@ -334,7 +342,8 @@ func (m Model) localTime(w Workload, s core.Shape, p core.Params, useGPU bool) (
 // result — the DistME path.
 func (m Model) EstimateAuto(w Workload, useGPU bool) Estimate {
 	s := w.Shape()
-	p, err := core.Optimize(s, m.Cfg.TaskMemBytes, m.Cfg.Slots())
+	wc := core.WireCost{InputRatio: m.WireEncoding.PlanRatio(), AggRatio: 1}
+	p, err := core.OptimizeWire(s, m.Cfg.TaskMemBytes, m.Cfg.Slots(), wc)
 	if err != nil {
 		return Estimate{Label: "CuboidMM(auto)", Verdict: VerdictOOM}
 	}

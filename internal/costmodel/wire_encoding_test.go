@@ -1,0 +1,87 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"distme/internal/codec"
+	"distme/internal/core"
+)
+
+// TestWireEncodingScalesRepartition pins the asymmetry of the opt-in wire
+// encodings in the analytic model: repartition (input) traffic deflates by
+// the encoding's plan ratio while aggregation traffic does not move,
+// because the wire always returns C partials as bit-exact fp64.
+func TestWireEncodingScalesRepartition(t *testing.T) {
+	w := generalW(20_000)
+	p := core.Params{P: 2, Q: 2, R: 2} // R > 1 so aggregation is non-zero
+	base := paperModel()
+	bEst := base.EstimateCuboid(w, p, false)
+	if bEst.Verdict != VerdictOK {
+		t.Fatalf("baseline verdict %v, want ok", bEst.Verdict)
+	}
+	if bEst.AggregationSec <= 0 {
+		t.Fatalf("fixture must aggregate (R=%d), got AggregationSec=0", p.R)
+	}
+	for _, tc := range []struct {
+		enc   codec.Encoding
+		ratio float64
+	}{
+		{codec.EncodingFP32, 0.5},
+		{codec.EncodingCompress, 0.85},
+	} {
+		if got := tc.enc.PlanRatio(); got != tc.ratio {
+			t.Fatalf("%v plan ratio %v, want %v (test out of sync)", tc.enc, got, tc.ratio)
+		}
+		m := paperModel()
+		m.WireEncoding = tc.enc
+		e := m.EstimateCuboid(w, p, false)
+		if e.Verdict != VerdictOK {
+			t.Fatalf("%v verdict %v, want ok", tc.enc, e.Verdict)
+		}
+		wantRep := bEst.RepartitionSec * tc.ratio
+		if math.Abs(e.RepartitionSec-wantRep) > 1e-9*wantRep {
+			t.Errorf("%v RepartitionSec %v, want %v (ratio %v of %v)",
+				tc.enc, e.RepartitionSec, wantRep, tc.ratio, bEst.RepartitionSec)
+		}
+		if e.AggregationSec != bEst.AggregationSec {
+			t.Errorf("%v scaled aggregation %v -> %v; replies are always fp64",
+				tc.enc, bEst.AggregationSec, e.AggregationSec)
+		}
+		if e.LocalSec != bEst.LocalSec {
+			t.Errorf("%v changed LocalSec %v -> %v", tc.enc, bEst.LocalSec, e.LocalSec)
+		}
+		wantBytes := int64(float64(bEst.RepartitionBytes) * tc.ratio)
+		if diff := e.RepartitionBytes - wantBytes; diff < -1 || diff > 1 {
+			t.Errorf("%v RepartitionBytes %d, want ~%d", tc.enc, e.RepartitionBytes, wantBytes)
+		}
+	}
+}
+
+// TestWireEncodingEstimateAuto: the auto planner re-optimizes under the
+// encoding's pricing, so its plan can never model slower than the default
+// plan re-priced under the same encoding.
+func TestWireEncodingEstimateAuto(t *testing.T) {
+	w := generalW(20_000)
+	def := paperModel()
+	defAuto := def.EstimateAuto(w, false)
+	if defAuto.Verdict != VerdictOK {
+		t.Fatalf("default auto verdict %v, want ok", defAuto.Verdict)
+	}
+	m := paperModel()
+	m.WireEncoding = codec.EncodingFP32
+	encAuto := m.EstimateAuto(w, false)
+	if encAuto.Verdict != VerdictOK {
+		t.Fatalf("fp32 auto verdict %v, want ok", encAuto.Verdict)
+	}
+	// Default plan re-priced under fp32 must not beat the fp32-optimized plan.
+	repriced := m.EstimateCuboid(w, defAuto.Params, false)
+	if encAuto.TotalSec() > repriced.TotalSec()+1e-9 {
+		t.Fatalf("fp32 auto plan %v (%.3fs) slower than repriced default plan %v (%.3fs)",
+			encAuto.Params, encAuto.TotalSec(), defAuto.Params, repriced.TotalSec())
+	}
+	if encAuto.RepartitionSec >= defAuto.RepartitionSec {
+		t.Errorf("fp32 auto repartition %.3fs not below default %.3fs",
+			encAuto.RepartitionSec, defAuto.RepartitionSec)
+	}
+}

@@ -88,6 +88,23 @@ type Options struct {
 	// replacing repeats with content-digest references — the pre-cache wire
 	// behavior, kept for measurement baselines and bisection.
 	DisableBlockCache bool
+	// Encoding selects the wire encoding for input block payloads (the A
+	// and B blocks shipped to workers): codec.EncodingFP64 (the default,
+	// bit-exact), codec.EncodingFP32 (halves value bytes; LOSSY — inputs
+	// round to float32 on the wire, so opt in only when ~7 significant
+	// digits suffice), or codec.EncodingCompress (lossless XOR+varint).
+	// Replies always return bit-exact fp64 partials whatever the inputs
+	// used. MultiplyAuto prices the encoding's byte ratio into Eq.(4), so
+	// a cheaper encoding can change the chosen partitioning.
+	Encoding codec.Encoding
+	// BatchBytes, when positive, coalesces cuboids whose encoded block
+	// payloads are under this size into MultiplyBatch RPCs — one round trip
+	// per group instead of one per cuboid on many-tiny-cuboids plans. Items
+	// fail independently; a failed item is retried on its own. 0 disables
+	// batching.
+	BatchBytes int64
+	// MaxBatchItems caps cuboids per MultiplyBatch call (default 32).
+	MaxBatchItems int
 	// Recorder receives membership, reconnect, and heartbeat counters; a
 	// private recorder is used when nil (see Driver.NetStats).
 	Recorder *metrics.Recorder
@@ -132,6 +149,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxBackoff <= 0 {
 		o.MaxBackoff = 250 * time.Millisecond
 	}
+	if o.MaxBatchItems <= 0 {
+		o.MaxBatchItems = 32
+	}
 	return o
 }
 
@@ -168,6 +188,9 @@ func Dial(addrs []string) (*Driver, error) {
 func DialOptions(addrs []string, opts Options) (*Driver, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("distnet: no worker addresses")
+	}
+	if !opts.Encoding.Valid() {
+		return nil, fmt.Errorf("distnet: unknown wire encoding %d", opts.Encoding)
 	}
 	d := &Driver{
 		opts:   opts.withDefaults(),
@@ -377,6 +400,129 @@ func (d *Driver) runJob(args *MultiplyArgs, parent obs.Span) (*MultiplyReply, er
 	return nil, fmt.Errorf("distnet: cuboid failed after %d attempts: %w", d.opts.JobAttempts, lastErr)
 }
 
+// jobPayloadBytes is the encoded size of a cuboid request's block payloads
+// under its wire encoding — the quantity Options.BatchBytes thresholds.
+func jobPayloadBytes(args *MultiplyArgs) int64 {
+	var n int64
+	for _, list := range [2][]BlockRec{args.ABlocks, args.BBlocks} {
+		for i := range list {
+			n += codec.EncodedBytesEnc(list[i].Block, args.encoding)
+		}
+	}
+	return n
+}
+
+// runBatch ships one group of small cuboids as a single MultiplyBatch RPC,
+// retrying the whole batch across members the way runJob retries one
+// cuboid. Per-item failures in an otherwise-successful reply — and any
+// batch that exhausts its attempts — fall back to individual runJob
+// dispatch, which carries its own retries and local fallback, so batching
+// can change performance but never outcomes.
+func (d *Driver) runBatch(jobs []*MultiplyArgs, group []int, root obs.Span, commit func(int, *MultiplyReply), errs []error) {
+	bsp := d.tracer.Start(root.ID(), "rpc.multiply_batch", obs.KindRPC)
+	if bsp.Active() {
+		bsp.SetAttr("items", fmt.Sprintf("%d", len(group)))
+	}
+	defer bsp.End()
+	batch := &MultiplyBatchArgs{Items: make([]MultiplyArgs, len(group)), traceSpan: uint64(bsp.ID())}
+	for i, idx := range group {
+		batch.Items[i] = *jobs[idx]
+		batch.Items[i].traceSpan = uint64(bsp.ID())
+	}
+	backoff := d.opts.RetryBackoff
+	for attempt := 0; attempt < d.opts.JobAttempts; {
+		m, anyLive := d.acquireMember()
+		if m == nil {
+			if anyLive {
+				time.Sleep(200 * time.Microsecond)
+				continue
+			}
+			if d.reconnectAny() {
+				continue
+			}
+			break
+		}
+		if bsp.Active() {
+			bsp.SetWorker(m.addr)
+		}
+		var reply MultiplyBatchReply
+		err := d.call(m, "MultiplyBatch", batch, &reply, d.opts.CallTimeout)
+		m.release()
+		if err == nil && len(reply.Items) != len(group) {
+			err = fmt.Errorf("distnet: batch reply carried %d items for %d cuboids", len(reply.Items), len(group))
+		}
+		if err == nil {
+			d.rec.AddBatchRPC(len(group))
+			var failed []int
+			sawMiss := false
+			for i, idx := range group {
+				it := &reply.Items[i]
+				if it.Err == "" {
+					commit(idx, &MultiplyReply{CBlocks: it.CBlocks})
+					continue
+				}
+				d.rec.AddBatchItemError()
+				if it.Err == errUnknownDigestMsg {
+					d.rec.AddCacheRefMiss()
+					sawMiss = true
+				}
+				failed = append(failed, idx)
+			}
+			if sawMiss {
+				// The worker no longer holds blocks this batch referenced;
+				// the individual retries ship them inline.
+				m.tracker.forget()
+			}
+			if bsp.Active() && len(failed) > 0 {
+				bsp.SetAttr("item-errors", fmt.Sprintf("%d", len(failed)))
+			}
+			d.runBatchFallback(jobs, failed, root, commit, errs)
+			return
+		}
+		if bsp.Active() {
+			bsp.SetAttr("error", err.Error())
+		}
+		var se rpc.ServerError
+		if errors.As(err, &se) && !isTransientServerError(se) {
+			// The worker rejected the batch frame outright; individual
+			// dispatch will reproduce (and pinpoint) the failure.
+			break
+		}
+		attempt++
+		if attempt < d.opts.JobAttempts {
+			d.rec.AddCuboidRetry()
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > d.opts.MaxBackoff {
+				backoff = d.opts.MaxBackoff
+			}
+		}
+	}
+	d.runBatchFallback(jobs, group, root, commit, errs)
+}
+
+// runBatchFallback dispatches each listed cuboid on its own, with runJob's
+// full retry and local-fallback machinery. Commits are first-writer-wins by
+// construction: a cuboid reaches here only if its batch slot did not commit.
+func (d *Driver) runBatchFallback(jobs []*MultiplyArgs, idxs []int, root obs.Span, commit func(int, *MultiplyReply), errs []error) {
+	for _, idx := range idxs {
+		args := jobs[idx]
+		csp := d.tracer.Start(root.ID(), "cuboid", obs.KindDriver)
+		csp.SetCuboid(args.cuboidP, args.cuboidQ, args.cuboidR)
+		reply, err := d.runJob(args, csp)
+		if err != nil {
+			if csp.Active() {
+				csp.SetAttr("error", err.Error())
+			}
+			errs[idx] = err
+			csp.End()
+			continue
+		}
+		csp.End()
+		commit(idx, reply)
+	}
+}
+
 // isTransientServerError recognizes application-level errors that still
 // warrant reassignment — a draining worker answers RPCs but refuses work,
 // and a cache miss on a digest reference just means the blocks must be
@@ -431,6 +577,7 @@ func (d *Driver) multiply(a, b *bmat.BlockMatrix, params core.Params, ckpt *chec
 				args := &MultiplyArgs{
 					ILo: ilo, IHi: ihi, JLo: jlo, JHi: jhi, KLo: klo, KHi: khi,
 					cuboidP: p, cuboidQ: q, cuboidR: r,
+					encoding: d.opts.Encoding,
 				}
 				for i := ilo; i < ihi; i++ {
 					for k := klo; k < khi; k++ {
@@ -465,6 +612,13 @@ func (d *Driver) multiply(a, b *bmat.BlockMatrix, params core.Params, ckpt *chec
 	errs := make([]error, len(jobs))
 	var restored int
 	var wg sync.WaitGroup
+	commit := func(idx int, reply *MultiplyReply) {
+		replies[idx] = reply
+		if ckpt != nil {
+			ckpt.store(idx, reply, a.Rows, b.Cols, a.BlockSize)
+		}
+	}
+	var small []int // cuboids under BatchBytes, coalesced into batch RPCs
 	for idx, args := range jobs {
 		if ckpt != nil {
 			if reply, ok := ckpt.load(idx, a.Rows, b.Cols, a.BlockSize); ok {
@@ -472,6 +626,10 @@ func (d *Driver) multiply(a, b *bmat.BlockMatrix, params core.Params, ckpt *chec
 				restored++
 				continue
 			}
+		}
+		if d.opts.BatchBytes > 0 && jobPayloadBytes(args) < d.opts.BatchBytes {
+			small = append(small, idx)
+			continue
 		}
 		wg.Add(1)
 		d.inflight.Add(1)
@@ -489,11 +647,22 @@ func (d *Driver) multiply(a, b *bmat.BlockMatrix, params core.Params, ckpt *chec
 				errs[idx] = err
 				return
 			}
-			replies[idx] = reply
-			if ckpt != nil {
-				ckpt.store(idx, reply, a.Rows, b.Cols, a.BlockSize)
-			}
+			commit(idx, reply)
 		}(idx, args)
+	}
+	for start := 0; start < len(small); start += d.opts.MaxBatchItems {
+		end := start + d.opts.MaxBatchItems
+		if end > len(small) {
+			end = len(small)
+		}
+		group := small[start:end]
+		wg.Add(1)
+		d.inflight.Add(int64(len(group)))
+		go func(group []int) {
+			defer wg.Done()
+			defer d.inflight.Add(-int64(len(group)))
+			d.runBatch(jobs, group, root, commit, errs)
+		}(group)
 	}
 	wg.Wait()
 	if restored > 0 && root.Active() {
@@ -537,8 +706,10 @@ func (d *Driver) assignDigests(jobs []*MultiplyArgs) {
 			return dg
 		}
 		var dg *codec.Digest
-		if codec.EncodedBytes(b) >= minCacheableBytes {
-			if v, err := codec.DigestOf(b); err == nil {
+		if codec.EncodedBytesEnc(b, d.opts.Encoding) >= minCacheableBytes {
+			// The digest covers the encoded bytes, so it is taken under the
+			// job's encoding — the worker caches what the bytes decoded to.
+			if v, err := codec.DigestOfEnc(b, d.opts.Encoding); err == nil {
 				dg = &v
 			}
 		}
@@ -556,13 +727,18 @@ func (d *Driver) assignDigests(jobs []*MultiplyArgs) {
 }
 
 // MultiplyAuto optimizes (P,Q,R) for the given per-worker memory budget —
-// one cuboid per worker round at minimum — then multiplies.
+// one cuboid per worker round at minimum — then multiplies. When
+// Options.Encoding is a cheaper wire encoding, its byte ratio scales the
+// repartition terms of Eq.(4) (aggregation replies stay fp64, so that term
+// keeps full price), which can shift the chosen partitioning toward plans
+// that replicate inputs more and aggregate less.
 func (d *Driver) MultiplyAuto(a, b *bmat.BlockMatrix, workerMemBytes int64) (*bmat.BlockMatrix, core.Params, error) {
 	slots := d.Workers()
 	if slots < 1 {
 		slots = 1
 	}
-	params, err := core.Optimize(core.ShapeOf(a, b), workerMemBytes, slots)
+	wc := core.WireCost{InputRatio: d.opts.Encoding.PlanRatio(), AggRatio: 1}
+	params, err := core.OptimizeWire(core.ShapeOf(a, b), workerMemBytes, slots, wc)
 	if err != nil {
 		return nil, core.Params{}, err
 	}

@@ -1,0 +1,356 @@
+package distnet
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"net/rpc"
+	"sync"
+	"testing"
+	"testing/iotest"
+
+	"distme/internal/bmat"
+	"distme/internal/codec"
+	"distme/internal/core"
+	"distme/internal/matrix"
+)
+
+// ---------------------------------------------------------------------------
+// Opt-in block encodings over a real socket
+
+// TestEncodingCompressBitIdentical: the compressed encoding is lossless, so
+// a compressed run must produce the float64-bit-identical product of the
+// default fp64 run — it only changes bytes on the wire.
+func TestEncodingCompressBitIdentical(t *testing.T) {
+	a, b := cacheTestMatrices(8101)
+	params := core.Params{P: 2, Q: 2, R: 2}
+
+	plainAddr, _ := startCacheWorker(t, 0)
+	plain, err := DialOptions([]string{plainAddr}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	want, err := plain.Multiply(a, b, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	encAddr, _ := startCacheWorker(t, 0)
+	opts := fastOpts()
+	opts.Encoding = codec.EncodingCompress
+	enc, err := DialOptions([]string{encAddr}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enc.Close()
+	got, err := enc.Multiply(a, b, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, got, want)
+	if stats := enc.NetStats(); stats.EncodedBlocks == 0 {
+		t.Fatalf("no encoded blocks counted: %+v", stats)
+	}
+}
+
+// TestEncodingFP32OverTheWire: fp32 projects only the input payloads — the
+// workers then compute in fp64 and return bit-exact partials — so the
+// product equals the local product of the fp32-projected inputs to the
+// usual local-vs-remote tolerance, and the wire saved real bytes.
+func TestEncodingFP32OverTheWire(t *testing.T) {
+	a, b := cacheTestMatrices(8102)
+	params := core.Params{P: 2, Q: 2, R: 2}
+
+	addr, _ := startCacheWorker(t, 0)
+	opts := fastOpts()
+	opts.Encoding = codec.EncodingFP32
+	d, err := DialOptions([]string{addr}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	got, err := d.Multiply(a, b, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	proj := func(m *bmat.BlockMatrix) *matrix.Dense {
+		d := m.ToDense()
+		for i := range d.Data {
+			d.Data[i] = float64(float32(d.Data[i]))
+		}
+		return d
+	}
+	want := matrix.Mul(proj(a), proj(b)).Dense()
+	if !got.ToDense().EqualApprox(want, 1e-9) {
+		t.Fatal("fp32 product differs from fp64 compute on fp32-projected inputs")
+	}
+	stats := d.NetStats()
+	if stats.EncodedBlocks == 0 || stats.EncodedBytesSaved == 0 {
+		t.Fatalf("fp32 saved nothing: %+v", stats)
+	}
+}
+
+// TestEncodingInvalidRejected: an unknown encoding is a dial-time error,
+// not a silent fallback to lossy or lossless behavior the caller did not
+// pick.
+func TestEncodingInvalidRejected(t *testing.T) {
+	addrs, _ := startWorkers(t, 1)
+	opts := fastOpts()
+	opts.Encoding = codec.Encoding(99)
+	if _, err := DialOptions(addrs, opts); err == nil {
+		t.Fatal("unknown encoding accepted")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Batched small-multiply fast path
+
+// TestBatchedSmallMultiplies: with BatchBytes set above every cuboid's
+// payload, the whole plan rides MultiplyBatch RPCs and the product is
+// bit-identical to the unbatched run.
+func TestBatchedSmallMultiplies(t *testing.T) {
+	a, b := cacheTestMatrices(8103)
+	params := core.Params{P: 2, Q: 2, R: 2} // 8 small cuboids
+
+	plainAddr, _ := startCacheWorker(t, 0)
+	plain, err := DialOptions([]string{plainAddr}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	want, err := plain.Multiply(a, b, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addr, w := startCacheWorker(t, 0)
+	opts := fastOpts()
+	opts.BatchBytes = 1 << 20
+	opts.MaxBatchItems = 3 // force several groups out of the 8 cuboids
+	d, err := DialOptions([]string{addr}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	got, err := d.Multiply(a, b, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, got, want)
+
+	stats := d.NetStats()
+	if stats.BatchRPCs != 3 {
+		t.Errorf("BatchRPCs = %d, want 3 (8 items / cap 3)", stats.BatchRPCs)
+	}
+	if stats.BatchItems != 8 {
+		t.Errorf("BatchItems = %d, want 8", stats.BatchItems)
+	}
+	if stats.BatchItemErrors != 0 {
+		t.Errorf("BatchItemErrors = %d, want 0", stats.BatchItemErrors)
+	}
+	if w.Multiplies() != 8 {
+		t.Errorf("worker served %d cuboids, want 8", w.Multiplies())
+	}
+}
+
+// TestBatchItemErrorsRetryIndividually: a worker with its cache disabled
+// answers every digest reference with an unknown-digest item error. The
+// failures must stay per-item — counted, forgotten, and retried inline —
+// and the product must still be correct.
+func TestBatchItemErrorsRetryIndividually(t *testing.T) {
+	a, b := cacheTestMatrices(8104)
+	params := core.Params{P: 2, Q: 2, R: 2}
+
+	addr, _ := startCacheWorker(t, -1) // cache disabled: references always miss
+	opts := fastOpts()
+	opts.BatchBytes = 1 << 20
+	d, err := DialOptions([]string{addr}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// First run ships every block inline (commit-at-send) and succeeds.
+	if _, err := d.Multiply(a, b, params); err != nil {
+		t.Fatal(err)
+	}
+	// Second run sends references the worker cannot resolve; items fail
+	// individually and the per-item fallback recovers each one.
+	got, err := d.Multiply(a, b, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.Mul(a.ToDense(), b.ToDense()).Dense()
+	if !got.ToDense().EqualApprox(want, 1e-9) {
+		t.Fatal("product wrong after per-item retries")
+	}
+	stats := d.NetStats()
+	if stats.BatchItemErrors == 0 {
+		t.Fatalf("cache-miss items not counted: %+v", stats)
+	}
+	if stats.CacheRefMisses == 0 {
+		t.Fatalf("unknown-digest misses not counted: %+v", stats)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fragmented reads (satellite: robustness against dribbling sockets)
+
+// bufConn is an in-memory io.ReadWriteCloser the codecs can write frames
+// into.
+type bufConn struct{ bytes.Buffer }
+
+func (b *bufConn) Close() error { return nil }
+
+// encodeRequestFrame serializes one Multiply request exactly as the driver
+// does — including a payload large enough to take the scatter-gather
+// (writev) path — and returns the raw frame bytes.
+func encodeRequestFrame(t *testing.T) ([]byte, *MultiplyArgs) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(8105))
+	aBlk := matrix.NewDense(32, 32) // 8 KiB of values: above minZeroCopyTail
+	bBlk := matrix.NewDense(32, 32)
+	for i := range aBlk.Data {
+		aBlk.Data[i] = rng.NormFloat64()
+		bBlk.Data[i] = rng.NormFloat64()
+	}
+	args := &MultiplyArgs{
+		IHi: 1, JHi: 1, KHi: 1,
+		ABlocks: []BlockRec{{Key: bmat.BlockKey{I: 0, J: 0}, Block: aBlk}},
+		BBlocks: []BlockRec{{Key: bmat.BlockKey{I: 0, J: 0}, Block: bBlk}},
+	}
+	conn := &bufConn{}
+	cc := newClientCodec(conn, nil, nil, nil)
+	if err := cc.WriteRequest(&rpc.Request{Seq: 7, ServiceMethod: serviceName + ".Multiply"}, args); err != nil {
+		t.Fatal(err)
+	}
+	return conn.Bytes(), args
+}
+
+// TestFragmentedFrameReads drives a whole request frame through a
+// one-byte-at-a-time reader: the decode must be identical to the contiguous
+// read, and truncation at every single byte offset must fail cleanly.
+func TestFragmentedFrameReads(t *testing.T) {
+	full, args := encodeRequestFrame(t)
+
+	whole, err := readFrame(bufio.NewReader(bytes.NewReader(full)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer codec.PutBuffer(whole)
+	dribbled, err := readFrame(bufio.NewReaderSize(iotest.OneByteReader(bytes.NewReader(full)), 16))
+	if err != nil {
+		t.Fatalf("one-byte-at-a-time read failed: %v", err)
+	}
+	defer codec.PutBuffer(dribbled)
+	if !bytes.Equal(whole, dribbled) {
+		t.Fatal("fragmented read produced different frame bytes")
+	}
+
+	// The frame decodes to the request we encoded.
+	rd := wireReader{buf: dribbled}
+	seq, err := rd.uvarint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	method, err := rd.str()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 7 || method != serviceName+".Multiply" {
+		t.Fatalf("header (%d, %q)", seq, method)
+	}
+	body := dribbled[rd.off:]
+	brd := wireReader{buf: body}
+	var dec MultiplyArgs
+	if err := decodeMultiplyArgs(&brd, &dec, newBlockCache(-1), false); err != nil {
+		t.Fatal(err)
+	}
+	if brd.off != len(body) {
+		t.Fatalf("decode left %d trailing bytes", len(body)-brd.off)
+	}
+	if dec.IHi != 1 || len(dec.ABlocks) != 1 || len(dec.BBlocks) != 1 {
+		t.Fatalf("decoded args %+v", dec)
+	}
+	assertBlockBits(t, args.ABlocks[0].Block, dec.ABlocks[0].Block)
+	assertBlockBits(t, args.BBlocks[0].Block, dec.BBlocks[0].Block)
+
+	// Truncating the stream at any offset is a clean error, never a panic
+	// or a bogus success.
+	for cut := 0; cut < len(full); cut++ {
+		buf, err := readFrame(bufio.NewReaderSize(iotest.OneByteReader(bytes.NewReader(full[:cut])), 16))
+		if err == nil {
+			codec.PutBuffer(buf)
+			t.Fatalf("truncation at %d/%d bytes read a frame", cut, len(full))
+		}
+	}
+	// And truncating the decoded body at any offset fails the typed parse.
+	for cut := 0; cut < len(body); cut++ {
+		var a MultiplyArgs
+		trd := wireReader{buf: body[:cut]}
+		if err := decodeMultiplyArgs(&trd, &a, newBlockCache(-1), false); err == nil {
+			t.Fatalf("body truncated at %d/%d bytes decoded", cut, len(body))
+		}
+	}
+}
+
+func assertBlockBits(t *testing.T, want, got matrix.Block) {
+	t.Helper()
+	w, g := want.Dense(), got.Dense()
+	wr, wc := w.Dims()
+	gr, gc := g.Dims()
+	if wr != gr || wc != gc {
+		t.Fatalf("dims %dx%d != %dx%d", gr, gc, wr, wc)
+	}
+	for i := range w.Data {
+		if w.Data[i] != g.Data[i] {
+			t.Fatalf("value %d differs: %v != %v", i, g.Data[i], w.Data[i])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// sendTracker under concurrency (satellite: race coverage)
+
+// TestSendTrackerConcurrentEpochs hammers seen/forget from many goroutines
+// across epoch bumps — run under -race this pins the tracker's locking —
+// then checks the sequential semantics still hold.
+func TestSendTrackerConcurrentEpochs(t *testing.T) {
+	tr := &sendTracker{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(8106 + g)))
+			var dg codec.Digest
+			for i := 0; i < 3000; i++ {
+				rng.Read(dg[:8]) // small space: plenty of cross-goroutine hits
+				tr.seen(uint64(i/200), dg)
+				if i%311 == 0 {
+					tr.forget()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var dg codec.Digest
+	dg[0] = 0xAB
+	tr.forget()
+	if tr.seen(1, dg) {
+		t.Fatal("fresh digest reported as already sent")
+	}
+	if !tr.seen(1, dg) {
+		t.Fatal("repeat digest not deduplicated")
+	}
+	if tr.seen(2, dg) {
+		t.Fatal("epoch bump did not reset the sent set")
+	}
+	tr.forget()
+	if tr.seen(2, dg) {
+		t.Fatal("forget did not clear the sent set")
+	}
+}

@@ -44,11 +44,47 @@ type MultiplyArgs struct {
 	// to the arithmetic, so traced and untraced runs are byte-identical.
 	traceSpan                 uint64
 	cuboidP, cuboidQ, cuboidR int
+
+	// encoding steers the driver codec's encoder for this cuboid's block
+	// payloads (Options.Encoding). It never travels on the wire: the worker
+	// decodes whatever tags arrive, so mixed-encoding traffic is fine.
+	encoding codec.Encoding
+
+	// decodeErr is set worker-side by the lenient batch decode when this
+	// item's blocks could not be resolved (unknown digest); the worker
+	// reports it in the item's reply slot instead of computing.
+	decodeErr string
 }
 
 // MultiplyReply returns the cuboid's partial C blocks.
 type MultiplyReply struct {
 	CBlocks []BlockRec
+}
+
+// MultiplyBatchArgs ships many small cuboids in one RPC. The driver
+// coalesces cuboids whose encoded payloads fall under Options.BatchBytes so
+// a many-tiny-cuboids plan pays one round trip per group instead of one per
+// cuboid. Items decode leniently on the worker: an unknown digest marks
+// only its own item failed (BatchItem.Err) rather than refusing the frame.
+type MultiplyBatchArgs struct {
+	Items []MultiplyArgs
+
+	// traceSpan parents the codec's wire.send/wire.recv spans for the batch
+	// call; driver-side only, never on the wire (items carry their own).
+	traceSpan uint64
+}
+
+// BatchItem is one cuboid's slot in a batch reply: either its partial C
+// blocks or the application-level error that item alone hit.
+type BatchItem struct {
+	Err     string
+	CBlocks []BlockRec
+}
+
+// MultiplyBatchReply mirrors MultiplyBatchArgs item-for-item, so the driver
+// can commit the successes and retry exactly the failures.
+type MultiplyBatchReply struct {
+	Items []BatchItem
 }
 
 // PingArgs and PingReply implement the liveness probe.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/rpc"
 	"sync"
 	"time"
@@ -18,13 +19,16 @@ import (
 )
 
 // The custom net/rpc codec pair that replaces gob on the driver↔worker
-// sockets. One message is one length-prefixed frame built in a pooled
-// buffer and written with a single conn.Write; block payloads inside the
-// frame use internal/codec's binary forms (bulk float conversion, compact
-// sparse layouts) instead of gob's per-element reflection. The framing is
-// parsed entirely from the buffered frame, so a body that fails to decode
-// never desynchronizes the stream — net/rpc turns it into an error response
-// and keeps serving, which is exactly what the block cache's unknown-digest
+// sockets. One message is one length-prefixed frame assembled scatter-gather
+// style: header and structural bytes accumulate in a pooled arena while
+// large block-value payloads stay in the blocks' own storage and are shipped
+// as extra net.Buffers segments — no per-block copy into a contiguous
+// buffer. Block payloads use internal/codec's binary forms (bulk float
+// conversion, compact sparse layouts, opt-in fp32/compressed encodings)
+// instead of gob's per-element reflection. The framing is parsed entirely
+// from the buffered frame, so a body that fails to decode never
+// desynchronizes the stream — net/rpc turns it into an error response and
+// keeps serving, which is exactly what the block cache's unknown-digest
 // recovery relies on.
 
 // errUnknownDigestMsg is the application-level error a worker answers with
@@ -47,14 +51,100 @@ const (
 // 32-byte digest plus tracking buys nothing under this size.
 const minCacheableBytes = 256
 
+// minZeroCopyTail is the smallest value payload worth a separate writev
+// segment; below it the extra Write call costs more than the copy it saves,
+// so small tails are folded into the arena.
+const minZeroCopyTail = 4096
+
 // maxWireFrame bounds one frame; anything larger is a corrupt length.
 const maxWireFrame = int64(1) << 38
 
-// writeFrameBuf finalizes a frame built in buf (whose first 4 bytes were
-// reserved) and writes it with one conn.Write.
-func writeFrameBuf(w io.Writer, buf []byte) error {
-	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
-	_, err := w.Write(buf)
+// frameWriter assembles one length-prefixed frame as a pooled arena of
+// header and structural bytes plus zero-copy cuts into block value storage.
+// flush ships the segments with net.Buffers, patching the 4-byte length
+// prefix first; a frame with no cuts goes out with the same single Write
+// the copying path used, so byte streams are identical either way.
+type frameWriter struct {
+	arena []byte // pooled; begins with the 4-byte length placeholder
+	cuts  []frameCut
+}
+
+// frameCut splices a zero-copy segment into the frame: arena bytes up to
+// arenaEnd precede ext.
+type frameCut struct {
+	arenaEnd int
+	ext      []byte
+}
+
+func beginFrame() frameWriter {
+	return frameWriter{arena: append(codec.GetBuffer(), 0, 0, 0, 0)}
+}
+
+func (w *frameWriter) release() { codec.PutBuffer(w.arena) }
+
+func (w *frameWriter) uvarint(v uint64) { w.arena = binary.AppendUvarint(w.arena, v) }
+
+func (w *frameWriter) str(s string) { w.arena = appendString(w.arena, s) }
+
+func (w *frameWriter) bytes(p []byte) { w.arena = append(w.arena, p...) }
+
+func (w *frameWriter) byte1(b byte) { w.arena = append(w.arena, b) }
+
+// size is the frame length the prefix will carry: every byte after the
+// 4-byte placeholder, including the zero-copy segments.
+func (w *frameWriter) size() int64 {
+	n := int64(len(w.arena) - 4)
+	for _, c := range w.cuts {
+		n += int64(len(c.ext))
+	}
+	return n
+}
+
+// appendInlineBlock emits tag, u32 payload length, payload — keeping large
+// raw-value tails as zero-copy cuts instead of copying them into the arena.
+func (w *frameWriter) appendInlineBlock(b matrix.Block, enc codec.Encoding) error {
+	tagPos := len(w.arena)
+	w.arena = append(w.arena, 0, 0, 0, 0, 0) // tag + length placeholder
+	out, tag, tail, err := codec.AppendWireSG(w.arena, b, enc)
+	if err != nil {
+		w.arena = w.arena[:tagPos]
+		return err
+	}
+	w.arena = out
+	if len(tail) > 0 && len(tail) < minZeroCopyTail {
+		w.arena = append(w.arena, tail...)
+		tail = nil
+	}
+	w.arena[tagPos] = tag
+	binary.LittleEndian.PutUint32(w.arena[tagPos+1:], uint32(len(w.arena)-tagPos-5+len(tail)))
+	if len(tail) > 0 {
+		w.cuts = append(w.cuts, frameCut{arenaEnd: len(w.arena), ext: tail})
+	}
+	return nil
+}
+
+// flush patches the length prefix and writes the frame. Zero-copy segments
+// alias block storage, so the blocks must stay live until flush returns —
+// both codecs hold their bodies across the write, which guarantees that.
+func (w *frameWriter) flush(conn io.Writer) error {
+	binary.LittleEndian.PutUint32(w.arena[:4], uint32(w.size()))
+	if len(w.cuts) == 0 {
+		_, err := conn.Write(w.arena)
+		return err
+	}
+	bufs := make(net.Buffers, 0, 2*len(w.cuts)+1)
+	prev := 0
+	for _, c := range w.cuts {
+		if c.arenaEnd > prev {
+			bufs = append(bufs, w.arena[prev:c.arenaEnd])
+		}
+		bufs = append(bufs, c.ext)
+		prev = c.arenaEnd
+	}
+	if prev < len(w.arena) {
+		bufs = append(bufs, w.arena[prev:])
+	}
+	_, err := bufs.WriteTo(conn)
 	return err
 }
 
@@ -214,15 +304,21 @@ func newClientCodec(conn io.ReadWriteCloser, rec *metrics.Recorder, tracker *sen
 
 func (c *clientCodec) WriteRequest(r *rpc.Request, body any) error {
 	start := time.Now()
-	buf := codec.GetBuffer()
-	defer func() { codec.PutBuffer(buf) }()
-	buf = append(buf, 0, 0, 0, 0)
-	buf = binary.AppendUvarint(buf, r.Seq)
-	buf = appendString(buf, r.ServiceMethod)
+	w := beginFrame()
+	defer w.release()
+	w.uvarint(r.Seq)
+	w.str(r.ServiceMethod)
 	var err error
+	parent := obs.SpanID(0)
+	tp, tq, tr := -1, -1, -1
 	switch v := body.(type) {
 	case *MultiplyArgs:
-		buf, err = c.appendMultiplyArgs(buf, v)
+		err = c.appendMultiplyArgs(&w, v)
+		parent = obs.SpanID(v.traceSpan)
+		tp, tq, tr = v.cuboidP, v.cuboidQ, v.cuboidR
+	case *MultiplyBatchArgs:
+		err = c.appendMultiplyBatchArgs(&w, v)
+		parent = obs.SpanID(v.traceSpan)
 	case *PingArgs:
 		// no body
 	default:
@@ -231,56 +327,63 @@ func (c *clientCodec) WriteRequest(r *rpc.Request, body any) error {
 	if err != nil {
 		return err
 	}
+	n := w.size()
 	if c.rec != nil {
-		c.rec.AddWireEncode(int64(len(buf)-4), time.Since(start))
+		c.rec.AddWireEncode(n, time.Since(start))
 	}
-	if c.tracer.Enabled() {
-		if a, ok := body.(*MultiplyArgs); ok && a.traceSpan != 0 {
-			parent := obs.SpanID(a.traceSpan)
-			c.pmu.Lock()
-			if c.pending == nil {
-				c.pending = map[uint64]obs.SpanID{}
-			}
-			c.pending[r.Seq] = parent
-			c.pmu.Unlock()
-			c.tracer.AddCompleted(obs.SpanData{
-				Parent: parent, Name: "wire.send", Kind: obs.KindRPC,
-				P: a.cuboidP, Q: a.cuboidQ, R: a.cuboidR,
-				Start: start, End: time.Now(), Bytes: int64(len(buf) - 4),
-			})
+	if c.tracer.Enabled() && parent != 0 {
+		c.pmu.Lock()
+		if c.pending == nil {
+			c.pending = map[uint64]obs.SpanID{}
+		}
+		c.pending[r.Seq] = parent
+		c.pmu.Unlock()
+		c.tracer.AddCompleted(obs.SpanData{
+			Parent: parent, Name: "wire.send", Kind: obs.KindRPC,
+			P: tp, Q: tq, R: tr,
+			Start: start, End: time.Now(), Bytes: n,
+		})
+	}
+	return w.flush(c.conn)
+}
+
+func (c *clientCodec) appendMultiplyArgs(w *frameWriter, a *MultiplyArgs) error {
+	for _, v := range [6]int{a.ILo, a.IHi, a.JLo, a.JHi, a.KLo, a.KHi} {
+		w.uvarint(uint64(v))
+	}
+	w.uvarint(a.cacheEpoch)
+	w.uvarint(a.traceSpan)
+	for _, v := range [3]int{a.cuboidP, a.cuboidQ, a.cuboidR} {
+		w.uvarint(uint64(v))
+	}
+	if err := c.appendBlockRecs(w, a.ABlocks, a.cacheEpoch, a.encoding); err != nil {
+		return err
+	}
+	return c.appendBlockRecs(w, a.BBlocks, a.cacheEpoch, a.encoding)
+}
+
+func (c *clientCodec) appendMultiplyBatchArgs(w *frameWriter, a *MultiplyBatchArgs) error {
+	w.uvarint(uint64(len(a.Items)))
+	for i := range a.Items {
+		if err := c.appendMultiplyArgs(w, &a.Items[i]); err != nil {
+			return err
 		}
 	}
-	return writeFrameBuf(c.conn, buf)
+	return nil
 }
 
-func (c *clientCodec) appendMultiplyArgs(buf []byte, a *MultiplyArgs) ([]byte, error) {
-	for _, v := range [6]int{a.ILo, a.IHi, a.JLo, a.JHi, a.KLo, a.KHi} {
-		buf = binary.AppendUvarint(buf, uint64(v))
-	}
-	buf = binary.AppendUvarint(buf, a.cacheEpoch)
-	buf = binary.AppendUvarint(buf, a.traceSpan)
-	for _, v := range [3]int{a.cuboidP, a.cuboidQ, a.cuboidR} {
-		buf = binary.AppendUvarint(buf, uint64(v))
-	}
-	var err error
-	if buf, err = c.appendBlockRecs(buf, a.ABlocks, a.cacheEpoch); err != nil {
-		return nil, err
-	}
-	return c.appendBlockRecs(buf, a.BBlocks, a.cacheEpoch)
-}
-
-func (c *clientCodec) appendBlockRecs(buf []byte, recs []BlockRec, epoch uint64) ([]byte, error) {
-	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+func (c *clientCodec) appendBlockRecs(w *frameWriter, recs []BlockRec, epoch uint64, enc codec.Encoding) error {
+	w.uvarint(uint64(len(recs)))
 	for i := range recs {
 		rec := &recs[i]
-		buf = binary.AppendUvarint(buf, uint64(rec.Key.I))
-		buf = binary.AppendUvarint(buf, uint64(rec.Key.J))
+		w.uvarint(uint64(rec.Key.I))
+		w.uvarint(uint64(rec.Key.J))
 		if rec.digest != nil && c.tracker != nil {
 			if c.tracker.seen(epoch, *rec.digest) {
-				buf = append(buf, blockRef)
-				buf = append(buf, rec.digest[:]...)
+				w.byte1(blockRef)
+				w.bytes(rec.digest[:])
 				if c.rec != nil {
-					saved := codec.EncodedBytes(rec.Block) - int64(len(rec.digest))
+					saved := codec.EncodedBytesEnc(rec.Block, enc) - int64(len(rec.digest))
 					if saved < 0 {
 						saved = 0
 					}
@@ -288,32 +391,23 @@ func (c *clientCodec) appendBlockRecs(buf []byte, recs []BlockRec, epoch uint64)
 				}
 				continue
 			}
-			buf = append(buf, blockInlineCache)
-			buf = append(buf, rec.digest[:]...)
+			w.byte1(blockInlineCache)
+			w.bytes(rec.digest[:])
 		} else {
-			buf = append(buf, blockInline)
+			w.byte1(blockInline)
 		}
-		var err error
-		if buf, err = appendInlineBlock(buf, rec.Block); err != nil {
-			return nil, err
+		if err := w.appendInlineBlock(rec.Block, enc); err != nil {
+			return err
+		}
+		if enc != codec.EncodingFP64 && c.rec != nil {
+			saved := codec.EncodedBytes(rec.Block) - codec.EncodedBytesEnc(rec.Block, enc)
+			if saved < 0 {
+				saved = 0
+			}
+			c.rec.AddEncodedBlock(saved)
 		}
 	}
-	return buf, nil
-}
-
-// appendInlineBlock emits tag, u32 payload length, payload.
-func appendInlineBlock(buf []byte, b matrix.Block) ([]byte, error) {
-	tagPos := len(buf)
-	buf = append(buf, 0, 0, 0, 0, 0) // tag + length placeholder
-	var tag uint8
-	var err error
-	buf, tag, err = codec.AppendWire(buf, b)
-	if err != nil {
-		return nil, err
-	}
-	buf[tagPos] = tag
-	binary.LittleEndian.PutUint32(buf[tagPos+1:], uint32(len(buf)-tagPos-5))
-	return buf, nil
+	return nil
 }
 
 func (c *clientCodec) ReadResponseHeader(r *rpc.Response) error {
@@ -358,6 +452,8 @@ func (c *clientCodec) ReadResponseBody(body any) error {
 	switch v := body.(type) {
 	case *MultiplyReply:
 		err = decodeMultiplyReply(&rd, v)
+	case *MultiplyBatchReply:
+		err = decodeMultiplyBatchReply(&rd, v)
 	case *PingReply:
 		v.Hostname, err = rd.str()
 	default:
@@ -424,7 +520,9 @@ func (s *serverCodec) ReadRequestHeader(r *rpc.Request) error {
 // ReadRequestBody decodes the typed body from the already-buffered frame.
 // Returning an error here is safe: the frame was fully consumed, so net/rpc
 // sends the error string back as this call's response and keeps reading —
-// the unknown-digest refusal takes exactly that path.
+// the unknown-digest refusal takes exactly that path. Batch bodies decode
+// leniently instead: an unknown digest marks only its item failed, so one
+// cold cache entry cannot poison the neighbors.
 func (s *serverCodec) ReadRequestBody(body any) error {
 	defer func() {
 		codec.PutBuffer(s.req)
@@ -437,7 +535,7 @@ func (s *serverCodec) ReadRequestBody(body any) error {
 	switch v := body.(type) {
 	case *MultiplyArgs:
 		start := time.Now()
-		err := decodeMultiplyArgs(&rd, v, s.cache)
+		err := decodeMultiplyArgs(&rd, v, s.cache, false)
 		if err == nil && s.tracer.Enabled() && v.traceSpan != 0 {
 			s.tracer.AddCompleted(obs.SpanData{
 				Parent: obs.SpanID(v.traceSpan), Name: "wire.decode", Kind: obs.KindWorker,
@@ -446,6 +544,8 @@ func (s *serverCodec) ReadRequestBody(body any) error {
 			})
 		}
 		return err
+	case *MultiplyBatchArgs:
+		return decodeMultiplyBatchArgs(&rd, v, s.cache)
 	case *PingArgs:
 		return nil
 	default:
@@ -454,19 +554,20 @@ func (s *serverCodec) ReadRequestBody(body any) error {
 }
 
 func (s *serverCodec) WriteResponse(r *rpc.Response, body any) error {
-	buf := codec.GetBuffer()
-	defer func() { codec.PutBuffer(buf) }()
-	buf = append(buf, 0, 0, 0, 0)
-	buf = binary.AppendUvarint(buf, r.Seq)
-	buf = appendString(buf, r.ServiceMethod)
-	buf = appendString(buf, r.Error)
+	w := beginFrame()
+	defer w.release()
+	w.uvarint(r.Seq)
+	w.str(r.ServiceMethod)
+	w.str(r.Error)
 	if r.Error == "" {
 		var err error
 		switch v := body.(type) {
 		case *MultiplyReply:
-			buf, err = appendMultiplyReply(buf, v)
+			err = appendMultiplyReply(&w, v)
+		case *MultiplyBatchReply:
+			err = appendMultiplyBatchReply(&w, v)
 		case *PingReply:
-			buf = appendString(buf, v.Hostname)
+			w.str(v.Hostname)
 		default:
 			err = fmt.Errorf("distnet: unsupported response body %T", body)
 		}
@@ -476,7 +577,7 @@ func (s *serverCodec) WriteResponse(r *rpc.Response, body any) error {
 	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	return writeFrameBuf(s.conn, buf)
+	return w.flush(s.conn)
 }
 
 func (s *serverCodec) Close() error { return s.conn.Close() }
@@ -484,7 +585,12 @@ func (s *serverCodec) Close() error { return s.conn.Close() }
 // ---------------------------------------------------------------------------
 // Typed body layouts (shared by both directions)
 
-func decodeMultiplyArgs(rd *wireReader, a *MultiplyArgs, cache *blockCache) error {
+// decodeMultiplyArgs parses one cuboid body. In lenient mode an
+// unknown-digest reference does not abort the parse: the record keeps a nil
+// block, a.decodeErr records the refusal, and the cursor moves on — batch
+// framing stays intact around a failed item. Structural corruption is a
+// hard error in both modes.
+func decodeMultiplyArgs(rd *wireReader, a *MultiplyArgs, cache *blockCache, lenient bool) error {
 	for _, p := range [6]*int{&a.ILo, &a.IHi, &a.JLo, &a.JHi, &a.KLo, &a.KHi} {
 		v, err := rd.uvarint()
 		if err != nil {
@@ -507,68 +613,99 @@ func decodeMultiplyArgs(rd *wireReader, a *MultiplyArgs, cache *blockCache) erro
 		}
 		*p = int(v)
 	}
-	if a.ABlocks, err = decodeBlockRecs(rd, cache, epoch); err != nil {
+	var miss string
+	if a.ABlocks, miss, err = decodeBlockRecs(rd, cache, epoch, lenient); err != nil {
 		return err
 	}
-	a.BBlocks, err = decodeBlockRecs(rd, cache, epoch)
-	return err
+	if miss != "" {
+		a.decodeErr = miss
+	}
+	if a.BBlocks, miss, err = decodeBlockRecs(rd, cache, epoch, lenient); err != nil {
+		return err
+	}
+	if miss != "" {
+		a.decodeErr = miss
+	}
+	return nil
 }
 
-func decodeBlockRecs(rd *wireReader, cache *blockCache, epoch uint64) ([]BlockRec, error) {
+func decodeMultiplyBatchArgs(rd *wireReader, a *MultiplyBatchArgs, cache *blockCache) error {
 	n, err := rd.uvarint()
 	if err != nil {
-		return nil, err
+		return err
+	}
+	if n > uint64(len(rd.buf)-rd.off) {
+		return fmt.Errorf("%w: %d batch items in %d bytes", errWire, n, len(rd.buf)-rd.off)
+	}
+	a.Items = make([]MultiplyArgs, n)
+	for i := range a.Items {
+		if err := decodeMultiplyArgs(rd, &a.Items[i], cache, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeBlockRecs(rd *wireReader, cache *blockCache, epoch uint64, lenient bool) ([]BlockRec, string, error) {
+	n, err := rd.uvarint()
+	if err != nil {
+		return nil, "", err
 	}
 	// Each record needs at least key + flag bytes; a count beyond the
 	// remaining frame is a forgery, rejected before the allocation.
 	if n > uint64(len(rd.buf)-rd.off) {
-		return nil, fmt.Errorf("%w: %d block records in %d bytes", errWire, n, len(rd.buf)-rd.off)
+		return nil, "", fmt.Errorf("%w: %d block records in %d bytes", errWire, n, len(rd.buf)-rd.off)
 	}
+	miss := ""
 	recs := make([]BlockRec, 0, n)
 	for i := uint64(0); i < n; i++ {
 		ki, err1 := rd.uvarint()
 		kj, err2 := rd.uvarint()
 		flag, err3 := rd.u8()
 		if err1 != nil || err2 != nil || err3 != nil {
-			return nil, fmt.Errorf("%w: block record header", errWire)
+			return nil, "", fmt.Errorf("%w: block record header", errWire)
 		}
 		rec := BlockRec{Key: bmat.BlockKey{I: int(ki), J: int(kj)}}
 		switch flag {
 		case blockRef:
 			raw, err := rd.take(len(codec.Digest{}))
 			if err != nil {
-				return nil, err
+				return nil, "", err
 			}
 			var dg codec.Digest
 			copy(dg[:], raw)
 			blk, ok := cache.lookup(epoch, dg)
 			if !ok {
-				return nil, errors.New(errUnknownDigestMsg)
+				if !lenient {
+					return nil, "", errors.New(errUnknownDigestMsg)
+				}
+				miss = errUnknownDigestMsg
+			} else {
+				rec.Block = blk
 			}
-			rec.Block = blk
 		case blockInline, blockInlineCache:
 			var dg codec.Digest
 			if flag == blockInlineCache {
 				raw, err := rd.take(len(dg))
 				if err != nil {
-					return nil, err
+					return nil, "", err
 				}
 				copy(dg[:], raw)
 			}
 			blk, weight, err := decodeInlineBlock(rd)
 			if err != nil {
-				return nil, err
+				return nil, "", err
 			}
 			if flag == blockInlineCache {
 				cache.insert(epoch, dg, blk, weight)
 			}
 			rec.Block = blk
 		default:
-			return nil, fmt.Errorf("%w: unknown block flag %d", errWire, flag)
+			return nil, "", fmt.Errorf("%w: unknown block flag %d", errWire, flag)
 		}
 		recs = append(recs, rec)
 	}
-	return recs, nil
+	return recs, miss, nil
 }
 
 func decodeInlineBlock(rd *wireReader) (matrix.Block, int64, error) {
@@ -591,18 +728,19 @@ func decodeInlineBlock(rd *wireReader) (matrix.Block, int64, error) {
 	return blk, int64(n), nil
 }
 
-func appendMultiplyReply(buf []byte, r *MultiplyReply) ([]byte, error) {
-	buf = binary.AppendUvarint(buf, uint64(len(r.CBlocks)))
-	var err error
+func appendMultiplyReply(w *frameWriter, r *MultiplyReply) error {
+	w.uvarint(uint64(len(r.CBlocks)))
 	for i := range r.CBlocks {
 		rec := &r.CBlocks[i]
-		buf = binary.AppendUvarint(buf, uint64(rec.Key.I))
-		buf = binary.AppendUvarint(buf, uint64(rec.Key.J))
-		if buf, err = appendInlineBlock(buf, rec.Block); err != nil {
-			return nil, err
+		w.uvarint(uint64(rec.Key.I))
+		w.uvarint(uint64(rec.Key.J))
+		// C partials always travel as the bit-exact default encoding,
+		// whatever encoding the inputs used.
+		if err := w.appendInlineBlock(rec.Block, codec.EncodingFP64); err != nil {
+			return err
 		}
 	}
-	return buf, nil
+	return nil
 }
 
 func decodeMultiplyReply(rd *wireReader, r *MultiplyReply) error {
@@ -625,6 +763,49 @@ func decodeMultiplyReply(rd *wireReader, r *MultiplyReply) error {
 			return err
 		}
 		r.CBlocks = append(r.CBlocks, BlockRec{Key: bmat.BlockKey{I: int(ki), J: int(kj)}, Block: blk})
+	}
+	return nil
+}
+
+func appendMultiplyBatchReply(w *frameWriter, r *MultiplyBatchReply) error {
+	w.uvarint(uint64(len(r.Items)))
+	for i := range r.Items {
+		it := &r.Items[i]
+		w.str(it.Err)
+		if it.Err != "" {
+			continue
+		}
+		rep := MultiplyReply{CBlocks: it.CBlocks}
+		if err := appendMultiplyReply(w, &rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeMultiplyBatchReply(rd *wireReader, r *MultiplyBatchReply) error {
+	n, err := rd.uvarint()
+	if err != nil {
+		return err
+	}
+	if n > uint64(len(rd.buf)-rd.off) {
+		return fmt.Errorf("%w: %d batch replies in %d bytes", errWire, n, len(rd.buf)-rd.off)
+	}
+	r.Items = make([]BatchItem, n)
+	for i := range r.Items {
+		e, err := rd.str()
+		if err != nil {
+			return err
+		}
+		r.Items[i].Err = e
+		if e != "" {
+			continue
+		}
+		var rep MultiplyReply
+		if err := decodeMultiplyReply(rd, &rep); err != nil {
+			return err
+		}
+		r.Items[i].CBlocks = rep.CBlocks
 	}
 	return nil
 }

@@ -138,6 +138,50 @@ func (w *Worker) Multiply(args *MultiplyArgs, reply *MultiplyReply) error {
 	return nil
 }
 
+// MultiplyBatch computes many small cuboids in one RPC. Items fail
+// independently: a per-item error — an unknown-digest decode miss or a
+// malformed box — lands in that item's reply slot while the rest of the
+// batch computes normally, so the driver retries exactly the failures.
+func (w *Worker) MultiplyBatch(args *MultiplyBatchArgs, reply *MultiplyBatchReply) error {
+	if !w.beginRPC() {
+		return errors.New(errWorkerDrainingMsg)
+	}
+	defer w.endRPC()
+	reply.Items = make([]BatchItem, len(args.Items))
+	served := 0
+	for i := range args.Items {
+		item := &args.Items[i]
+		if item.decodeErr != "" {
+			reply.Items[i].Err = item.decodeErr
+			continue
+		}
+		sp := w.tracer.Start(obs.SpanID(item.traceSpan), "worker.compute", obs.KindWorker)
+		if sp.Active() {
+			sp.SetCuboid(item.cuboidP, item.cuboidQ, item.cuboidR)
+			sp.SetAttr("a-blocks", fmt.Sprintf("%d", len(item.ABlocks)))
+			sp.SetAttr("b-blocks", fmt.Sprintf("%d", len(item.BBlocks)))
+		}
+		var rep MultiplyReply
+		if err := computeCuboid(item, &rep); err != nil {
+			if sp.Active() {
+				sp.SetAttr("error", err.Error())
+			}
+			reply.Items[i].Err = err.Error()
+		} else {
+			if sp.Active() {
+				sp.SetAttr("c-blocks", fmt.Sprintf("%d", len(rep.CBlocks)))
+			}
+			reply.Items[i].CBlocks = rep.CBlocks
+			served++
+		}
+		sp.End()
+	}
+	w.mu.Lock()
+	w.multiplies += served
+	w.mu.Unlock()
+	return nil
+}
+
 // Ping answers the liveness probe. A draining worker refuses it, so the
 // driver's failure detector retires the worker before its sockets vanish.
 func (w *Worker) Ping(_ *PingArgs, reply *PingReply) error {

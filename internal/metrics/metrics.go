@@ -134,6 +134,19 @@ type NetStats struct {
 	CacheRefsSent   int64 `json:"cache_refs_sent"`
 	CacheRefMisses  int64 `json:"cache_ref_misses"`
 	CacheBytesSaved int64 `json:"cache_bytes_saved"`
+	// EncodedBlocks counts input blocks shipped under an opt-in wire
+	// encoding (fp32 or compressed); EncodedBytesSaved accumulates the
+	// difference between their raw fp64 plans and the bytes actually framed.
+	// Both stay zero under the default bit-exact encoding.
+	EncodedBlocks     int64 `json:"encoded_blocks"`
+	EncodedBytesSaved int64 `json:"encoded_bytes_saved"`
+	// BatchRPCs counts MultiplyBatch calls issued by the small-cuboid
+	// coalescer; BatchItems is the total cuboids they carried;
+	// BatchItemErrors counts per-item failures inside otherwise-successful
+	// batches (each is retried individually).
+	BatchRPCs       int64 `json:"batch_rpcs"`
+	BatchItems      int64 `json:"batch_items"`
+	BatchItemErrors int64 `json:"batch_item_errors"`
 }
 
 // HeartbeatRTTAvg is the mean heartbeat round-trip time.
@@ -167,18 +180,25 @@ func (n NetStats) Sub(o NetStats) NetStats {
 		CacheRefsSent:       n.CacheRefsSent - o.CacheRefsSent,
 		CacheRefMisses:      n.CacheRefMisses - o.CacheRefMisses,
 		CacheBytesSaved:     n.CacheBytesSaved - o.CacheBytesSaved,
+		EncodedBlocks:       n.EncodedBlocks - o.EncodedBlocks,
+		EncodedBytesSaved:   n.EncodedBytesSaved - o.EncodedBytesSaved,
+		BatchRPCs:           n.BatchRPCs - o.BatchRPCs,
+		BatchItems:          n.BatchItems - o.BatchItems,
+		BatchItemErrors:     n.BatchItemErrors - o.BatchItemErrors,
 	}
 }
 
 // String renders the network-elasticity counters compactly.
 func (n NetStats) String() string {
-	return fmt.Sprintf("heartbeats=%d/%d rtt(avg=%v max=%v) reconnects=%d churn=+%d/-%d dead=%d timeouts=%d retries=%d local=%d wire(enc=%s dec=%s) cache(refs=%d misses=%d saved=%s)",
+	return fmt.Sprintf("heartbeats=%d/%d rtt(avg=%v max=%v) reconnects=%d churn=+%d/-%d dead=%d timeouts=%d retries=%d local=%d wire(enc=%s dec=%s) cache(refs=%d misses=%d saved=%s) encoding(blocks=%d saved=%s) batch(rpcs=%d items=%d errs=%d)",
 		n.HeartbeatsSent-n.HeartbeatMisses, n.HeartbeatsSent,
 		n.HeartbeatRTTAvg(), n.HeartbeatRTTMax,
 		n.Reconnects, n.WorkersJoined, n.WorkersLeft, n.WorkersDeclaredDead,
 		n.DeadlineTimeouts, n.CuboidRetries, n.LocalFallbacks,
 		FormatBytes(n.WireEncodeBytes), FormatBytes(n.WireDecodeBytes),
-		n.CacheRefsSent, n.CacheRefMisses, FormatBytes(n.CacheBytesSaved))
+		n.CacheRefsSent, n.CacheRefMisses, FormatBytes(n.CacheBytesSaved),
+		n.EncodedBlocks, FormatBytes(n.EncodedBytesSaved),
+		n.BatchRPCs, n.BatchItems, n.BatchItemErrors)
 }
 
 // Recorder accumulates per-step bytes and durations for one job. The zero
@@ -214,6 +234,12 @@ type Recorder struct {
 	cacheRefsSent   atomic.Int64
 	cacheRefMisses  atomic.Int64
 	cacheBytesSaved atomic.Int64
+
+	encodedBlocks     atomic.Int64
+	encodedBytesSaved atomic.Int64
+	batchRPCs         atomic.Int64
+	batchItems        atomic.Int64
+	batchItemErrors   atomic.Int64
 
 	mu     sync.Mutex
 	spills int64 // bytes written to disk (E.D.C. accounting)
@@ -282,6 +308,23 @@ func (r *Recorder) AddCacheRefSent(saved int64) {
 // resend.
 func (r *Recorder) AddCacheRefMiss() { r.cacheRefMisses.Add(1) }
 
+// AddEncodedBlock records one input block framed under an opt-in wire
+// encoding; saved is rawPlan − encodedPlan bytes (never negative: the
+// compressed encodings fall back to raw per block).
+func (r *Recorder) AddEncodedBlock(saved int64) {
+	r.encodedBlocks.Add(1)
+	r.encodedBytesSaved.Add(saved)
+}
+
+// AddBatchRPC records one MultiplyBatch call carrying items cuboids.
+func (r *Recorder) AddBatchRPC(items int) {
+	r.batchRPCs.Add(1)
+	r.batchItems.Add(int64(items))
+}
+
+// AddBatchItemError records one per-item failure inside a batch reply.
+func (r *Recorder) AddBatchItemError() { r.batchItemErrors.Add(1) }
+
 // Net returns the current real-network elasticity counters.
 func (r *Recorder) Net() NetStats {
 	return NetStats{
@@ -304,6 +347,11 @@ func (r *Recorder) Net() NetStats {
 		CacheRefsSent:       r.cacheRefsSent.Load(),
 		CacheRefMisses:      r.cacheRefMisses.Load(),
 		CacheBytesSaved:     r.cacheBytesSaved.Load(),
+		EncodedBlocks:       r.encodedBlocks.Load(),
+		EncodedBytesSaved:   r.encodedBytesSaved.Load(),
+		BatchRPCs:           r.batchRPCs.Load(),
+		BatchItems:          r.batchItems.Load(),
+		BatchItemErrors:     r.batchItemErrors.Load(),
 	}
 }
 
@@ -403,6 +451,11 @@ func (r *Recorder) Reset() {
 	r.cacheRefsSent.Store(0)
 	r.cacheRefMisses.Store(0)
 	r.cacheBytesSaved.Store(0)
+	r.encodedBlocks.Store(0)
+	r.encodedBytesSaved.Store(0)
+	r.batchRPCs.Store(0)
+	r.batchItems.Store(0)
+	r.batchItemErrors.Store(0)
 	r.mu.Lock()
 	r.spills = 0
 	r.mu.Unlock()

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"os"
@@ -58,16 +59,57 @@ type CacheResult struct {
 	BytesSaved    int64  `json:"cache_bytes_saved"`
 }
 
+// WritevResult compares frame assembly with a payload copy (append the
+// value bytes into the contiguous frame buffer, the pre-scatter-gather
+// wire) against the scatter-gather assembly the codecs now use (structural
+// prefix only; the value bytes ride as a zero-copy segment).
+type WritevResult struct {
+	Name    string  `json:"name"`
+	Bytes   int     `json:"frame_bytes"`
+	CopyUs  float64 `json:"copy_assemble_us_per_op"`
+	SGUs    float64 `json:"sg_assemble_us_per_op"`
+	Speedup float64 `json:"assemble_speedup"`
+}
+
+// EncodingResult reports one opt-in encoding on one block: the byte ratio
+// versus the fp64 wire form plus encode/decode timings. Every decode is
+// verified before timing — bit-exact for the lossless compressor, exact
+// float32 projection for fp32.
+type EncodingResult struct {
+	Name     string  `json:"name"`
+	Encoding string  `json:"encoding"`
+	RawBytes int     `json:"fp64_bytes"`
+	EncBytes int     `json:"encoded_bytes"`
+	Ratio    float64 `json:"byte_ratio"`
+	EncUs    float64 `json:"encode_us_per_op"`
+	DecUs    float64 `json:"decode_us_per_op"`
+}
+
+// BatchResult is the many-tiny-cuboids comparison: the same plan over the
+// same loopback worker, one RPC per cuboid versus MultiplyBatch groups,
+// with bit-identical products required before any number is reported.
+type BatchResult struct {
+	Params      string  `json:"params"`
+	Items       int64   `json:"items"`
+	UnbatchedMs float64 `json:"unbatched_ms"`
+	BatchedMs   float64 `json:"batched_ms"`
+	BatchRPCs   int64   `json:"batch_rpcs"`
+	ThroughputX float64 `json:"throughput_speedup"`
+}
+
 // Report is the full wire benchmark run.
 type Report struct {
-	Date       string        `json:"date"`
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	NumCPU     int           `json:"num_cpu"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Codec      []CodecResult `json:"codec"`
-	Cache      CacheResult   `json:"cache"`
+	Date       string           `json:"date"`
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	NumCPU     int              `json:"num_cpu"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Codec      []CodecResult    `json:"codec"`
+	Cache      CacheResult      `json:"cache"`
+	Writev     []WritevResult   `json:"writev"`
+	Encodings  []EncodingResult `json:"encodings"`
+	Batch      BatchResult      `json:"batch"`
 }
 
 // benchBlocks is the shape menagerie: the dense entries are the ones the
@@ -321,6 +363,241 @@ func cacheResult() (CacheResult, error) {
 	return res, nil
 }
 
+// writevResults benchmarks frame assembly on large dense blocks: the
+// contiguous build (structural prefix plus a copy of the value bytes, what
+// every send paid before scatter-gather framing) against the scatter-gather
+// build (structural prefix only; the raw fp64 value bytes ride to writev as
+// a zero-copy segment). Both assemblies are first verified to describe the
+// identical wire bytes.
+func writevResults() ([]WritevResult, error) {
+	rng := rand.New(rand.NewSource(8082))
+	dense := func(n int) *matrix.Dense {
+		d := matrix.NewDense(n, n)
+		for i := range d.Data {
+			d.Data[i] = rng.NormFloat64()
+		}
+		return d
+	}
+	cases := []struct {
+		name string
+		blk  matrix.Block
+	}{
+		{"dense-256x256", dense(256)},
+		{"dense-512x512", dense(512)},
+	}
+	var out []WritevResult
+	for _, tc := range cases {
+		blk := tc.blk
+		contig, tag, err := codec.AppendWireEnc(nil, blk, codec.EncodingFP64)
+		if err != nil {
+			return nil, err
+		}
+		pre, sgTag, tail, err := codec.AppendWireSG(nil, blk, codec.EncodingFP64)
+		if err != nil {
+			return nil, err
+		}
+		joined := append(append([]byte(nil), pre...), tail...)
+		if sgTag != tag || !bytes.Equal(joined, contig) {
+			return nil, fmt.Errorf("wirebench: %s: scatter-gather assembly is not byte-identical to contiguous", tc.name)
+		}
+
+		scratch := codec.GetBuffer()
+		copyBench := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var err error
+				scratch, _, err = codec.AppendWireEnc(scratch[:0], blk, codec.EncodingFP64)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		sgBench := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var err error
+				scratch, _, _, err = codec.AppendWireSG(scratch[:0], blk, codec.EncodingFP64)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		codec.PutBuffer(scratch)
+
+		res := WritevResult{Name: tc.name, Bytes: len(contig), CopyUs: usPerOp(copyBench), SGUs: usPerOp(sgBench)}
+		if res.SGUs > 0 {
+			res.Speedup = res.CopyUs / res.SGUs
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// encodingResults reports every opt-in encoding against the fp64 wire form.
+// Decodes are verified before timing: the compressor must round-trip
+// bit-exactly, fp32 must land exactly on the float32 projection of the
+// original values.
+func encodingResults() ([]EncodingResult, error) {
+	rng := rand.New(rand.NewSource(8083))
+	dense := func(n int, gen func() float64) *matrix.Dense {
+		d := matrix.NewDense(n, n)
+		for i := range d.Data {
+			d.Data[i] = gen()
+		}
+		return d
+	}
+	var smoothCounter float64
+	cases := []struct {
+		name string
+		blk  matrix.Block
+	}{
+		{"dense-256x256", dense(256, rng.NormFloat64)},
+		{"dense-256x256-smooth", dense(256, func() (v float64) {
+			// Slowly varying values (constant 64-long runs): the XOR
+			// compressor's best case, standing in for iterative workloads
+			// whose blocks converge.
+			v = smoothCounter
+			smoothCounter += 1.0 / 64
+			return math.Floor(v)
+		})},
+		{"csr-256x256-5pct", matrix.NewCSRFromDense(dense(256, func() float64 {
+			if rng.Float64() < 0.05 {
+				return rng.NormFloat64()
+			}
+			return 0
+		}))},
+	}
+	var out []EncodingResult
+	for _, tc := range cases {
+		raw := int(codec.EncodedBytesEnc(tc.blk, codec.EncodingFP64))
+		for _, enc := range []codec.Encoding{codec.EncodingFP32, codec.EncodingCompress} {
+			payload, tag, err := codec.AppendWireEnc(nil, tc.blk, enc)
+			if err != nil {
+				return nil, fmt.Errorf("wirebench: %s/%v encode: %w", tc.name, enc, err)
+			}
+			got, err := codec.Decode(tag, payload)
+			if err != nil {
+				return nil, fmt.Errorf("wirebench: %s/%v decode: %w", tc.name, enc, err)
+			}
+			want, have := tc.blk.Dense(), got.Dense()
+			for i := range want.Data {
+				w := want.Data[i]
+				if enc == codec.EncodingFP32 {
+					w = float64(float32(w))
+				}
+				if w != have.Data[i] {
+					return nil, fmt.Errorf("wirebench: %s/%v: decode diverges at element %d", tc.name, enc, i)
+				}
+			}
+
+			blk := tc.blk
+			scratch := codec.GetBuffer()
+			encBench := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					var err error
+					scratch, _, err = codec.AppendWireEnc(scratch[:0], blk, enc)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			decBench := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := codec.Decode(tag, payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			codec.PutBuffer(scratch)
+
+			res := EncodingResult{
+				Name:     tc.name,
+				Encoding: enc.String(),
+				RawBytes: raw,
+				EncBytes: len(payload),
+				EncUs:    usPerOp(encBench),
+				DecUs:    usPerOp(decBench),
+			}
+			if raw > 0 {
+				res.Ratio = float64(len(payload)) / float64(raw)
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// batchResult runs a many-tiny-cuboids plan against one loopback worker,
+// one RPC per cuboid versus MultiplyBatch groups. Each side takes the best
+// of three runs; the products must be bit-identical before any time is
+// reported.
+func batchResult() (BatchResult, error) {
+	rng := rand.New(rand.NewSource(8084))
+	a := bmat.RandomDense(rng, 32, 32, 2) // 16×16 grid of 2×2 blocks
+	b := bmat.RandomDense(rng, 32, 32, 2)
+	params := core.Params{P: 16, Q: 16, R: 1} // 256 tiny cuboids
+	res := BatchResult{Params: params.String()}
+
+	run := func(batch bool) (time.Duration, int64, int64, *bmat.BlockMatrix, error) {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		defer l.Close()
+		if _, err := distnet.Serve(l); err != nil {
+			return 0, 0, 0, nil, err
+		}
+		opts := distnet.Options{}
+		if batch {
+			opts.BatchBytes = 1 << 20
+		}
+		d, err := distnet.DialOptions([]string{l.Addr().String()}, opts)
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		defer d.Close()
+		best := time.Duration(0)
+		var c *bmat.BlockMatrix
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			c, err = d.Multiply(a, b, params)
+			el := time.Since(start)
+			if err != nil {
+				return 0, 0, 0, nil, err
+			}
+			if best == 0 || el < best {
+				best = el
+			}
+		}
+		stats := d.NetStats()
+		return best, stats.BatchRPCs, stats.BatchItems, c, nil
+	}
+
+	plainT, _, _, plainC, err := run(false)
+	if err != nil {
+		return res, err
+	}
+	batchT, rpcs, items, batchC, err := run(true)
+	if err != nil {
+		return res, err
+	}
+	pd, bd := plainC.ToDense(), batchC.ToDense()
+	if len(pd.Data) != len(bd.Data) {
+		return res, fmt.Errorf("wirebench: batched product shape differs")
+	}
+	for i := range pd.Data {
+		if pd.Data[i] != bd.Data[i] {
+			return res, fmt.Errorf("wirebench: batched product differs from unbatched at element %d", i)
+		}
+	}
+	res.Items = items / 3 // three timed runs; report one plan's worth
+	res.UnbatchedMs = float64(plainT.Microseconds()) / 1e3
+	res.BatchedMs = float64(batchT.Microseconds()) / 1e3
+	res.BatchRPCs = rpcs / 3
+	if batchT > 0 {
+		res.ThroughputX = float64(plainT) / float64(batchT)
+	}
+	return res, nil
+}
+
 // Run executes the full wire benchmark. Any decode that is not
 // bit-identical to its input — gob or codec, block or whole product —
 // returns an error, which distme-bench turns into a nonzero exit.
@@ -367,6 +644,47 @@ func RunTraced(tr *obs.Tracer) (*Report, error) {
 	}
 	ksp.End()
 	r.Cache = cache
+
+	wsp := tr.Start(root.ID(), "writev", obs.KindBench)
+	wres, err := writevResults()
+	if err != nil {
+		endBenchErr(wsp, err)
+		return nil, err
+	}
+	if wsp.Active() {
+		for _, b := range wres {
+			wsp.SetAttr(b.Name, fmt.Sprintf("copy %.1fus, sg %.1fus", b.CopyUs, b.SGUs))
+		}
+	}
+	wsp.End()
+	r.Writev = wres
+
+	esp := tr.Start(root.ID(), "encodings", obs.KindBench)
+	eres, err := encodingResults()
+	if err != nil {
+		endBenchErr(esp, err)
+		return nil, err
+	}
+	if esp.Active() {
+		for _, b := range eres {
+			esp.SetAttr(b.Name+"/"+b.Encoding, fmt.Sprintf("%d B of %d B", b.EncBytes, b.RawBytes))
+		}
+	}
+	esp.End()
+	r.Encodings = eres
+
+	bsp := tr.Start(root.ID(), "batch", obs.KindBench)
+	bres, err := batchResult()
+	if err != nil {
+		endBenchErr(bsp, err)
+		return nil, err
+	}
+	if bsp.Active() {
+		bsp.SetAttr("items", fmt.Sprintf("%d", bres.Items))
+		bsp.SetAttr("speedup", fmt.Sprintf("%.2fx", bres.ThroughputX))
+	}
+	bsp.End()
+	r.Batch = bres
 	return r, nil
 }
 
@@ -401,4 +719,21 @@ func (r *Report) Fprint(w io.Writer) {
 		r.Cache.Params, r.Cache.ColdSentBytes, r.Cache.WarmSentBytes,
 		100*float64(r.Cache.WarmSentBytes)/float64(r.Cache.ColdSentBytes),
 		r.Cache.CacheRefsSent, r.Cache.BytesSaved)
+	if len(r.Writev) > 0 {
+		fmt.Fprintf(w, "%-20s %10s %12s %12s %8s\n", "frame assembly", "bytes", "copy", "scatter", "x")
+		for _, v := range r.Writev {
+			fmt.Fprintf(w, "%-20s %10d %11.1fu %11.1fu %7.2fx\n", v.Name, v.Bytes, v.CopyUs, v.SGUs, v.Speedup)
+		}
+	}
+	if len(r.Encodings) > 0 {
+		fmt.Fprintf(w, "%-32s %10s %10s %7s %10s %10s\n", "encoding", "fp64 B", "enc B", "ratio", "enc", "dec")
+		for _, e := range r.Encodings {
+			fmt.Fprintf(w, "%-32s %10d %10d %7.2f %9.1fu %9.1fu\n",
+				e.Name+"/"+e.Encoding, e.RawBytes, e.EncBytes, e.Ratio, e.EncUs, e.DecUs)
+		}
+	}
+	if r.Batch.Items > 0 {
+		fmt.Fprintf(w, "batched small multiplies %s: %d items, unbatched %.1f ms, batched %.1f ms over %d RPCs (%.2fx)\n",
+			r.Batch.Params, r.Batch.Items, r.Batch.UnbatchedMs, r.Batch.BatchedMs, r.Batch.BatchRPCs, r.Batch.ThroughputX)
+	}
 }
