@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race fuzz-smoke vet lint-docs bench bench-kernels bench-wire clean
+.PHONY: build test test-race fuzz-smoke vet lint-docs bench bench-kernels bench-wire bench-pipeline api-surface api-check clean
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,23 @@ vet:
 # current API — documentation examples cannot rot silently.
 lint-docs:
 	$(GO) run ./cmd/lint-docs
+
+# Exported API surface of the public packages (root, internal/engine,
+# internal/distnet), dumped one sorted line per symbol to api/surface.txt.
+# api-check fails if the live surface differs from the checked-in file, so
+# every surface change lands as a reviewable diff.
+api-surface:
+	$(GO) run ./cmd/apisurface -out api/surface.txt
+
+api-check:
+	$(GO) run ./cmd/apisurface -check
+
+# Resident-handle vs driver-materialized pipeline benchmarks, refreshing the
+# checked-in trajectory file. Exits nonzero if a warm iteration moves less
+# than 5x fewer driver bytes than the baseline or any result is not
+# bit-identical.
+bench-pipeline:
+	$(GO) run ./cmd/distme-bench -pipeline -pipeline-out BENCH_pipeline.json
 
 # Seed-vs-current kernel regression benchmarks, refreshing the checked-in
 # trajectory file.

@@ -11,6 +11,8 @@
 //	distme-bench -kernels -kernels-out BENCH_kernels.json
 //	distme-bench -wire                # gob-vs-codec wire benchmarks
 //	distme-bench -wire -wire-out BENCH_wire.json
+//	distme-bench -pipeline            # resident-handle vs materialized pipelines
+//	distme-bench -pipeline -pipeline-out BENCH_pipeline.json
 //	distme-bench -kernels -trace-out trace.json   # bench timeline for chrome://tracing
 //
 // Paper-scale rows are produced by the cost-model plane at the testbed
@@ -27,6 +29,7 @@ import (
 	"distme/internal/experiments"
 	"distme/internal/kernbench"
 	"distme/internal/obs"
+	"distme/internal/pipebench"
 	"distme/internal/wirebench"
 )
 
@@ -59,6 +62,8 @@ func main() {
 	kernelsOut := flag.String("kernels-out", "", "with -kernels, also write the report as JSON to this path")
 	wire := flag.Bool("wire", false, "run gob-vs-codec wire benchmarks (fails on any decode mismatch)")
 	wireOut := flag.String("wire-out", "", "with -wire, also write the report as JSON to this path")
+	pipeline := flag.Bool("pipeline", false, "run resident-handle vs driver-materialized pipeline benchmarks (fails below the ratio bar or on result mismatch)")
+	pipelineOut := flag.String("pipeline-out", "", "with -pipeline, also write the report as JSON to this path")
 	traceOut := flag.String("trace-out", "", "with -kernels or -wire, write a Chrome trace_event timeline of the bench run to this path")
 	flag.Parse()
 
@@ -84,6 +89,24 @@ func main() {
 			}
 		}
 		writeBenchTrace(tr, *traceOut)
+		return
+	}
+
+	if *pipeline {
+		report, err := pipebench.Run()
+		if report != nil {
+			report.Fprint(os.Stdout)
+			if *pipelineOut != "" {
+				if werr := report.WriteJSON(*pipelineOut); werr != nil {
+					fmt.Fprintf(os.Stderr, "distme-bench: %v\n", werr)
+					os.Exit(1)
+				}
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "distme-bench: pipeline: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -241,6 +241,24 @@ var (
 // CompilePlan rewrites and hash-conses an expression into a program.
 func CompilePlan(e PlanExpr) (*PlanProgram, error) { return plan.Compile(e) }
 
+// RunOption tunes one Engine.Run call.
+type RunOption = engine.RunOption
+
+// Options for Engine.Run, the consolidated context-first entry point.
+var (
+	// WithMethod selects the multiplication strategy for every
+	// multiplication in the expression.
+	WithMethod = engine.WithMethod
+	// WithMulOptions applies explicit per-multiplication options.
+	WithMulOptions = engine.WithMulOptions
+	// WithParams fixes explicit (P,Q,R) cuboid parameters.
+	WithParams = engine.WithParams
+	// WithRMMTasks overrides RMM's task count.
+	WithRMMTasks = engine.WithRMMTasks
+	// WithGPU overrides the engine's GPU default.
+	WithGPU = engine.WithGPU
+)
+
 // --- Additional algorithms ---------------------------------------------------
 
 // GNMFPlanned runs GNMF through the plan compiler — identical results to

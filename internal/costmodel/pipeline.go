@@ -1,0 +1,38 @@
+package costmodel
+
+import "distme/internal/core"
+
+// PipelineEstimate prices a lazy multi-op pipeline under the model's wires:
+// the Eq.(4)-cumulative driver bytes of materialize-every-op execution
+// versus the worker→worker bytes of handle-resident execution, and the
+// seconds each spends on the network (compute is identical — the same
+// kernels run either way, so only the movement differs).
+type PipelineEstimate struct {
+	MaterializedBytes int64
+	ResidentBytes     int64
+	MaterializedSec   float64
+	ResidentSec       float64
+}
+
+// Ratio is the modeled driver-byte reduction (materialized / resident);
+// 0 when resident execution moves nothing.
+func (e PipelineEstimate) Ratio() float64 {
+	if e.ResidentBytes == 0 {
+		return 0
+	}
+	return float64(e.MaterializedBytes) / float64(e.ResidentBytes)
+}
+
+// EstimatePipeline evaluates core.PipelineCost for a pipeline of ops run on
+// workers nodes with finalFetchBytes crossing back to the driver, converting
+// both byte totals to seconds at the model's effective shuffle bandwidth.
+func (m Model) EstimatePipeline(ops []core.PipeOp, workers int, finalFetchBytes int64) PipelineEstimate {
+	mat, res := core.PipelineCost(ops, workers, finalFetchBytes)
+	bw := m.netAggregate()
+	return PipelineEstimate{
+		MaterializedBytes: mat,
+		ResidentBytes:     res,
+		MaterializedSec:   float64(mat) * m.SerializationFactor / bw,
+		ResidentSec:       float64(res) * m.SerializationFactor / bw,
+	}
+}

@@ -1,6 +1,7 @@
 package distnet
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"testing"
@@ -125,7 +126,7 @@ func TestWorkerRestartMidJobMissesCleanly(t *testing.T) {
 	}
 	d.assignDigests([]*MultiplyArgs{args})
 
-	reply1, err := d.runJob(args, obs.Span{})
+	reply1, err := d.runJob(context.Background(), args, obs.Span{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestWorkerRestartMidJobMissesCleanly(t *testing.T) {
 
 	// Same job, same epoch: the tracker still claims every block was sent,
 	// so this send is all references — and they must all miss cleanly.
-	reply2, err := d.runJob(args, obs.Span{})
+	reply2, err := d.runJob(context.Background(), args, obs.Span{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -102,16 +102,3 @@ func (c *checkpointer) store(idx int, reply *MultiplyReply, cRows, cCols, blockS
 		os.Remove(tmp)
 	}
 }
-
-// ResumeMultiply is Multiply with per-cuboid checkpointing rooted at dir.
-// On a fresh directory it checkpoints each cuboid's partial-C reply as it
-// completes; called again after a driver crash or restart — with the same
-// inputs and params — it loads the completed cuboids from disk and
-// re-ships only the unfinished ones. The result is byte-identical to an
-// uninterrupted Multiply.
-func (d *Driver) ResumeMultiply(dir string, a, b *bmat.BlockMatrix, params core.Params) (*bmat.BlockMatrix, error) {
-	if dir == "" {
-		return nil, fmt.Errorf("distnet: ResumeMultiply: empty checkpoint dir")
-	}
-	return d.multiply(a, b, params, &checkpointer{dir: dir})
-}

@@ -88,6 +88,9 @@ type WorkerDebug struct {
 	InFlightRPCs int64 `json:"inflight_rpcs"`
 	// Cache is the content-addressed block cache's occupancy and counters.
 	Cache CacheStats `json:"cache"`
+	// Store is the distributed block store's resident-handle occupancy and
+	// counters (puts, execs, evictions, worker→worker fetches).
+	Store StoreStats `json:"store"`
 	// Trace summarizes the tracer (absent when tracing is off).
 	Trace *obs.TraceDebug `json:"trace,omitempty"`
 }
@@ -111,6 +114,7 @@ func (w *Worker) DebugSnapshot() WorkerDebug {
 		Multiplies:   multiplies,
 		InFlightRPCs: w.inflightN.Load(),
 		Cache:        w.CacheStats(),
+		Store:        w.StoreStats(),
 		Trace:        w.tracer.DebugSnapshot(debugRecentSpans),
 	}
 }

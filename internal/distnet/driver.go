@@ -36,7 +36,13 @@ type Driver struct {
 
 	// epoch numbers multiply jobs; digest references on the wire are scoped
 	// to one epoch so worker caches never serve a previous job's blocks.
+	// Block-store sessions draw their epochs from the same counter.
 	epoch atomic.Uint64
+
+	// handleID numbers block-store handles, globally across sessions; a
+	// lineage rebuild assigns fresh ids so stale bands on a worker that
+	// missed the recovery wipe are unreachable rather than wrong.
+	handleID atomic.Uint64
 
 	// inflight counts cuboids dispatched but not yet aggregated, surfaced
 	// by the debug endpoint.
@@ -317,10 +323,13 @@ func (d *Driver) call(m *member, method string, args, reply any, timeout time.Du
 // parent is the cuboid's span: each RPC attempt (and the local fallback)
 // records a child under it, so retries and reassignments are visible as
 // sibling attempts on the timeline.
-func (d *Driver) runJob(args *MultiplyArgs, parent obs.Span) (*MultiplyReply, error) {
+func (d *Driver) runJob(ctx context.Context, args *MultiplyArgs, parent obs.Span) (*MultiplyReply, error) {
 	backoff := d.opts.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt < d.opts.JobAttempts; {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		m, anyLive := d.acquireMember()
 		if m == nil {
 			if anyLive {
@@ -418,7 +427,7 @@ func jobPayloadBytes(args *MultiplyArgs) int64 {
 // batch that exhausts its attempts — fall back to individual runJob
 // dispatch, which carries its own retries and local fallback, so batching
 // can change performance but never outcomes.
-func (d *Driver) runBatch(jobs []*MultiplyArgs, group []int, root obs.Span, commit func(int, *MultiplyReply), errs []error) {
+func (d *Driver) runBatch(ctx context.Context, jobs []*MultiplyArgs, group []int, root obs.Span, commit func(int, *MultiplyReply), errs []error) {
 	bsp := d.tracer.Start(root.ID(), "rpc.multiply_batch", obs.KindRPC)
 	if bsp.Active() {
 		bsp.SetAttr("items", fmt.Sprintf("%d", len(group)))
@@ -431,6 +440,9 @@ func (d *Driver) runBatch(jobs []*MultiplyArgs, group []int, root obs.Span, comm
 	}
 	backoff := d.opts.RetryBackoff
 	for attempt := 0; attempt < d.opts.JobAttempts; {
+		if ctx.Err() != nil {
+			break
+		}
 		m, anyLive := d.acquireMember()
 		if m == nil {
 			if anyLive {
@@ -476,7 +488,7 @@ func (d *Driver) runBatch(jobs []*MultiplyArgs, group []int, root obs.Span, comm
 			if bsp.Active() && len(failed) > 0 {
 				bsp.SetAttr("item-errors", fmt.Sprintf("%d", len(failed)))
 			}
-			d.runBatchFallback(jobs, failed, root, commit, errs)
+			d.runBatchFallback(ctx, jobs, failed, root, commit, errs)
 			return
 		}
 		if bsp.Active() {
@@ -498,18 +510,18 @@ func (d *Driver) runBatch(jobs []*MultiplyArgs, group []int, root obs.Span, comm
 			}
 		}
 	}
-	d.runBatchFallback(jobs, group, root, commit, errs)
+	d.runBatchFallback(ctx, jobs, group, root, commit, errs)
 }
 
 // runBatchFallback dispatches each listed cuboid on its own, with runJob's
 // full retry and local-fallback machinery. Commits are first-writer-wins by
 // construction: a cuboid reaches here only if its batch slot did not commit.
-func (d *Driver) runBatchFallback(jobs []*MultiplyArgs, idxs []int, root obs.Span, commit func(int, *MultiplyReply), errs []error) {
+func (d *Driver) runBatchFallback(ctx context.Context, jobs []*MultiplyArgs, idxs []int, root obs.Span, commit func(int, *MultiplyReply), errs []error) {
 	for _, idx := range idxs {
 		args := jobs[idx]
 		csp := d.tracer.Start(root.ID(), "cuboid", obs.KindDriver)
 		csp.SetCuboid(args.cuboidP, args.cuboidQ, args.cuboidR)
-		reply, err := d.runJob(args, csp)
+		reply, err := d.runJob(ctx, args, csp)
 		if err != nil {
 			if csp.Active() {
 				csp.SetAttr("error", err.Error())
@@ -531,23 +543,22 @@ func isTransientServerError(se rpc.ServerError) bool {
 	return se.Error() == errWorkerDrainingMsg || se.Error() == errUnknownDigestMsg
 }
 
-// Multiply runs C = A×B with an explicit (P,Q,R)-cuboid partitioning, each
+// multiply runs C = A×B with an explicit (P,Q,R)-cuboid partitioning, each
 // cuboid computed by a remote worker. The driver performs the repartition
 // (shipping each cuboid's blocks over its worker's socket) and the
 // aggregation (summing the partial C blocks that come back). Aggregation
 // order is fixed by cuboid index, and reassigned or locally-recomputed
 // cuboids use the workers' exact arithmetic, so the product is
 // byte-identical to a failure-free run under any failure schedule.
-func (d *Driver) Multiply(a, b *bmat.BlockMatrix, params core.Params) (*bmat.BlockMatrix, error) {
-	return d.multiply(a, b, params, nil)
-}
-
-func (d *Driver) multiply(a, b *bmat.BlockMatrix, params core.Params, ckpt *checkpointer) (*bmat.BlockMatrix, error) {
+func (d *Driver) multiply(ctx context.Context, a, b *bmat.BlockMatrix, params core.Params, ckpt *checkpointer) (*bmat.BlockMatrix, error) {
 	d.mu.Lock()
 	closed := d.closed
 	d.mu.Unlock()
 	if closed {
 		return nil, ErrDriverClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if a.Cols != b.Rows || a.BlockSize != b.BlockSize {
 		return nil, fmt.Errorf("distnet: operands not conformable")
@@ -639,7 +650,7 @@ func (d *Driver) multiply(a, b *bmat.BlockMatrix, params core.Params, ckpt *chec
 			csp := d.tracer.Start(root.ID(), "cuboid", obs.KindDriver)
 			csp.SetCuboid(args.cuboidP, args.cuboidQ, args.cuboidR)
 			defer csp.End()
-			reply, err := d.runJob(args, csp)
+			reply, err := d.runJob(ctx, args, csp)
 			if err != nil {
 				if csp.Active() {
 					csp.SetAttr("error", err.Error())
@@ -661,7 +672,7 @@ func (d *Driver) multiply(a, b *bmat.BlockMatrix, params core.Params, ckpt *chec
 		go func(group []int) {
 			defer wg.Done()
 			defer d.inflight.Add(-int64(len(group)))
-			d.runBatch(jobs, group, root, commit, errs)
+			d.runBatch(ctx, jobs, group, root, commit, errs)
 		}(group)
 	}
 	wg.Wait()
@@ -726,22 +737,3 @@ func (d *Driver) assignDigests(jobs []*MultiplyArgs) {
 	}
 }
 
-// MultiplyAuto optimizes (P,Q,R) for the given per-worker memory budget —
-// one cuboid per worker round at minimum — then multiplies. When
-// Options.Encoding is a cheaper wire encoding, its byte ratio scales the
-// repartition terms of Eq.(4) (aggregation replies stay fp64, so that term
-// keeps full price), which can shift the chosen partitioning toward plans
-// that replicate inputs more and aggregate less.
-func (d *Driver) MultiplyAuto(a, b *bmat.BlockMatrix, workerMemBytes int64) (*bmat.BlockMatrix, core.Params, error) {
-	slots := d.Workers()
-	if slots < 1 {
-		slots = 1
-	}
-	wc := core.WireCost{InputRatio: d.opts.Encoding.PlanRatio(), AggRatio: 1}
-	params, err := core.OptimizeWire(core.ShapeOf(a, b), workerMemBytes, slots, wc)
-	if err != nil {
-		return nil, core.Params{}, err
-	}
-	c, err := d.Multiply(a, b, params)
-	return c, params, err
-}

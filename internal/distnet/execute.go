@@ -1,0 +1,87 @@
+package distnet
+
+import (
+	"context"
+	"fmt"
+
+	"distme/internal/bmat"
+	"distme/internal/core"
+)
+
+// MultiplyOptions configures one Execute call. The zero value asks the
+// optimizer to choose the partitioning with a 1 GiB per-worker budget.
+type MultiplyOptions struct {
+	// Params, when non-nil, fixes the (P,Q,R) cuboid partitioning
+	// explicitly; nil lets the optimizer choose from WorkerMemBytes, the
+	// live worker count, and the wire encoding's Eq.(4) byte ratios.
+	Params *core.Params
+	// WorkerMemBytes is the per-worker memory budget handed to the
+	// optimizer when Params is nil (0 takes 1 GiB).
+	WorkerMemBytes int64
+	// CheckpointDir, when non-empty, persists each completed cuboid's
+	// partial-C reply under this directory; re-running the same job there
+	// after a driver crash re-ships only the unfinished cuboids.
+	CheckpointDir string
+}
+
+// Execute is the driver's consolidated multiply entry point: C = A×B across
+// the live workers, context-first, with partitioning, optimizer budget, and
+// checkpointing all in one options struct. It subsumes the former Multiply
+// (MultiplyOptions.Params), MultiplyAuto (MultiplyOptions.WorkerMemBytes),
+// and ResumeMultiply (MultiplyOptions.CheckpointDir), which remain as thin
+// deprecated wrappers. The returned params are the partitioning actually
+// run. Cancelling ctx abandons unscheduled cuboids and returns its error.
+func (d *Driver) Execute(ctx context.Context, a, b *bmat.BlockMatrix, opts MultiplyOptions) (*bmat.BlockMatrix, core.Params, error) {
+	var params core.Params
+	if opts.Params != nil {
+		params = *opts.Params
+	} else {
+		slots := d.Workers()
+		if slots < 1 {
+			slots = 1
+		}
+		mem := opts.WorkerMemBytes
+		if mem <= 0 {
+			mem = 1 << 30
+		}
+		wc := core.WireCost{InputRatio: d.opts.Encoding.PlanRatio(), AggRatio: 1}
+		p, err := core.OptimizeWire(core.ShapeOf(a, b), mem, slots, wc)
+		if err != nil {
+			return nil, core.Params{}, err
+		}
+		params = p
+	}
+	var ckpt *checkpointer
+	if opts.CheckpointDir != "" {
+		ckpt = &checkpointer{dir: opts.CheckpointDir}
+	}
+	c, err := d.multiply(ctx, a, b, params, ckpt)
+	return c, params, err
+}
+
+// Multiply runs C = A×B with an explicit (P,Q,R)-cuboid partitioning.
+//
+// Deprecated: Use Execute with MultiplyOptions.Params.
+func (d *Driver) Multiply(a, b *bmat.BlockMatrix, params core.Params) (*bmat.BlockMatrix, error) {
+	c, _, err := d.Execute(context.Background(), a, b, MultiplyOptions{Params: &params})
+	return c, err
+}
+
+// MultiplyAuto optimizes (P,Q,R) for the given per-worker memory budget,
+// then multiplies.
+//
+// Deprecated: Use Execute with MultiplyOptions.WorkerMemBytes.
+func (d *Driver) MultiplyAuto(a, b *bmat.BlockMatrix, workerMemBytes int64) (*bmat.BlockMatrix, core.Params, error) {
+	return d.Execute(context.Background(), a, b, MultiplyOptions{WorkerMemBytes: workerMemBytes})
+}
+
+// ResumeMultiply is Multiply with per-cuboid checkpointing rooted at dir.
+//
+// Deprecated: Use Execute with MultiplyOptions.CheckpointDir.
+func (d *Driver) ResumeMultiply(dir string, a, b *bmat.BlockMatrix, params core.Params) (*bmat.BlockMatrix, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("distnet: ResumeMultiply: empty checkpoint dir")
+	}
+	c, _, err := d.Execute(context.Background(), a, b, MultiplyOptions{Params: &params, CheckpointDir: dir})
+	return c, err
+}

@@ -1,6 +1,7 @@
 package distnet
 
 import (
+	"context"
 	"errors"
 
 	"distme/internal/bmat"
@@ -55,7 +56,7 @@ func (h *Hybrid) Multiply(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := h.Driver.Multiply(a, b, params)
+	c, _, err := h.Driver.Execute(context.Background(), a, b, MultiplyOptions{Params: &params})
 	if err != nil && !h.DisableLocalFallback &&
 		(errors.Is(err, ErrWorkerDead) || errors.Is(err, ErrNoWorkers) ||
 			errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, ErrDriverClosed)) {

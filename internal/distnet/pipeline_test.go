@@ -1,0 +1,483 @@
+package distnet
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+
+	"distme/internal/bmat"
+	"distme/internal/core"
+	"distme/internal/matrix"
+	"distme/internal/ml"
+	"distme/internal/plan"
+)
+
+// The session's handle surface is exactly what the ml layer's generic
+// pipelines run against.
+var _ ml.PipelineSession[*Handle] = (*Session)(nil)
+
+// gnmfStepExpr is a dense multi-operator pipeline exercising every wire
+// operator: H ← H ∘ (Wᵀ·V) ⊘ (Wᵀ·W·H), plus scale/add/sub around it.
+func pipelineTestExpr() plan.Expr {
+	wt := plan.T(plan.V("w"))
+	upd := plan.EMul(plan.V("h"),
+		plan.EDiv(plan.Mul(wt, plan.V("v")),
+			plan.Mul(plan.Mul(wt, plan.V("w")), plan.V("h")), 1e-9))
+	return plan.Plus(plan.Times(0.5, upd), plan.Minus(upd, plan.Times(0.25, plan.V("h"))))
+}
+
+func pipelineTestInputs(seed int64) map[string]*bmat.BlockMatrix {
+	rng := rand.New(rand.NewSource(seed))
+	return map[string]*bmat.BlockMatrix{
+		"v": bmat.RandomSparse(rng, 24, 20, 4, 0.3),
+		"w": bmat.RandomDense(rng, 24, 6, 4),
+		"h": bmat.RandomDense(rng, 6, 20, 4),
+	}
+}
+
+func newSession(t *testing.T, d *Driver) *Session {
+	t.Helper()
+	s, err := d.NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close(context.Background()) })
+	return s
+}
+
+func putAll(t *testing.T, s *Session, ms map[string]*bmat.BlockMatrix) map[string]*Handle {
+	t.Helper()
+	binds := make(map[string]*Handle, len(ms))
+	for name, m := range ms {
+		h, err := s.Put(context.Background(), m)
+		if err != nil {
+			t.Fatalf("put %q: %v", name, err)
+		}
+		binds[name] = h
+	}
+	return binds
+}
+
+func TestSessionPutFetchRoundTrip(t *testing.T) {
+	addrs, _ := startWorkers(t, 3)
+	d, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	s := newSession(t, d)
+	ctx := context.Background()
+
+	rng := rand.New(rand.NewSource(7))
+	m := bmat.RandomSparse(rng, 30, 22, 4, 0.4)
+	h, err := s.Put(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows() != 30 || h.Cols() != 22 || h.BlockSize() != 4 {
+		t.Fatalf("handle dims %dx%d/%d", h.Rows(), h.Cols(), h.BlockSize())
+	}
+	got, err := s.Fetch(ctx, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, got, m)
+
+	if err := s.Free(ctx, h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fetch(ctx, h); err == nil {
+		t.Fatal("fetch after free succeeded")
+	} else if !strings.Contains(err.Error(), "freed") {
+		t.Fatalf("fetch after free: %v", err)
+	}
+}
+
+// TestPipelineRunMatchesMaterialized is the core equivalence bar: the
+// resident pipeline and the driver-materialized baseline must produce
+// bit-identical results, since they run the same worker arithmetic under the
+// same placement — only the traffic pattern differs.
+func TestPipelineRunMatchesMaterialized(t *testing.T) {
+	addrs, _ := startWorkers(t, 3)
+	d, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	expr := pipelineTestExpr()
+	inputs := pipelineTestInputs(21)
+
+	s := newSession(t, d)
+	binds := putAll(t, s, inputs)
+	out, err := s.Run(ctx, expr, binds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resident, err := s.Fetch(ctx, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	materialized, err := s.RunMaterialized(ctx, expr, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, resident, materialized)
+
+	// And both must agree with a plain local reference evaluation.
+	ref := localPlanEval(t, expr, inputs)
+	g, w := resident.ToDense(), ref.ToDense()
+	if !g.EqualApprox(w, 1e-9) {
+		t.Fatal("pipeline result differs from local reference")
+	}
+}
+
+// localPlanEval computes the expression on the local engine as a reference.
+func localPlanEval(t *testing.T, x plan.Expr, inputs map[string]*bmat.BlockMatrix) *bmat.BlockMatrix {
+	t.Helper()
+	eng := localEngine(t)
+	defer eng.Close()
+	out, _, err := eng.Run(context.Background(), x, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestPipelineIntermediatesStayResident runs the multi-op expression and
+// asserts the driver moved only the inputs up and the final result down —
+// no intermediate crossed the wire to the driver.
+func TestPipelineIntermediatesStayResident(t *testing.T) {
+	addrs, _ := startWorkers(t, 2)
+	d, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	inputs := pipelineTestInputs(22)
+
+	s := newSession(t, d)
+	binds := putAll(t, s, inputs)
+	sentBefore, recvBefore := d.WireBytes()
+	out, err := s.Run(ctx, pipelineTestExpr(), binds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentMid, recvMid := d.WireBytes()
+	res, err := s.Fetch(ctx, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentAfter, recvAfter := d.WireBytes()
+
+	// Executing the pipeline ships expressions (tiny), not matrices: the
+	// driver's sent bytes during Run must be far below one operand.
+	opBytes := int64(inputs["v"].Rows) * int64(inputs["v"].Cols) * 8
+	if runSent := sentMid - sentBefore; runSent > opBytes {
+		t.Fatalf("Run sent %d driver bytes, more than an operand (%d)", runSent, opBytes)
+	}
+	if runRecv := recvMid - recvBefore; runRecv > opBytes {
+		t.Fatalf("Run received %d driver bytes, more than an operand (%d)", runRecv, opBytes)
+	}
+	// The fetch moves roughly one result matrix.
+	if fetchRecv := recvAfter - recvMid; fetchRecv == 0 {
+		t.Fatal("fetch moved no bytes")
+	}
+	_ = sentAfter
+	_ = res
+
+	// Pricing must agree that residency avoids driver traffic.
+	mat, resid, err := s.Price(pipelineTestExpr(), binds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat <= resid {
+		t.Fatalf("Price: materialized %d not above resident %d", mat, resid)
+	}
+	if n := d.NetStats().DriverBytesAvoided; n == 0 {
+		t.Fatal("driver-bytes-avoided counter did not move")
+	}
+}
+
+// TestPipelineWorkerKillRecovers kills a worker holding resident (and
+// pinned) bands mid-pipeline: the session must rebuild the lost bands from
+// lineage on the survivors and the final result must stay bit-identical.
+func TestPipelineWorkerKillRecovers(t *testing.T) {
+	ctx := context.Background()
+	expr := pipelineTestExpr()
+	inputs := pipelineTestInputs(23)
+
+	// Failure-free reference.
+	cleanAddrs, _ := startWorkers(t, 2)
+	cd, err := Dial(cleanAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cd.Close()
+	cs := newSession(t, cd)
+	cleanOut, err := cs.Run(ctx, expr, putAll(t, cs, inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cs.Fetch(ctx, cleanOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrs, workers := startWorkers(t, 2)
+	opts := fastOpts()
+	opts.DisableHeartbeat = true // death is detected by the failed call itself
+	d, err := DialOptions(addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	s := newSession(t, d)
+	binds := putAll(t, s, inputs)
+	if err := s.Pin(ctx, binds["v"]); err != nil {
+		t.Fatal(err)
+	}
+
+	killWorker(workers[0])
+
+	out, err := s.Run(ctx, expr, binds)
+	if err != nil {
+		t.Fatalf("pipeline did not survive worker kill: %v", err)
+	}
+	got, err := s.Fetch(ctx, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, got, want)
+	if s.Recoveries() == 0 {
+		t.Fatal("no recovery recorded despite worker kill")
+	}
+
+	// Lifecycle: freeing everything leaves no resident bytes on the
+	// survivor — no leak.
+	for _, h := range binds {
+		if h.Pinned() {
+			if err := s.Unpin(ctx, h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Free(ctx, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Free(ctx, out); err != nil {
+		t.Fatal(err)
+	}
+	if st := workers[1].StoreStats(); st.Handles != 0 || st.Bytes != 0 {
+		t.Fatalf("survivor still holds %d handles / %d bytes after Free", st.Handles, st.Bytes)
+	}
+}
+
+// TestPipelineEvictionRecompute bounds the store so intermediates are
+// evicted, then keeps using a handle: the driver must transparently rebuild
+// it from lineage.
+func TestPipelineEvictionRecompute(t *testing.T) {
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		if _, err := ServeOptions(l, WorkerOptions{StoreBytes: 6 << 10}); err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, l.Addr().String())
+	}
+	d, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	s := newSession(t, d)
+
+	rng := rand.New(rand.NewSource(31))
+	m1 := bmat.RandomDense(rng, 16, 16, 4)
+	h1, err := s.Put(ctx, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flood the store so h1's bands are evicted.
+	var flood []*Handle
+	for i := 0; i < 8; i++ {
+		h, err := s.Put(ctx, bmat.RandomDense(rng, 16, 16, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		flood = append(flood, h)
+	}
+	got, err := s.Fetch(ctx, h1)
+	if err != nil {
+		t.Fatalf("fetch after eviction: %v", err)
+	}
+	bitIdentical(t, got, m1)
+	for _, h := range flood {
+		_ = s.Free(ctx, h)
+	}
+}
+
+// TestDeprecatedDriverWrappers pins the back-compat contract: the old
+// Multiply/MultiplyAuto entry points must be byte-identical to Execute.
+func TestDeprecatedDriverWrappers(t *testing.T) {
+	addrs, _ := startWorkers(t, 2)
+	d, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	rng := rand.New(rand.NewSource(41))
+	a := bmat.RandomDense(rng, 24, 16, 4)
+	b := bmat.RandomDense(rng, 16, 20, 4)
+	params := core.Params{P: 2, Q: 2, R: 2}
+
+	want, _, err := d.Execute(context.Background(), a, b, MultiplyOptions{Params: &params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Multiply(a, b, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, got, want)
+
+	wantAuto, _, err := d.Execute(context.Background(), a, b, MultiplyOptions{WorkerMemBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAuto, _, err := d.MultiplyAuto(a, b, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, gotAuto, wantAuto)
+
+	ref := matrix.Mul(a.ToDense(), b.ToDense()).Dense()
+	if !want.ToDense().EqualApprox(ref, 1e-9) {
+		t.Fatal("Execute result differs from local reference")
+	}
+}
+
+// TestGNMFPipelineMatchesMaterialized runs the handle-resident GNMF and the
+// eager handle-free baseline over the same seed and compares factors
+// bitwise, then checks the session's price estimate favored residency.
+func TestGNMFPipelineMatchesMaterialized(t *testing.T) {
+	addrs, _ := startWorkers(t, 2)
+	d, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(51))
+	v := bmat.RandomSparse(rng, 24, 20, 4, 0.25)
+	gopts := ml.GNMFOptions{Rank: 4, Seed: 11, Iterations: 2}
+
+	s := newSession(t, d)
+	g, err := ml.NewGNMFPipeline[*Handle](ctx, s, v, gopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < gopts.Iterations; i++ {
+		if err := g.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := g.Factors(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Materialized twin: the same update expressions through RunMaterialized.
+	s2 := newSession(t, d)
+	rng2 := rand.New(rand.NewSource(gopts.Seed))
+	w := bmat.RandomDense(rng2, v.Rows, gopts.Rank, v.BlockSize)
+	h := bmat.RandomDense(rng2, gopts.Rank, v.Cols, v.BlockSize)
+	for i := 0; i < gopts.Iterations; i++ {
+		binds := map[string]*bmat.BlockMatrix{"v": v, "w": w, "h": h}
+		nh, err := s2.RunMaterialized(ctx, ml.GNMFHExpr(), binds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binds["h"] = nh
+		nw, err := s2.RunMaterialized(ctx, ml.GNMFWExpr(), binds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, h = nw, nh
+	}
+	bitIdentical(t, got.W, w)
+	bitIdentical(t, got.H, h)
+}
+
+// TestPageRankHandlesMatchesDriver compares PageRankHandles against the
+// classic driver-side PageRank over a Hybrid: ranks must agree bitwise.
+func TestPageRankHandlesMatchesDriver(t *testing.T) {
+	addrs, _ := startWorkers(t, 2)
+	d, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+
+	rng := rand.New(rand.NewSource(61))
+	n := 24
+	adj := bmat.New(n, n, 4)
+	dense := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < 0.15 {
+				dense.Set(i, j, 1)
+			}
+		}
+	}
+	for bi := 0; bi < adj.IB; bi++ {
+		for bj := 0; bj < adj.JB; bj++ {
+			rows, cols := adj.BlockDims(bi, bj)
+			blk := matrix.NewDense(rows, cols)
+			var nz bool
+			for i := 0; i < rows; i++ {
+				for j := 0; j < cols; j++ {
+					v := dense.At(bi*4+i, bj*4+j)
+					blk.Set(i, j, v)
+					nz = nz || v != 0
+				}
+			}
+			if nz {
+				adj.SetBlock(bi, bj, blk)
+			}
+		}
+	}
+	popt := ml.PageRankOptions{Damping: 0.85, MaxIterations: 8, Tolerance: 1e-12}
+
+	want, err := ml.PageRank(localEngine(t), adj, popt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, d)
+	got, err := ml.PageRankHandles[*Handle](ctx, s, adj, popt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iterations != want.Iterations {
+		t.Fatalf("iterations %d != %d", got.Iterations, want.Iterations)
+	}
+	// The spread multiply runs on different substrates (local cuboid vs
+	// worker band exec), so the bar here is numerical agreement; the
+	// bit-exact bar is covered by the materialized-twin tests above.
+	if !got.Ranks.ToDense().EqualApprox(want.Ranks.ToDense(), 1e-12) {
+		t.Fatal("handle-resident ranks differ from driver-side ranks")
+	}
+}

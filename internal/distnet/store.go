@@ -1,0 +1,245 @@
+package distnet
+
+import (
+	"container/list"
+	"sync"
+
+	"distme/internal/bmat"
+	"distme/internal/matrix"
+)
+
+// DefaultStoreBytes is the worker handle store's default capacity.
+const DefaultStoreBytes int64 = 512 << 20
+
+// errUnknownHandleMsg is the transient refusal for a handle the store does
+// not hold (evicted, freed, or never received — e.g. after a worker
+// restart). The driver answers it by rebuilding the handle from lineage.
+const errUnknownHandleMsg = "distnet: unknown handle"
+
+// StoreStats is a snapshot of one worker's handle-store counters.
+type StoreStats struct {
+	// Handles and Blocks describe current residency; Bytes is their payload.
+	Handles int   `json:"handles"`
+	Blocks  int   `json:"blocks"`
+	Bytes   int64 `json:"bytes"`
+	// Pinned counts handles excluded from eviction.
+	Pinned int `json:"pinned"`
+	// Puts counts PutBlocks uploads; Execs counts pipeline operators run.
+	Puts  int64 `json:"puts"`
+	Execs int64 `json:"execs"`
+	// Evictions counts unpinned handles displaced by the byte bound (each
+	// later read triggers a driver-side lineage rebuild).
+	Evictions int64 `json:"evictions"`
+	// PeerFetches counts worker→worker GetBlocks calls this worker issued;
+	// PeerFetchBytes is the payload they carried.
+	PeerFetches    int64 `json:"peer_fetches"`
+	PeerFetchBytes int64 `json:"peer_fetch_bytes"`
+}
+
+// storeEntry is one handle's resident band: the block-row slice of a matrix
+// this worker owns under the session's co-partitioning.
+type storeEntry struct {
+	id     uint64
+	epoch  uint64
+	blocks map[bmat.BlockKey]matrix.Block
+	bytes  int64
+	pins   int
+	el     *list.Element // in the LRU only while unpinned
+}
+
+// handleStore is the worker half of the distributed block store: handle id →
+// resident band, epoch-scoped to one driver session, ref-counted by pins,
+// and evictable — a bounded LRU over the unpinned handles. Losing an entry
+// is safe: reads of a missing handle return errUnknownHandleMsg and the
+// driver recomputes the band from lineage.
+type handleStore struct {
+	mu       sync.Mutex
+	capBytes int64 // ≤ 0 = unbounded
+	bytes    int64
+	ll       *list.List // front = most recently used, unpinned entries only
+	byID     map[uint64]*storeEntry
+
+	puts, execs, evictions, peerFetches, peerFetchBytes int64
+}
+
+// newHandleStore sizes a store; capBytes 0 takes the default, negative means
+// unbounded (tests exercising eviction pass small positive caps).
+func newHandleStore(capBytes int64) *handleStore {
+	if capBytes == 0 {
+		capBytes = DefaultStoreBytes
+	}
+	return &handleStore{
+		capBytes: capBytes,
+		ll:       list.New(),
+		byID:     map[uint64]*storeEntry{},
+	}
+}
+
+func blocksWeight(blocks map[bmat.BlockKey]matrix.Block) int64 {
+	var n int64
+	for _, b := range blocks {
+		if b != nil {
+			n += b.SizeBytes()
+		}
+	}
+	return n
+}
+
+// set installs (or replaces) a handle's band. An empty band still creates
+// the entry, so existence checks distinguish "empty matrix slice" from
+// "never received". pin > 0 starts the handle pinned.
+func (s *handleStore) set(id, epoch uint64, pin bool, blocks map[bmat.BlockKey]matrix.Block, isPut bool) int64 {
+	if blocks == nil {
+		blocks = map[bmat.BlockKey]matrix.Block{}
+	}
+	w := blocksWeight(blocks)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.byID[id]; ok {
+		s.removeLocked(old)
+	}
+	e := &storeEntry{id: id, epoch: epoch, blocks: blocks, bytes: w}
+	if pin {
+		e.pins = 1
+	} else {
+		e.el = s.ll.PushFront(e)
+	}
+	s.byID[id] = e
+	s.bytes += w
+	if isPut {
+		s.puts++
+	} else {
+		s.execs++
+	}
+	s.evictLocked()
+	return w
+}
+
+// get returns a handle's band (the live map — callers must not mutate it)
+// and touches the LRU.
+func (s *handleStore) get(id uint64) (map[bmat.BlockKey]matrix.Block, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	if e.el != nil {
+		s.ll.MoveToFront(e.el)
+	}
+	return e.blocks, true
+}
+
+// pin adjusts a handle's pin count; pinned handles leave the LRU and cannot
+// be evicted. Unpinning to zero re-enters the LRU as most recently used.
+func (s *handleStore) pin(id uint64, unpin bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byID[id]
+	if !ok {
+		return false
+	}
+	if unpin {
+		if e.pins > 0 {
+			e.pins--
+		}
+		if e.pins == 0 && e.el == nil {
+			e.el = s.ll.PushFront(e)
+		}
+	} else {
+		e.pins++
+		if e.el != nil {
+			s.ll.Remove(e.el)
+			e.el = nil
+		}
+	}
+	s.evictLocked()
+	return true
+}
+
+// free drops the given handles (pinned or not — Free overrides pins).
+func (s *handleStore) free(ids []uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, id := range ids {
+		if e, ok := s.byID[id]; ok {
+			s.removeLocked(e)
+			n++
+		}
+	}
+	return n
+}
+
+// freeEpoch drops every handle of one session epoch (session Close, or the
+// recovery wipe before a lineage rebuild).
+func (s *handleStore) freeEpoch(epoch uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.byID {
+		if e.epoch == epoch {
+			s.removeLocked(e)
+			n++
+		}
+	}
+	return n
+}
+
+func (s *handleStore) removeLocked(e *storeEntry) {
+	if e.el != nil {
+		s.ll.Remove(e.el)
+		e.el = nil
+	}
+	delete(s.byID, e.id)
+	s.bytes -= e.bytes
+}
+
+// evictLocked displaces least-recently-used unpinned handles past the byte
+// cap. Pinned bands never appear in the LRU, so a fully pinned store may
+// exceed the cap — pins are a promise the driver made.
+func (s *handleStore) evictLocked() {
+	if s.capBytes <= 0 {
+		return
+	}
+	for s.bytes > s.capBytes {
+		back := s.ll.Back()
+		if back == nil {
+			return
+		}
+		s.removeLocked(back.Value.(*storeEntry))
+		s.evictions++
+	}
+}
+
+func (s *handleStore) addPeerFetch(bytes int64) {
+	s.mu.Lock()
+	s.peerFetches++
+	s.peerFetchBytes += bytes
+	s.mu.Unlock()
+}
+
+// stats snapshots the counters.
+func (s *handleStore) stats() StoreStats {
+	if s == nil {
+		return StoreStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{
+		Handles:        len(s.byID),
+		Bytes:          s.bytes,
+		Puts:           s.puts,
+		Execs:          s.execs,
+		Evictions:      s.evictions,
+		PeerFetches:    s.peerFetches,
+		PeerFetchBytes: s.peerFetchBytes,
+	}
+	for _, e := range s.byID {
+		st.Blocks += len(e.blocks)
+		if e.pins > 0 {
+			st.Pinned++
+		}
+	}
+	return st
+}

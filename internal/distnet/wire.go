@@ -319,6 +319,19 @@ func (c *clientCodec) WriteRequest(r *rpc.Request, body any) error {
 	case *MultiplyBatchArgs:
 		err = c.appendMultiplyBatchArgs(&w, v)
 		parent = obs.SpanID(v.traceSpan)
+	case *PutArgs:
+		err = appendPutArgs(&w, v)
+		parent = obs.SpanID(v.traceSpan)
+	case *GetArgs:
+		err = appendGetArgs(&w, v)
+		parent = obs.SpanID(v.traceSpan)
+	case *FreeArgs:
+		err = appendFreeArgs(&w, v)
+	case *PinArgs:
+		err = appendPinArgs(&w, v)
+	case *ExecArgs:
+		err = appendExecArgs(&w, v)
+		parent = obs.SpanID(v.traceSpan)
 	case *PingArgs:
 		// no body
 	default:
@@ -454,6 +467,22 @@ func (c *clientCodec) ReadResponseBody(body any) error {
 		err = decodeMultiplyReply(&rd, v)
 	case *MultiplyBatchReply:
 		err = decodeMultiplyBatchReply(&rd, v)
+	case *PutReply:
+		var b uint64
+		if b, err = rd.uvarint(); err == nil {
+			v.Bytes = int64(b)
+		}
+	case *GetReply:
+		v.Blocks, err = decodePlainBlocks(&rd)
+	case *FreeReply:
+		var f uint64
+		if f, err = rd.uvarint(); err == nil {
+			v.Freed = int(f)
+		}
+	case *PinReply:
+		// no body
+	case *ExecReply:
+		err = decodeExecReply(&rd, v)
 	case *PingReply:
 		v.Hostname, err = rd.str()
 	default:
@@ -546,6 +575,16 @@ func (s *serverCodec) ReadRequestBody(body any) error {
 		return err
 	case *MultiplyBatchArgs:
 		return decodeMultiplyBatchArgs(&rd, v, s.cache)
+	case *PutArgs:
+		return decodePutArgs(&rd, v)
+	case *GetArgs:
+		return decodeGetArgs(&rd, v)
+	case *FreeArgs:
+		return decodeFreeArgs(&rd, v)
+	case *PinArgs:
+		return decodePinArgs(&rd, v)
+	case *ExecArgs:
+		return decodeExecArgs(&rd, v)
 	case *PingArgs:
 		return nil
 	default:
@@ -566,6 +605,16 @@ func (s *serverCodec) WriteResponse(r *rpc.Response, body any) error {
 			err = appendMultiplyReply(&w, v)
 		case *MultiplyBatchReply:
 			err = appendMultiplyBatchReply(&w, v)
+		case *PutReply:
+			w.uvarint(uint64(v.Bytes))
+		case *GetReply:
+			err = appendPlainBlocks(&w, v.Blocks)
+		case *FreeReply:
+			w.uvarint(uint64(v.Freed))
+		case *PinReply:
+			// no body
+		case *ExecReply:
+			appendExecReply(&w, v)
 		case *PingReply:
 			w.str(v.Hostname)
 		default:

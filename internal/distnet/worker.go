@@ -35,6 +35,13 @@ type Worker struct {
 	// then miss and the driver resends inline).
 	cache *blockCache
 
+	// store holds handle bands for the distributed block store (created
+	// lazily via getStore for directly constructed workers); peers caches
+	// worker→worker RPC clients for operand-band fetches.
+	store   *handleStore
+	peersMu sync.Mutex
+	peers   map[string]*rpc.Client
+
 	// tracer records worker-side compute spans (nil = off); inflightN
 	// mirrors the inflight WaitGroup as a readable counter for the debug
 	// endpoint.
@@ -258,6 +265,7 @@ func (w *Worker) Shutdown(ctx context.Context) error {
 		for _, c := range conns {
 			c.Close()
 		}
+		w.closePeers()
 		if w.down != nil {
 			close(w.down)
 		}
@@ -278,6 +286,10 @@ type WorkerOptions struct {
 	// DefaultCacheBytes, negative disables caching (every digest reference
 	// then misses and the driver falls back to inline sends).
 	CacheBytes int64
+	// StoreBytes bounds the handle store's unpinned residency: 0 takes
+	// DefaultStoreBytes, negative means unbounded. Evicted handles are
+	// rebuilt from lineage by the driver on next use.
+	StoreBytes int64
 	// Tracer, when set, records a worker.compute span per served cuboid
 	// (parented to the driver's RPC-attempt span via the wire) plus
 	// wire.decode spans for request parsing. Nil disables tracing.
@@ -297,6 +309,7 @@ func ServeOptions(l net.Listener, opts WorkerOptions) (*Worker, error) {
 		listener: l,
 		conns:    map[net.Conn]struct{}{},
 		cache:    newBlockCache(opts.CacheBytes),
+		store:    newHandleStore(opts.StoreBytes),
 		tracer:   opts.Tracer,
 		down:     make(chan struct{}),
 	}

@@ -1,0 +1,417 @@
+package distnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sort"
+	"time"
+
+	"distme/internal/bmat"
+	"distme/internal/matrix"
+	"distme/internal/obs"
+)
+
+// The worker half of the distributed block store: handle bands live in
+// w.store, pipeline operators run here against them, and operand bands this
+// worker lacks are fetched worker→worker — the driver never sees
+// intermediate payloads.
+
+// errPeerFetchPrefix marks exec failures caused by a worker→worker fetch;
+// the driver treats them as recoverable (the peer may be dead) and rebuilds
+// from lineage on a fresh placement.
+const errPeerFetchPrefix = "distnet: peer fetch"
+
+const (
+	peerDialTimeout = 5 * time.Second
+	peerCallTimeout = 60 * time.Second
+)
+
+// getStore returns the worker's handle store, creating an unbounded-default
+// one for workers constructed directly (tests, stand-ins) rather than via
+// ServeOptions.
+func (w *Worker) getStore() *handleStore {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.store == nil {
+		w.store = newHandleStore(0)
+	}
+	return w.store
+}
+
+// StoreStats snapshots the worker's handle-store counters.
+func (w *Worker) StoreStats() StoreStats { return w.getStore().stats() }
+
+// peerClient returns (dialing on demand) the RPC client for a peer worker.
+func (w *Worker) peerClient(addr string) (*rpc.Client, error) {
+	w.peersMu.Lock()
+	defer w.peersMu.Unlock()
+	if c, ok := w.peers[addr]; ok {
+		return c, nil
+	}
+	conn, err := net.DialTimeout("tcp", addr, peerDialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := rpc.NewClientWithCodec(newClientCodec(conn, nil, nil, nil))
+	if w.peers == nil {
+		w.peers = map[string]*rpc.Client{}
+	}
+	w.peers[addr] = c
+	return c, nil
+}
+
+// dropPeer discards a peer client after a failed call so the next exec
+// redials instead of reusing a wedged connection.
+func (w *Worker) dropPeer(addr string, c *rpc.Client) {
+	w.peersMu.Lock()
+	if cur, ok := w.peers[addr]; ok && cur == c {
+		delete(w.peers, addr)
+	}
+	w.peersMu.Unlock()
+	c.Close()
+}
+
+func (w *Worker) closePeers() {
+	w.peersMu.Lock()
+	peers := w.peers
+	w.peers = nil
+	w.peersMu.Unlock()
+	for _, c := range peers {
+		c.Close()
+	}
+}
+
+// peerGet fetches blocks of one handle band from a peer worker.
+func (w *Worker) peerGet(addr string, args *GetArgs) ([]BlockRec, error) {
+	client, err := w.peerClient(addr)
+	if err != nil {
+		return nil, fmt.Errorf("%s %s: %w", errPeerFetchPrefix, addr, err)
+	}
+	var reply GetReply
+	if err := rpcCall(client, "GetBlocks", args, &reply, peerCallTimeout); err != nil {
+		w.dropPeer(addr, client)
+		return nil, fmt.Errorf("%s %s: %w", errPeerFetchPrefix, addr, err)
+	}
+	var bytes int64
+	for _, r := range reply.Blocks {
+		if r.Block != nil {
+			bytes += r.Block.SizeBytes()
+		}
+	}
+	w.getStore().addPeerFetch(bytes)
+	return reply.Blocks, nil
+}
+
+// PutBlocks installs one handle's band in the store.
+func (w *Worker) PutBlocks(args *PutArgs, reply *PutReply) error {
+	if !w.beginRPC() {
+		return errors.New(errWorkerDrainingMsg)
+	}
+	defer w.endRPC()
+	sp := w.tracer.Start(obs.SpanID(args.traceSpan), "worker.put", obs.KindWorker)
+	blocks := make(map[bmat.BlockKey]matrix.Block, len(args.Blocks))
+	for _, r := range args.Blocks {
+		blocks[r.Key] = r.Block
+	}
+	reply.Bytes = w.getStore().set(args.Handle, args.Epoch, args.Pin, blocks, true)
+	if sp.Active() {
+		sp.SetAttr("handle", fmt.Sprintf("%d", args.Handle))
+		sp.SetAttr("blocks", fmt.Sprintf("%d", len(blocks)))
+	}
+	sp.End()
+	return nil
+}
+
+// GetBlocks reads a handle's resident blocks, optionally filtered to a
+// block-coordinate box. A missing handle answers with the unknown-handle
+// error, which the driver resolves by lineage rebuild.
+func (w *Worker) GetBlocks(args *GetArgs, reply *GetReply) error {
+	if !w.beginRPC() {
+		return errors.New(errWorkerDrainingMsg)
+	}
+	defer w.endRPC()
+	blocks, ok := w.getStore().get(args.Handle)
+	if !ok {
+		return errors.New(errUnknownHandleMsg)
+	}
+	// Deterministic order keeps replies byte-stable for equal stores.
+	keys := make([]bmat.BlockKey, 0, len(blocks))
+	for k := range blocks {
+		if !args.All && (k.I < args.ILo || k.I >= args.IHi || k.J < args.JLo || k.J >= args.JHi) {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].I != keys[j].I {
+			return keys[i].I < keys[j].I
+		}
+		return keys[i].J < keys[j].J
+	})
+	reply.Blocks = make([]BlockRec, 0, len(keys))
+	for _, k := range keys {
+		reply.Blocks = append(reply.Blocks, BlockRec{Key: k, Block: blocks[k]})
+	}
+	return nil
+}
+
+// FreeHandles drops handles (or a whole session epoch) from the store.
+func (w *Worker) FreeHandles(args *FreeArgs, reply *FreeReply) error {
+	if !w.beginRPC() {
+		return errors.New(errWorkerDrainingMsg)
+	}
+	defer w.endRPC()
+	st := w.getStore()
+	if args.AllEpoch {
+		reply.Freed = st.freeEpoch(args.Epoch)
+	} else {
+		reply.Freed = st.free(args.Handles)
+	}
+	return nil
+}
+
+// PinHandle adjusts a resident band's pin count.
+func (w *Worker) PinHandle(args *PinArgs, _ *PinReply) error {
+	if !w.beginRPC() {
+		return errors.New(errWorkerDrainingMsg)
+	}
+	defer w.endRPC()
+	if !w.getStore().pin(args.Handle, args.Unpin) {
+		return errors.New(errUnknownHandleMsg)
+	}
+	return nil
+}
+
+// ExecOp runs one pipeline operator over resident handles, installing the
+// output band in the store. Arithmetic is deterministic and placement-
+// independent: multiplication accumulates k-ascending per output block (the
+// same order as computeCuboid), element-wise ops mirror the engine's
+// nil-block zip semantics exactly — so resident, materialized, and rebuilt
+// executions are byte-identical.
+func (w *Worker) ExecOp(args *ExecArgs, reply *ExecReply) error {
+	if !w.beginRPC() {
+		return errors.New(errWorkerDrainingMsg)
+	}
+	defer w.endRPC()
+	sp := w.tracer.Start(obs.SpanID(args.traceSpan), "worker.exec", obs.KindWorker)
+	if sp.Active() {
+		sp.SetAttr("op", fmt.Sprintf("%d", args.Op))
+		sp.SetAttr("out", fmt.Sprintf("%d", args.Out))
+	}
+	out, err := w.execOp(args)
+	if err != nil {
+		if sp.Active() {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+		return err
+	}
+	reply.Bytes = w.getStore().set(args.Out, args.Epoch, false, out, false)
+	reply.Blocks = len(out)
+	if sp.Active() {
+		sp.SetAttr("blocks", fmt.Sprintf("%d", len(out)))
+	}
+	sp.End()
+	return nil
+}
+
+// localBand reads one operand band from the local store.
+func (w *Worker) localBand(id uint64) (map[bmat.BlockKey]matrix.Block, error) {
+	blocks, ok := w.getStore().get(id)
+	if !ok {
+		return nil, errors.New(errUnknownHandleMsg)
+	}
+	return blocks, nil
+}
+
+// gatherAll assembles a whole handle from its parts: local bands read the
+// store, remote bands fetch worker→worker.
+func (w *Worker) gatherAll(id uint64, parts []PartLoc, self string) (map[bmat.BlockKey]matrix.Block, error) {
+	all := map[bmat.BlockKey]matrix.Block{}
+	for _, p := range parts {
+		if p.Addr == self {
+			local, err := w.localBand(id)
+			if err != nil {
+				return nil, err
+			}
+			for k, b := range local {
+				all[k] = b
+			}
+			continue
+		}
+		recs, err := w.peerGet(p.Addr, &GetArgs{Handle: id, All: true})
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			all[r.Key] = r.Block
+		}
+	}
+	return all, nil
+}
+
+func (w *Worker) execOp(args *ExecArgs) (map[bmat.BlockKey]matrix.Block, error) {
+	switch args.Op {
+	case execMul:
+		return w.execMul(args)
+	case execTranspose:
+		return w.execTranspose(args)
+	case execScale:
+		a, err := w.localBand(args.A)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[bmat.BlockKey]matrix.Block, len(a))
+		for k, blk := range a {
+			out[k] = matrix.Scale(args.Scalar, blk)
+		}
+		return out, nil
+	case execAdd, execSub, execHadamard, execDivElem:
+		return w.execZip(args)
+	default:
+		return nil, fmt.Errorf("distnet: unknown pipeline op %d", args.Op)
+	}
+}
+
+// execMul computes this worker's C band: C rows are co-partitioned with A
+// rows, so the A band is local while B is assembled whole (the (W−1)/W
+// worker→worker movement Eq.(4)'s pipeline extension prices).
+func (w *Worker) execMul(args *ExecArgs) (map[bmat.BlockKey]matrix.Block, error) {
+	aBlocks, err := w.localBand(args.A)
+	if err != nil {
+		return nil, err
+	}
+	bBlocks, err := w.gatherAll(args.B, args.BParts, args.Self)
+	if err != nil {
+		return nil, err
+	}
+	// Sorted j and ascending k keep the accumulation order identical to
+	// computeCuboid's regardless of which worker runs the band.
+	ksByJ := map[int][]int{}
+	for k := range bBlocks {
+		ksByJ[k.J] = append(ksByJ[k.J], k.I)
+	}
+	js := make([]int, 0, len(ksByJ))
+	for j, ks := range ksByJ {
+		sort.Ints(ks)
+		js = append(js, j)
+	}
+	sort.Ints(js)
+	out := map[bmat.BlockKey]matrix.Block{}
+	for i := args.OutLo; i < args.OutHi; i++ {
+		for _, j := range js {
+			var acc *matrix.Dense
+			for _, k := range ksByJ[j] {
+				ab := aBlocks[bmat.BlockKey{I: i, J: k}]
+				bb := bBlocks[bmat.BlockKey{I: k, J: j}]
+				if ab == nil || bb == nil {
+					continue
+				}
+				acc = matrix.MulAdd(acc, ab, bb)
+			}
+			if acc != nil {
+				out[bmat.BlockKey{I: i, J: j}] = acc
+			}
+		}
+	}
+	return out, nil
+}
+
+// execTranspose builds the output band rows [OutLo, OutHi) — the operand's
+// column slice — fetching exactly that slice from each peer band.
+func (w *Worker) execTranspose(args *ExecArgs) (map[bmat.BlockKey]matrix.Block, error) {
+	out := map[bmat.BlockKey]matrix.Block{}
+	emit := func(k bmat.BlockKey, blk matrix.Block) {
+		if k.J < args.OutLo || k.J >= args.OutHi || blk == nil {
+			return
+		}
+		out[bmat.BlockKey{I: k.J, J: k.I}] = matrix.Transpose(blk)
+	}
+	for _, p := range args.AParts {
+		if p.Addr == args.Self {
+			local, err := w.localBand(args.A)
+			if err != nil {
+				return nil, err
+			}
+			for k, b := range local {
+				emit(k, b)
+			}
+			continue
+		}
+		recs, err := w.peerGet(p.Addr, &GetArgs{
+			Handle: args.A,
+			ILo:    p.Lo, IHi: p.Hi,
+			JLo: args.OutLo, JHi: args.OutHi,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			emit(r.Key, r.Block)
+		}
+	}
+	return out, nil
+}
+
+// execZip runs one element-wise operator over the union of the local A and B
+// band keys, mirroring the engine zip's nil-block semantics exactly.
+func (w *Worker) execZip(args *ExecArgs) (map[bmat.BlockKey]matrix.Block, error) {
+	a, err := w.localBand(args.A)
+	if err != nil {
+		return nil, err
+	}
+	b, err := w.localBand(args.B)
+	if err != nil {
+		return nil, err
+	}
+	keys := map[bmat.BlockKey]struct{}{}
+	for k := range a {
+		keys[k] = struct{}{}
+	}
+	for k := range b {
+		keys[k] = struct{}{}
+	}
+	out := map[bmat.BlockKey]matrix.Block{}
+	for k := range keys {
+		var res matrix.Block
+		x, y := a[k], b[k]
+		switch args.Op {
+		case execAdd:
+			switch {
+			case x == nil:
+				res = y.Dense()
+			case y == nil:
+				res = x.Dense()
+			default:
+				res = matrix.Add(x, y)
+			}
+		case execSub:
+			switch {
+			case x == nil:
+				res = matrix.Scale(-1, y)
+			case y == nil:
+				res = x.Dense()
+			default:
+				res = matrix.Sub(x, y)
+			}
+		case execHadamard:
+			if x != nil && y != nil {
+				res = matrix.Hadamard(x, y)
+			}
+		case execDivElem:
+			if x != nil {
+				if y == nil {
+					r, c := x.Dims()
+					y = matrix.NewDense(r, c)
+				}
+				res = matrix.DivElem(x, y, args.Scalar)
+			}
+		}
+		if res != nil {
+			out[k] = res
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"distme/internal/bmat"
+	"distme/internal/core"
+	"distme/internal/plan"
+)
+
+// Back-compat suite: every deprecated entry point must produce results
+// byte-identical to the consolidated Run — the wrappers are thin delegations,
+// and these tests keep them that way.
+
+func bitSame(t *testing.T, got, want *bmat.BlockMatrix) {
+	t.Helper()
+	g, w := got.ToDense(), want.ToDense()
+	gr, gc := g.Dims()
+	wr, wc := w.Dims()
+	if gr != wr || gc != wc {
+		t.Fatalf("shape %dx%d != %dx%d", gr, gc, wr, wc)
+	}
+	for i := range g.Data {
+		if math.Float64bits(g.Data[i]) != math.Float64bits(w.Data[i]) {
+			t.Fatalf("element %d differs bitwise: %v != %v", i, g.Data[i], w.Data[i])
+		}
+	}
+}
+
+func TestDeprecatedMultiplyMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(150))
+	a := bmat.RandomDense(rng, 20, 24, 4)
+	b := bmat.RandomSparse(rng, 24, 16, 4, 0.5)
+	old, err := newTestEngine(t, testConfig()).Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := newTestEngine(t, testConfig()).Run(context.Background(),
+		plan.Mul(plan.V("a"), plan.V("b")),
+		map[string]*bmat.BlockMatrix{"a": a, "b": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("Run returned nil report")
+	}
+	bitSame(t, got, old)
+}
+
+func TestDeprecatedMultiplyOptMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	a := bmat.RandomDense(rng, 18, 12, 3)
+	b := bmat.RandomDense(rng, 12, 18, 3)
+	for _, m := range []Method{MethodAuto, MethodBMM, MethodCPMM, MethodRMM} {
+		old, oldRep, err := newTestEngine(t, testConfig()).MultiplyOpt(a, b, MulOptions{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		got, rep, err := newTestEngine(t, testConfig()).Run(context.Background(),
+			plan.Mul(plan.V("a"), plan.V("b")),
+			map[string]*bmat.BlockMatrix{"a": a, "b": b},
+			WithMethod(m))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		bitSame(t, got, old)
+		if rep.Method != oldRep.Method {
+			t.Fatalf("%v: report method %v != %v", m, rep.Method, oldRep.Method)
+		}
+	}
+}
+
+func TestDeprecatedMultiplyCtxMatchesRunWithParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	a := bmat.RandomDense(rng, 16, 16, 4)
+	b := bmat.RandomDense(rng, 16, 16, 4)
+	params := core.Params{P: 2, Q: 2, R: 2}
+	old, oldRep, err := newTestEngine(t, testConfig()).MultiplyCtx(context.Background(), a, b,
+		MulOptions{Method: MethodCuboid, Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := newTestEngine(t, testConfig()).Run(context.Background(),
+		plan.Mul(plan.V("a"), plan.V("b")),
+		map[string]*bmat.BlockMatrix{"a": a, "b": b},
+		WithParams(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitSame(t, got, old)
+	if rep.Params != oldRep.Params {
+		t.Fatalf("report params %+v != %+v", rep.Params, oldRep.Params)
+	}
+}
+
+// TestRunMatchesComposedDeprecatedOps: a multi-operator expression through
+// Run equals the same pipeline hand-composed from the deprecated per-op
+// calls — same worker arithmetic, same order, byte-identical.
+func TestRunMatchesComposedDeprecatedOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(153))
+	v := bmat.RandomDense(rng, 12, 10, 4)
+	w := bmat.RandomDense(rng, 12, 4, 4)
+	h := bmat.RandomDense(rng, 4, 10, 4)
+	const eps = 1e-9
+
+	// Hand-composed H update with the deprecated API.
+	e1 := newTestEngine(t, testConfig())
+	wt, err := e1.Transpose(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, err := e1.Multiply(wt, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wtw, err := e1.Multiply(wt, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	den, err := e1.Multiply(wtw, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quot, err := e1.DivElem(num, den, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := e1.Hadamard(h, quot)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same update as one expression through Run.
+	wtE := plan.T(plan.V("w"))
+	update := plan.EMul(plan.V("h"),
+		plan.EDiv(plan.Mul(wtE, plan.V("v")),
+			plan.Mul(plan.Mul(wtE, plan.V("w")), plan.V("h")), eps))
+	got, rep, err := newTestEngine(t, testConfig()).Run(context.Background(), update,
+		map[string]*bmat.BlockMatrix{"v": v, "w": w, "h": h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitSame(t, got, old)
+	if rep.Elapsed <= 0 {
+		t.Fatal("report elapsed not populated")
+	}
+}
+
+// TestDeprecatedOpWrappersMatchCtx: the ctx-less element-wise wrappers are
+// byte-identical to their context-first primaries.
+func TestDeprecatedOpWrappersMatchCtx(t *testing.T) {
+	rng := rand.New(rand.NewSource(154))
+	a := bmat.RandomDense(rng, 10, 12, 4)
+	b := bmat.RandomDense(rng, 10, 12, 4)
+	e := newTestEngine(t, testConfig())
+	ctx := context.Background()
+
+	type pair struct {
+		name string
+		old  func() (*bmat.BlockMatrix, error)
+		new  func() (*bmat.BlockMatrix, error)
+	}
+	for _, p := range []pair{
+		{"Add", func() (*bmat.BlockMatrix, error) { return e.Add(a, b) },
+			func() (*bmat.BlockMatrix, error) { return e.AddCtx(ctx, a, b) }},
+		{"Sub", func() (*bmat.BlockMatrix, error) { return e.Sub(a, b) },
+			func() (*bmat.BlockMatrix, error) { return e.SubCtx(ctx, a, b) }},
+		{"Hadamard", func() (*bmat.BlockMatrix, error) { return e.Hadamard(a, b) },
+			func() (*bmat.BlockMatrix, error) { return e.HadamardCtx(ctx, a, b) }},
+		{"DivElem", func() (*bmat.BlockMatrix, error) { return e.DivElem(a, b, 1e-9) },
+			func() (*bmat.BlockMatrix, error) { return e.DivElemCtx(ctx, a, b, 1e-9) }},
+		{"Scale", func() (*bmat.BlockMatrix, error) { return e.Scale(2.5, a) },
+			func() (*bmat.BlockMatrix, error) { return e.ScaleCtx(ctx, 2.5, a) }},
+		{"Transpose", func() (*bmat.BlockMatrix, error) { return e.Transpose(a) },
+			func() (*bmat.BlockMatrix, error) { return e.TransposeCtx(ctx, a) }},
+	} {
+		old, err := p.old()
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		got, err := p.new()
+		if err != nil {
+			t.Fatalf("%sCtx: %v", p.name, err)
+		}
+		bitSame(t, got, old)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	e := newTestEngine(t, testConfig())
+	if _, _, err := e.Run(context.Background(), nil, nil); err == nil {
+		t.Fatal("nil expression accepted")
+	}
+	_, _, err := e.Run(context.Background(), plan.Mul(plan.V("a"), plan.V("b")), nil)
+	if err == nil {
+		t.Fatal("missing bindings accepted")
+	}
+	rng := rand.New(rand.NewSource(155))
+	a := bmat.RandomDense(rng, 4, 4, 2)
+	// Multi-op expression with one input missing must error, not panic.
+	_, _, err = e.Run(context.Background(), plan.Plus(plan.V("a"), plan.V("missing")),
+		map[string]*bmat.BlockMatrix{"a": a})
+	if err == nil {
+		t.Fatal("missing binding in multi-op expression accepted")
+	}
+}
+
+// TestRunCancelledContext: a cancelled context aborts a multi-op pipeline.
+func TestRunCancelledContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(156))
+	a := bmat.RandomDense(rng, 8, 8, 2)
+	e := newTestEngine(t, testConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := e.Run(ctx, plan.Plus(plan.V("a"), plan.V("a")),
+		map[string]*bmat.BlockMatrix{"a": a})
+	if err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+}

@@ -199,6 +199,8 @@ type Report struct {
 }
 
 // Multiply computes A×B with the engine's default method.
+//
+// Deprecated: Use Run with a plan.Mul expression.
 func (e *Engine) Multiply(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
 	c, _, err := e.MultiplyOpt(a, b, MulOptions{Method: e.cfg.DefaultMethod})
 	return c, err
@@ -206,6 +208,8 @@ func (e *Engine) Multiply(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
 
 // MultiplyOpt computes A×B with explicit options and returns the execution
 // report alongside the product.
+//
+// Deprecated: Use Run with WithMulOptions.
 func (e *Engine) MultiplyOpt(a, b *bmat.BlockMatrix, opts MulOptions) (*bmat.BlockMatrix, *Report, error) {
 	return e.MultiplyCtx(context.Background(), a, b, opts)
 }
@@ -214,7 +218,17 @@ func (e *Engine) MultiplyOpt(a, b *bmat.BlockMatrix, opts MulOptions) (*bmat.Blo
 // multiplication promptly — including mid-backoff between task retry
 // attempts — and returns an error matching errors.Is(err, ErrCancelled)
 // that wraps ctx.Err(). A nil ctx behaves like context.Background().
+//
+// Deprecated: Use Run with WithMulOptions.
 func (e *Engine) MultiplyCtx(ctx context.Context, a, b *bmat.BlockMatrix, opts MulOptions) (*bmat.BlockMatrix, *Report, error) {
+	return e.mulTraced(ctx, a, b, opts)
+}
+
+// mulTraced runs one multiplication under its own engine.multiply root span
+// and extracts exactly that multiplication's spans into the report. It is
+// the single-multiply fast path shared by Run and the deprecated Multiply
+// family.
+func (e *Engine) mulTraced(ctx context.Context, a, b *bmat.BlockMatrix, opts MulOptions) (*bmat.BlockMatrix, *Report, error) {
 	tr := e.cfg.Tracer
 	if tr == nil {
 		return e.multiplyCtx(ctx, a, b, opts, obs.Span{})

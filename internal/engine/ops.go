@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -10,13 +11,18 @@ import (
 	"distme/internal/matrix"
 )
 
-// Transpose computes Aᵀ as a distributed map + re-key over blocks (the
+// The non-multiply operators, context-first. Cancelling ctx aborts the
+// cluster run between task attempts with an error wrapping both
+// cluster.ErrCancelled and ctx.Err(). The ctx-less names remain as thin
+// deprecated wrappers (they also satisfy plan.Evaluator and ml.Ops).
+
+// TransposeCtx computes Aᵀ as a distributed map + re-key over blocks (the
 // paper implements this as an RDD transformation). Layout tracking follows:
 // a row-partitioned matrix becomes column-partitioned and vice versa.
-func (e *Engine) Transpose(a *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
+func (e *Engine) TransposeCtx(ctx context.Context, a *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
 	out := bmat.New(a.Cols, a.Rows, a.BlockSize)
 	var mu sync.Mutex
-	err := e.blockTasks("transpose", a, func(k bmat.BlockKey, blk matrix.Block) error {
+	err := e.blockTasks(ctx, "transpose", a, func(k bmat.BlockKey, blk matrix.Block) error {
 		tr := matrix.Transpose(blk)
 		mu.Lock()
 		out.SetBlock(k.J, k.I, tr)
@@ -41,9 +47,9 @@ func (e *Engine) Transpose(a *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
 	return out, nil
 }
 
-// Add computes A+B block-parallel.
-func (e *Engine) Add(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
-	return e.zip("add", a, b, func(x, y matrix.Block) matrix.Block {
+// AddCtx computes A+B block-parallel.
+func (e *Engine) AddCtx(ctx context.Context, a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
+	return e.zip(ctx, "add", a, b, func(x, y matrix.Block) matrix.Block {
 		switch {
 		case x == nil:
 			return y.Dense()
@@ -55,9 +61,9 @@ func (e *Engine) Add(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
 	})
 }
 
-// Sub computes A−B block-parallel.
-func (e *Engine) Sub(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
-	return e.zip("sub", a, b, func(x, y matrix.Block) matrix.Block {
+// SubCtx computes A−B block-parallel.
+func (e *Engine) SubCtx(ctx context.Context, a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
+	return e.zip(ctx, "sub", a, b, func(x, y matrix.Block) matrix.Block {
 		switch {
 		case x == nil:
 			return matrix.Scale(-1, y)
@@ -69,9 +75,9 @@ func (e *Engine) Sub(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
 	})
 }
 
-// Hadamard computes the element-wise product A∘B block-parallel.
-func (e *Engine) Hadamard(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
-	return e.zip("hadamard", a, b, func(x, y matrix.Block) matrix.Block {
+// HadamardCtx computes the element-wise product A∘B block-parallel.
+func (e *Engine) HadamardCtx(ctx context.Context, a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
+	return e.zip(ctx, "hadamard", a, b, func(x, y matrix.Block) matrix.Block {
 		if x == nil || y == nil {
 			return nil
 		}
@@ -79,10 +85,11 @@ func (e *Engine) Hadamard(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
 	})
 }
 
-// DivElem computes A⊘B element-wise with an epsilon guard, block-parallel.
-// Block positions present in A but missing in B divide by the guard.
-func (e *Engine) DivElem(a, b *bmat.BlockMatrix, eps float64) (*bmat.BlockMatrix, error) {
-	return e.zip("divelem", a, b, func(x, y matrix.Block) matrix.Block {
+// DivElemCtx computes A⊘B element-wise with an epsilon guard,
+// block-parallel. Block positions present in A but missing in B divide by
+// the guard.
+func (e *Engine) DivElemCtx(ctx context.Context, a, b *bmat.BlockMatrix, eps float64) (*bmat.BlockMatrix, error) {
+	return e.zip(ctx, "divelem", a, b, func(x, y matrix.Block) matrix.Block {
 		if x == nil {
 			return nil
 		}
@@ -94,11 +101,11 @@ func (e *Engine) DivElem(a, b *bmat.BlockMatrix, eps float64) (*bmat.BlockMatrix
 	})
 }
 
-// Scale computes s·A block-parallel.
-func (e *Engine) Scale(s float64, a *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
+// ScaleCtx computes s·A block-parallel.
+func (e *Engine) ScaleCtx(ctx context.Context, s float64, a *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
 	out := bmat.New(a.Rows, a.Cols, a.BlockSize)
 	var mu sync.Mutex
-	err := e.blockTasks("scale", a, func(k bmat.BlockKey, blk matrix.Block) error {
+	err := e.blockTasks(ctx, "scale", a, func(k bmat.BlockKey, blk matrix.Block) error {
 		sc := matrix.Scale(s, blk)
 		mu.Lock()
 		out.SetBlock(k.I, k.J, sc)
@@ -111,9 +118,51 @@ func (e *Engine) Scale(s float64, a *bmat.BlockMatrix) (*bmat.BlockMatrix, error
 	return out, nil
 }
 
+// Transpose computes Aᵀ.
+//
+// Deprecated: Use TransposeCtx.
+func (e *Engine) Transpose(a *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
+	return e.TransposeCtx(context.Background(), a)
+}
+
+// Add computes A+B.
+//
+// Deprecated: Use AddCtx.
+func (e *Engine) Add(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
+	return e.AddCtx(context.Background(), a, b)
+}
+
+// Sub computes A−B.
+//
+// Deprecated: Use SubCtx.
+func (e *Engine) Sub(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
+	return e.SubCtx(context.Background(), a, b)
+}
+
+// Hadamard computes A∘B.
+//
+// Deprecated: Use HadamardCtx.
+func (e *Engine) Hadamard(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
+	return e.HadamardCtx(context.Background(), a, b)
+}
+
+// DivElem computes A⊘B with an epsilon guard.
+//
+// Deprecated: Use DivElemCtx.
+func (e *Engine) DivElem(a, b *bmat.BlockMatrix, eps float64) (*bmat.BlockMatrix, error) {
+	return e.DivElemCtx(context.Background(), a, b, eps)
+}
+
+// Scale computes s·A.
+//
+// Deprecated: Use ScaleCtx.
+func (e *Engine) Scale(s float64, a *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
+	return e.ScaleCtx(context.Background(), s, a)
+}
+
 // blockTasks fans one function out over a matrix's stored blocks as cluster
 // tasks, one task per block group, bounded by cluster slots.
-func (e *Engine) blockTasks(name string, a *bmat.BlockMatrix, f func(bmat.BlockKey, matrix.Block) error) error {
+func (e *Engine) blockTasks(ctx context.Context, name string, a *bmat.BlockMatrix, f func(bmat.BlockKey, matrix.Block) error) error {
 	if err := e.checkOpen(); err != nil {
 		return err
 	}
@@ -146,11 +195,11 @@ func (e *Engine) blockTasks(name string, a *bmat.BlockMatrix, f func(bmat.BlockK
 			},
 		})
 	}
-	return e.cluster.Run(tasks)
+	return e.cluster.RunCtx(ctx, tasks)
 }
 
 // zip fans a two-operand block function over the union of block positions.
-func (e *Engine) zip(name string, a, b *bmat.BlockMatrix, f func(x, y matrix.Block) matrix.Block) (*bmat.BlockMatrix, error) {
+func (e *Engine) zip(ctx context.Context, name string, a, b *bmat.BlockMatrix, f func(x, y matrix.Block) matrix.Block) (*bmat.BlockMatrix, error) {
 	if err := e.checkOpen(); err != nil {
 		return nil, err
 	}
@@ -209,7 +258,7 @@ func (e *Engine) zip(name string, a, b *bmat.BlockMatrix, f func(x, y matrix.Blo
 			},
 		})
 	}
-	if err := e.cluster.Run(tasks); err != nil {
+	if err := e.cluster.RunCtx(ctx, tasks); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -147,6 +147,23 @@ type NetStats struct {
 	BatchRPCs       int64 `json:"batch_rpcs"`
 	BatchItems      int64 `json:"batch_items"`
 	BatchItemErrors int64 `json:"batch_item_errors"`
+	// PipelinePuts/PipelinePutBytes count Handle uploads into the distributed
+	// block store; PipelineOps counts worker-side pipeline operators executed;
+	// PipelineFetches/PipelineFetchBytes count final results crossing back to
+	// the driver. ResidentBytes is a gauge of bytes currently resident in
+	// worker stores for live handles (driver-modeled).
+	PipelinePuts       int64 `json:"pipeline_puts"`
+	PipelinePutBytes   int64 `json:"pipeline_put_bytes"`
+	PipelineOps        int64 `json:"pipeline_ops"`
+	PipelineFetches    int64 `json:"pipeline_fetches"`
+	PipelineFetchBytes int64 `json:"pipeline_fetch_bytes"`
+	ResidentBytes      int64 `json:"resident_bytes"`
+	// DriverBytesAvoided accumulates the Eq.(4)-modeled difference between
+	// materialize-every-op execution and the resident pipeline actually run —
+	// the driver traffic the handle store saved. PipelineRecoveries counts
+	// lineage rebuilds after a worker holding resident blocks was lost.
+	DriverBytesAvoided int64 `json:"driver_bytes_avoided"`
+	PipelineRecoveries int64 `json:"pipeline_recoveries"`
 }
 
 // HeartbeatRTTAvg is the mean heartbeat round-trip time.
@@ -185,12 +202,20 @@ func (n NetStats) Sub(o NetStats) NetStats {
 		BatchRPCs:           n.BatchRPCs - o.BatchRPCs,
 		BatchItems:          n.BatchItems - o.BatchItems,
 		BatchItemErrors:     n.BatchItemErrors - o.BatchItemErrors,
+		PipelinePuts:        n.PipelinePuts - o.PipelinePuts,
+		PipelinePutBytes:    n.PipelinePutBytes - o.PipelinePutBytes,
+		PipelineOps:         n.PipelineOps - o.PipelineOps,
+		PipelineFetches:     n.PipelineFetches - o.PipelineFetches,
+		PipelineFetchBytes:  n.PipelineFetchBytes - o.PipelineFetchBytes,
+		ResidentBytes:       n.ResidentBytes - o.ResidentBytes,
+		DriverBytesAvoided:  n.DriverBytesAvoided - o.DriverBytesAvoided,
+		PipelineRecoveries:  n.PipelineRecoveries - o.PipelineRecoveries,
 	}
 }
 
 // String renders the network-elasticity counters compactly.
 func (n NetStats) String() string {
-	return fmt.Sprintf("heartbeats=%d/%d rtt(avg=%v max=%v) reconnects=%d churn=+%d/-%d dead=%d timeouts=%d retries=%d local=%d wire(enc=%s dec=%s) cache(refs=%d misses=%d saved=%s) encoding(blocks=%d saved=%s) batch(rpcs=%d items=%d errs=%d)",
+	return fmt.Sprintf("heartbeats=%d/%d rtt(avg=%v max=%v) reconnects=%d churn=+%d/-%d dead=%d timeouts=%d retries=%d local=%d wire(enc=%s dec=%s) cache(refs=%d misses=%d saved=%s) encoding(blocks=%d saved=%s) batch(rpcs=%d items=%d errs=%d) pipeline(puts=%d/%s ops=%d fetches=%d/%s resident=%s avoided=%s recoveries=%d)",
 		n.HeartbeatsSent-n.HeartbeatMisses, n.HeartbeatsSent,
 		n.HeartbeatRTTAvg(), n.HeartbeatRTTMax,
 		n.Reconnects, n.WorkersJoined, n.WorkersLeft, n.WorkersDeclaredDead,
@@ -198,7 +223,11 @@ func (n NetStats) String() string {
 		FormatBytes(n.WireEncodeBytes), FormatBytes(n.WireDecodeBytes),
 		n.CacheRefsSent, n.CacheRefMisses, FormatBytes(n.CacheBytesSaved),
 		n.EncodedBlocks, FormatBytes(n.EncodedBytesSaved),
-		n.BatchRPCs, n.BatchItems, n.BatchItemErrors)
+		n.BatchRPCs, n.BatchItems, n.BatchItemErrors,
+		n.PipelinePuts, FormatBytes(n.PipelinePutBytes), n.PipelineOps,
+		n.PipelineFetches, FormatBytes(n.PipelineFetchBytes),
+		FormatBytes(n.ResidentBytes), FormatBytes(n.DriverBytesAvoided),
+		n.PipelineRecoveries)
 }
 
 // Recorder accumulates per-step bytes and durations for one job. The zero
@@ -240,6 +269,15 @@ type Recorder struct {
 	batchRPCs         atomic.Int64
 	batchItems        atomic.Int64
 	batchItemErrors   atomic.Int64
+
+	pipelinePuts       atomic.Int64
+	pipelinePutBytes   atomic.Int64
+	pipelineOps        atomic.Int64
+	pipelineFetches    atomic.Int64
+	pipelineFetchBytes atomic.Int64
+	residentBytes      atomic.Int64
+	driverBytesAvoided atomic.Int64
+	pipelineRecoveries atomic.Int64
 
 	mu     sync.Mutex
 	spills int64 // bytes written to disk (E.D.C. accounting)
@@ -325,6 +363,39 @@ func (r *Recorder) AddBatchRPC(items int) {
 // AddBatchItemError records one per-item failure inside a batch reply.
 func (r *Recorder) AddBatchItemError() { r.batchItemErrors.Add(1) }
 
+// AddPipelinePut records one Handle upload of n payload bytes into the
+// distributed block store, and raises the resident gauge.
+func (r *Recorder) AddPipelinePut(n int64) {
+	r.pipelinePuts.Add(1)
+	r.pipelinePutBytes.Add(n)
+	r.residentBytes.Add(n)
+}
+
+// AddPipelineOp records one worker-side pipeline operator executed, whose
+// output adds n bytes to the resident gauge.
+func (r *Recorder) AddPipelineOp(n int64) {
+	r.pipelineOps.Add(1)
+	r.residentBytes.Add(n)
+}
+
+// AddPipelineFetch records one final result of n bytes crossing back to the
+// driver.
+func (r *Recorder) AddPipelineFetch(n int64) {
+	r.pipelineFetches.Add(1)
+	r.pipelineFetchBytes.Add(n)
+}
+
+// AddResidentBytes adjusts the resident gauge by delta (negative on Free).
+func (r *Recorder) AddResidentBytes(delta int64) { r.residentBytes.Add(delta) }
+
+// AddDriverBytesAvoided records the Eq.(4)-modeled driver traffic a resident
+// pipeline saved over materialize-every-op execution.
+func (r *Recorder) AddDriverBytesAvoided(n int64) { r.driverBytesAvoided.Add(n) }
+
+// AddPipelineRecovery records one lineage rebuild of resident handles after
+// a worker loss or eviction.
+func (r *Recorder) AddPipelineRecovery() { r.pipelineRecoveries.Add(1) }
+
 // Net returns the current real-network elasticity counters.
 func (r *Recorder) Net() NetStats {
 	return NetStats{
@@ -352,6 +423,14 @@ func (r *Recorder) Net() NetStats {
 		BatchRPCs:           r.batchRPCs.Load(),
 		BatchItems:          r.batchItems.Load(),
 		BatchItemErrors:     r.batchItemErrors.Load(),
+		PipelinePuts:        r.pipelinePuts.Load(),
+		PipelinePutBytes:    r.pipelinePutBytes.Load(),
+		PipelineOps:         r.pipelineOps.Load(),
+		PipelineFetches:     r.pipelineFetches.Load(),
+		PipelineFetchBytes:  r.pipelineFetchBytes.Load(),
+		ResidentBytes:       r.residentBytes.Load(),
+		DriverBytesAvoided:  r.driverBytesAvoided.Load(),
+		PipelineRecoveries:  r.pipelineRecoveries.Load(),
 	}
 }
 
@@ -456,6 +535,14 @@ func (r *Recorder) Reset() {
 	r.batchRPCs.Store(0)
 	r.batchItems.Store(0)
 	r.batchItemErrors.Store(0)
+	r.pipelinePuts.Store(0)
+	r.pipelinePutBytes.Store(0)
+	r.pipelineOps.Store(0)
+	r.pipelineFetches.Store(0)
+	r.pipelineFetchBytes.Store(0)
+	r.residentBytes.Store(0)
+	r.driverBytesAvoided.Store(0)
+	r.pipelineRecoveries.Store(0)
 	r.mu.Lock()
 	r.spills = 0
 	r.mu.Unlock()

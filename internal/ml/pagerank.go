@@ -65,36 +65,8 @@ func PageRank(ops Ops, adj *bmat.BlockMatrix, opt PageRankOptions) (*PageRankRes
 		if err != nil {
 			return nil, fmt.Errorf("ml: PageRank iteration %d: %w", it, err)
 		}
-		// Dangling mass redistributes uniformly; teleport adds (1−d)/n.
-		var danglingMass float64
-		for i := 0; i < n; i++ {
-			if dangling[i] {
-				danglingMass += r.At(i, 0)
-			}
-		}
-		base := (1-opt.Damping)/float64(n) + opt.Damping*danglingMass/float64(n)
-		next := bmat.New(n, 1, adj.BlockSize)
 		var delta float64
-		for bi := 0; bi < next.IB; bi++ {
-			rows, _ := next.BlockDims(bi, 0)
-			blk := matrix.NewDense(rows, 1)
-			var nonzero bool
-			for i := 0; i < rows; i++ {
-				gi := bi*next.BlockSize + i
-				var sv float64
-				if sb := spread.Block(bi, 0); sb != nil {
-					sv = sb.At(i, 0)
-				}
-				v := base + opt.Damping*sv
-				blk.Set(i, 0, v)
-				nonzero = nonzero || v != 0
-				delta += math.Abs(v - r.At(gi, 0))
-			}
-			if nonzero {
-				next.SetBlock(bi, 0, blk)
-			}
-		}
-		r = next
+		r, delta = pagerankStep(spread, r, dangling, opt.Damping)
 		res.Iterations = it + 1
 		res.Delta = delta
 		if delta < opt.Tolerance {
@@ -103,6 +75,44 @@ func PageRank(ops Ops, adj *bmat.BlockMatrix, opt PageRankOptions) (*PageRankRes
 	}
 	res.Ranks = r
 	return res, nil
+}
+
+// pagerankStep folds one spread vector (Mᵀ·r) into the next rank vector:
+// dangling mass redistributes uniformly, teleport adds (1−d)/n. It returns
+// the next vector and the L1 change — the identical arithmetic for the
+// driver-materialized and handle-resident iterations, so both variants
+// produce byte-identical ranks.
+func pagerankStep(spread, r *bmat.BlockMatrix, dangling []bool, damping float64) (*bmat.BlockMatrix, float64) {
+	n := r.Rows
+	var danglingMass float64
+	for i := 0; i < n; i++ {
+		if dangling[i] {
+			danglingMass += r.At(i, 0)
+		}
+	}
+	base := (1-damping)/float64(n) + damping*danglingMass/float64(n)
+	next := bmat.New(n, 1, r.BlockSize)
+	var delta float64
+	for bi := 0; bi < next.IB; bi++ {
+		rows, _ := next.BlockDims(bi, 0)
+		blk := matrix.NewDense(rows, 1)
+		var nonzero bool
+		for i := 0; i < rows; i++ {
+			gi := bi*next.BlockSize + i
+			var sv float64
+			if sb := spread.Block(bi, 0); sb != nil {
+				sv = sb.At(i, 0)
+			}
+			v := base + damping*sv
+			blk.Set(i, 0, v)
+			nonzero = nonzero || v != 0
+			delta += math.Abs(v - r.At(gi, 0))
+		}
+		if nonzero {
+			next.SetBlock(bi, 0, blk)
+		}
+	}
+	return next, delta
 }
 
 // transitionTranspose builds Mᵀ (column-stochastic in M's orientation) as a

@@ -1,0 +1,374 @@
+// Package pipebench measures what the resident-handle pipeline exists to
+// deliver: warm iterations of an iterative algorithm moving a fraction of
+// the driver traffic that materialize-every-op execution moves, with
+// byte-identical results. It starts an in-process cluster of real TCP
+// workers, runs GNMF and a PageRank spread step both ways, and reports the
+// per-iteration driver bytes, wall time, and the resident/materialized
+// ratio. distme-bench -pipeline renders the report and writes
+// BENCH_pipeline.json; the run fails if any workload's warm ratio drops
+// below MinRatio or any result diverges bitwise.
+package pipebench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+
+	"distme/internal/bmat"
+	"distme/internal/distnet"
+	"distme/internal/ml"
+	"distme/internal/plan"
+)
+
+// MinRatio is the acceptance bar: a warm resident iteration must move at
+// least this many times fewer bytes through the driver than the
+// materialized baseline.
+const MinRatio = 5.0
+
+// Row is one workload's measurement.
+type Row struct {
+	Workload string `json:"workload"`
+	// Warm per-iteration driver traffic (bytes sent + received by the
+	// driver), averaged over the measured iterations.
+	ResidentDriverBytes     int64 `json:"resident_driver_bytes"`
+	MaterializedDriverBytes int64 `json:"materialized_driver_bytes"`
+	// Ratio is materialized / resident driver bytes — higher is better.
+	Ratio float64 `json:"ratio"`
+	// Warm per-iteration wall time, averaged.
+	ResidentNanos     int64 `json:"resident_ns"`
+	MaterializedNanos int64 `json:"materialized_ns"`
+	// BitIdentical reports whether the resident result equals the
+	// materialized result float64-bit for float64-bit.
+	BitIdentical bool `json:"bit_identical"`
+	Iterations   int  `json:"iterations"`
+}
+
+// Report is the full pipeline benchmark output.
+type Report struct {
+	Workers            int     `json:"workers"`
+	MinRatio           float64 `json:"min_ratio"`
+	DriverBytesAvoided int64   `json:"driver_bytes_avoided"`
+	Rows               []Row   `json:"rows"`
+}
+
+// cluster is the in-process harness: real TCP workers, heartbeats off so
+// the run is deterministic.
+type cluster struct {
+	workers []*distnet.Worker
+	driver  *distnet.Driver
+}
+
+func startCluster(n int) (*cluster, error) {
+	c := &cluster{}
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		w, err := distnet.ServeOptions(l, distnet.WorkerOptions{})
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		c.workers = append(c.workers, w)
+		addrs = append(addrs, l.Addr().String())
+	}
+	d, err := distnet.DialOptions(addrs, distnet.Options{
+		DisableHeartbeat: true,
+		CallTimeout:      30 * time.Second,
+	})
+	if err != nil {
+		c.close()
+		return nil, err
+	}
+	c.driver = d
+	return c, nil
+}
+
+func (c *cluster) close() {
+	if c.driver != nil {
+		c.driver.Close()
+	}
+	for _, w := range c.workers {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		w.Shutdown(ctx)
+		cancel()
+	}
+}
+
+// driverBytes is the total driver-routed traffic so far.
+func (c *cluster) driverBytes() int64 {
+	sent, recv := c.driver.WireBytes()
+	return sent + recv
+}
+
+func bitEqual(a, b *bmat.BlockMatrix) bool {
+	x, y := a.ToDense(), b.ToDense()
+	xr, xc := x.Dims()
+	yr, yc := y.Dims()
+	if xr != yr || xc != yc {
+		return false
+	}
+	for i := range x.Data {
+		if math.Float64bits(x.Data[i]) != math.Float64bits(y.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the pipeline benchmark on a fresh in-process cluster.
+func Run() (*Report, error) {
+	const workers = 3
+	c, err := startCluster(workers)
+	if err != nil {
+		return nil, err
+	}
+	defer c.close()
+
+	r := &Report{Workers: workers, MinRatio: MinRatio}
+
+	gnmf, err := benchGNMF(c)
+	if err != nil {
+		return nil, fmt.Errorf("pipebench: gnmf: %w", err)
+	}
+	r.Rows = append(r.Rows, *gnmf)
+
+	pr, err := benchPageRankSpread(c)
+	if err != nil {
+		return nil, fmt.Errorf("pipebench: pagerank: %w", err)
+	}
+	r.Rows = append(r.Rows, *pr)
+
+	r.DriverBytesAvoided = c.driver.NetStats().DriverBytesAvoided
+
+	for _, row := range r.Rows {
+		if !row.BitIdentical {
+			return r, fmt.Errorf("pipebench: %s: resident result not bit-identical to materialized", row.Workload)
+		}
+		if row.Ratio < MinRatio {
+			return r, fmt.Errorf("pipebench: %s: warm driver-byte ratio %.1f below the %.0f× bar", row.Workload, row.Ratio, MinRatio)
+		}
+	}
+	return r, nil
+}
+
+// benchGNMF runs GNMF both ways: the handle pipeline keeps V, W, H resident
+// (V uploads once); the baseline re-uploads every operand and fetches every
+// intermediate through the driver each iteration.
+func benchGNMF(c *cluster) (*Row, error) {
+	const (
+		n, m, rank = 96, 80, 8
+		bs         = 8
+		seed       = 17
+		warmup     = 1
+		measured   = 3
+	)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(1))
+	v := bmat.RandomSparse(rng, n, m, bs, 0.3)
+	opt := ml.GNMFOptions{Rank: rank, Seed: seed}
+
+	// Resident: one session, factors live on the workers across steps.
+	sess, err := c.driver.NewSession(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close(ctx)
+	pipe, err := ml.NewGNMFPipeline[*distnet.Handle](ctx, sess, v, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer pipe.Close(ctx)
+	for i := 0; i < warmup; i++ {
+		if err := pipe.Step(ctx); err != nil {
+			return nil, err
+		}
+	}
+	resBytes0, resT0 := c.driverBytes(), time.Now()
+	for i := 0; i < measured; i++ {
+		if err := pipe.Step(ctx); err != nil {
+			return nil, err
+		}
+	}
+	resNanos := time.Since(resT0).Nanoseconds()
+	resBytes := c.driverBytes() - resBytes0
+	resident, err := pipe.Factors(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	// Materialized twin: same seed, same expressions, every operator's
+	// inputs up and output back through the driver.
+	initRng := rand.New(rand.NewSource(seed))
+	w := bmat.RandomDense(initRng, n, rank, bs)
+	h := bmat.RandomDense(initRng, rank, m, bs)
+	hx, wx := ml.GNMFHExpr(), ml.GNMFWExpr()
+	step := func() error {
+		binds := map[string]*bmat.BlockMatrix{"v": v, "w": w, "h": h}
+		nh, err := sess.RunMaterialized(ctx, hx, binds)
+		if err != nil {
+			return err
+		}
+		h = nh
+		binds["h"] = h
+		nw, err := sess.RunMaterialized(ctx, wx, binds)
+		if err != nil {
+			return err
+		}
+		w = nw
+		return nil
+	}
+	for i := 0; i < warmup; i++ {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+	matBytes0, matT0 := c.driverBytes(), time.Now()
+	for i := 0; i < measured; i++ {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+	matNanos := time.Since(matT0).Nanoseconds()
+	matBytes := c.driverBytes() - matBytes0
+
+	return &Row{
+		Workload:                "gnmf",
+		Iterations:              measured,
+		ResidentDriverBytes:     resBytes / measured,
+		MaterializedDriverBytes: matBytes / measured,
+		Ratio:                   ratio(matBytes, resBytes),
+		ResidentNanos:           resNanos / measured,
+		MaterializedNanos:       matNanos / measured,
+		BitIdentical:            bitEqual(resident.W, w) && bitEqual(resident.H, h),
+	}, nil
+}
+
+// benchPageRankSpread measures the iteration kernel of PageRank — the
+// spread multiply Mᵀ·r. Resident: the n×n transition matrix uploads once
+// and stays pinned; per iteration only the n×1 rank vector goes up and the
+// n×1 spread comes down. Materialized: Mᵀ re-crosses the driver every
+// iteration.
+func benchPageRankSpread(c *cluster) (*Row, error) {
+	const (
+		n        = 120
+		bs       = 8
+		warmup   = 1
+		measured = 3
+	)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(2))
+	mt := bmat.RandomSparse(rng, n, n, bs, 0.2)
+	r := bmat.RandomDense(rng, n, 1, bs)
+	expr := plan.Mul(plan.V("mt"), plan.V("r"))
+
+	sess, err := c.driver.NewSession(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close(ctx)
+	hmt, err := sess.Put(ctx, mt)
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.Pin(ctx, hmt); err != nil {
+		return nil, err
+	}
+
+	residentStep := func() (*bmat.BlockMatrix, error) {
+		hr, err := sess.Put(ctx, r)
+		if err != nil {
+			return nil, err
+		}
+		hs, err := sess.Run(ctx, expr, map[string]*distnet.Handle{"mt": hmt, "r": hr})
+		if err != nil {
+			return nil, err
+		}
+		spread, err := sess.Fetch(ctx, hs)
+		if err != nil {
+			return nil, err
+		}
+		_ = sess.Free(ctx, hs)
+		_ = sess.Free(ctx, hr)
+		return spread, nil
+	}
+	var resSpread *bmat.BlockMatrix
+	for i := 0; i < warmup; i++ {
+		if _, err := residentStep(); err != nil {
+			return nil, err
+		}
+	}
+	resBytes0, resT0 := c.driverBytes(), time.Now()
+	for i := 0; i < measured; i++ {
+		if resSpread, err = residentStep(); err != nil {
+			return nil, err
+		}
+	}
+	resNanos := time.Since(resT0).Nanoseconds()
+	resBytes := c.driverBytes() - resBytes0
+
+	binds := map[string]*bmat.BlockMatrix{"mt": mt, "r": r}
+	var matSpread *bmat.BlockMatrix
+	for i := 0; i < warmup; i++ {
+		if _, err := sess.RunMaterialized(ctx, expr, binds); err != nil {
+			return nil, err
+		}
+	}
+	matBytes0, matT0 := c.driverBytes(), time.Now()
+	for i := 0; i < measured; i++ {
+		if matSpread, err = sess.RunMaterialized(ctx, expr, binds); err != nil {
+			return nil, err
+		}
+	}
+	matNanos := time.Since(matT0).Nanoseconds()
+	matBytes := c.driverBytes() - matBytes0
+
+	return &Row{
+		Workload:                "pagerank-spread",
+		Iterations:              measured,
+		ResidentDriverBytes:     resBytes / measured,
+		MaterializedDriverBytes: matBytes / measured,
+		Ratio:                   ratio(matBytes, resBytes),
+		ResidentNanos:           resNanos / measured,
+		MaterializedNanos:       matNanos / measured,
+		BitIdentical:            bitEqual(resSpread, matSpread),
+	}, nil
+}
+
+func ratio(mat, res int64) float64 {
+	if res == 0 {
+		return math.Inf(1)
+	}
+	return float64(mat) / float64(res)
+}
+
+// WriteJSON writes the report to a file.
+func (r *Report) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Fprint renders the report as a table.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "pipeline benchmark: %d workers, %d iterations warm, bar %.0fx\n", r.Workers, r.Rows[0].Iterations, r.MinRatio)
+	fmt.Fprintf(w, "%-18s %14s %14s %8s %12s %12s %6s\n",
+		"workload", "resident B/it", "material B/it", "ratio", "resident/it", "material/it", "exact")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-18s %14d %14d %7.1fx %12s %12s %6v\n",
+			row.Workload, row.ResidentDriverBytes, row.MaterializedDriverBytes, row.Ratio,
+			time.Duration(row.ResidentNanos), time.Duration(row.MaterializedNanos), row.BitIdentical)
+	}
+	fmt.Fprintf(w, "driver bytes avoided (whole run, optimizer estimate): %d\n", r.DriverBytesAvoided)
+}
