@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race fuzz-smoke vet lint-docs bench bench-kernels bench-wire bench-pipeline api-surface api-check clean
+.PHONY: build test test-race fuzz-smoke vet lint-docs bench bench-kernels bench-wire bench-pipeline soak-smoke soak-full api-surface api-check clean
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,17 @@ bench-kernels:
 # Exits nonzero if any decode is not bit-identical to its input.
 bench-wire:
 	$(GO) run ./cmd/distme-bench -wire -wire-out BENCH_wire.json
+
+# Self-healing soak: seeded chaos workload under the autoscaler, every
+# result asserted bit-identical to pre-chaos references, p99/leak/scaling
+# gates enforced. The smoke profile fits a CI slot (under 90s); the full
+# profile is the nightly long-horizon run with the baseline-degradation
+# gate on.
+soak-smoke:
+	$(GO) run ./cmd/distme-bench -soak -soak-profile smoke -soak-out BENCH_soak.json
+
+soak-full:
+	$(GO) run ./cmd/distme-bench -soak -soak-profile full -soak-out BENCH_soak.json
 
 # Full benchmark sweep (paper tables/figures + kernels + end-to-end).
 bench:

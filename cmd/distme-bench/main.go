@@ -13,6 +13,8 @@
 //	distme-bench -wire -wire-out BENCH_wire.json
 //	distme-bench -pipeline            # resident-handle vs materialized pipelines
 //	distme-bench -pipeline -pipeline-out BENCH_pipeline.json
+//	distme-bench -soak                # self-healing soak/chaos run (smoke profile)
+//	distme-bench -soak -soak-profile full -soak-out BENCH_soak.json
 //	distme-bench -kernels -trace-out trace.json   # bench timeline for chrome://tracing
 //
 // Paper-scale rows are produced by the cost-model plane at the testbed
@@ -30,6 +32,7 @@ import (
 	"distme/internal/kernbench"
 	"distme/internal/obs"
 	"distme/internal/pipebench"
+	"distme/internal/soak"
 	"distme/internal/wirebench"
 )
 
@@ -64,7 +67,10 @@ func main() {
 	wireOut := flag.String("wire-out", "", "with -wire, also write the report as JSON to this path")
 	pipeline := flag.Bool("pipeline", false, "run resident-handle vs driver-materialized pipeline benchmarks (fails below the ratio bar or on result mismatch)")
 	pipelineOut := flag.String("pipeline-out", "", "with -pipeline, also write the report as JSON to this path")
-	traceOut := flag.String("trace-out", "", "with -kernels or -wire, write a Chrome trace_event timeline of the bench run to this path")
+	soakRun := flag.Bool("soak", false, "run the self-healing soak: seeded chaos workload under the autoscaler, bit-identical results enforced")
+	soakProfile := flag.String("soak-profile", "smoke", "with -soak, the profile: smoke (CI, under 90s) or full (nightly)")
+	soakOut := flag.String("soak-out", "", "with -soak, also write the report as JSON to this path")
+	traceOut := flag.String("trace-out", "", "with -kernels, -wire, or -soak, write a Chrome trace_event timeline of the bench run to this path")
 	flag.Parse()
 
 	if *list {
@@ -105,6 +111,36 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "distme-bench: pipeline: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *soakRun {
+		var profile soak.Profile
+		switch *soakProfile {
+		case "smoke":
+			profile = soak.Smoke()
+		case "full":
+			profile = soak.Full()
+		default:
+			fmt.Fprintf(os.Stderr, "distme-bench: unknown soak profile %q (want smoke or full)\n", *soakProfile)
+			os.Exit(2)
+		}
+		tr := benchTracer(*traceOut)
+		report, err := soak.Run(profile, tr)
+		if report != nil {
+			report.Fprint(os.Stdout)
+			if *soakOut != "" {
+				if werr := report.WriteJSON(*soakOut); werr != nil {
+					fmt.Fprintf(os.Stderr, "distme-bench: %v\n", werr)
+					os.Exit(1)
+				}
+			}
+		}
+		writeBenchTrace(tr, *traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "distme-bench: soak: %v\n", err)
 			os.Exit(1)
 		}
 		return

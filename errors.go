@@ -74,4 +74,10 @@ var (
 	// ErrNoWorkers reports a distnet driver whose live membership drained
 	// to zero with local fallback disabled.
 	ErrNoWorkers = distnet.ErrNoWorkers
+
+	// ErrWorkerDraining reports an RPC refused by a worker that is
+	// shutting down gracefully. The driver treats it as transient and
+	// reassigns the work, so it surfaces only from direct calls against a
+	// draining worker.
+	ErrWorkerDraining = distnet.ErrWorkerDraining
 )

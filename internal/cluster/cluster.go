@@ -77,6 +77,12 @@ type Config struct {
 	// RetryBackoffCap caps the exponential backoff (16·RetryBackoff when
 	// zero).
 	RetryBackoffCap time.Duration
+	// RetryJitterSeed pins the full-jitter source applied to retry backoff
+	// (the actual delay before retry n is uniform in (0, backoff]); 0 seeds
+	// from the clock. Jitter changes only retry timing — results stay
+	// bit-identical under any seed — but a pinned seed keeps schedules
+	// reproducible in tests.
+	RetryJitterSeed int64
 	// Speculation enables speculative copies of straggler tasks: once
 	// SpeculationQuantile of a wave has completed, a task in flight for
 	// longer than SpeculationMultiplier × the quantile completion time

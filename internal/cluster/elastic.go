@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -58,6 +59,7 @@ type elasticRun struct {
 	maxRetries  int
 	backoffBase time.Duration
 	backoffCap  time.Duration
+	jrand       *rand.Rand // full-jitter source; guarded by mu
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -132,6 +134,11 @@ func (c *Cluster) RunCtx(ctx context.Context, tasks []Task) error {
 	if r.backoffCap <= 0 {
 		r.backoffCap = 16 * r.backoffBase
 	}
+	jseed := c.cfg.RetryJitterSeed
+	if jseed == 0 {
+		jseed = time.Now().UnixNano()
+	}
+	r.jrand = rand.New(rand.NewSource(jseed))
 	r.cond = sync.NewCond(&r.mu)
 	for i := range tasks {
 		r.state[i].cancels = make(map[int]context.CancelFunc)
@@ -297,19 +304,26 @@ func (r *elasticRun) settleAttemptLocked(item workItem, st *taskState, err error
 	r.scheduleRetryLocked(item.idx, r.backoffFor(st.failures))
 }
 
-// backoffFor returns the capped exponential backoff before retry n (1-based).
+// backoffFor returns the delay before retry n (1-based): full jitter over
+// the capped exponential step — uniform in (0, min(base·2ⁿ⁻¹, cap)] — so
+// tasks that failed together retry spread out instead of stampeding the
+// same recovering resource. Called with r.mu held (it draws from jrand).
 func (r *elasticRun) backoffFor(failures int) time.Duration {
 	d := r.backoffBase
 	for i := 1; i < failures; i++ {
 		d *= 2
 		if d >= r.backoffCap {
-			return r.backoffCap
+			d = r.backoffCap
+			break
 		}
 	}
 	if d > r.backoffCap {
 		d = r.backoffCap
 	}
-	return d
+	if d <= 0 {
+		return d
+	}
+	return time.Duration(r.jrand.Int63n(int64(d)) + 1)
 }
 
 // scheduleRetryLocked enqueues a retry of task idx after the backoff. The

@@ -41,6 +41,12 @@ type DriverDebug struct {
 	WireReceivedBytes int64 `json:"wire_received_bytes"`
 	// Members is the full membership table, including dead/removed entries.
 	Members []MemberDebug `json:"members"`
+	// Health is the health plane's snapshot: per-worker windowed scores,
+	// queue depth, and cluster pressure.
+	Health ClusterHealth `json:"health"`
+	// Autoscaler is the decision log of the running supervisor (absent when
+	// none is running).
+	Autoscaler []ScaleEvent `json:"autoscaler,omitempty"`
 	// Net is the driver's elasticity and wire-codec counter block.
 	Net metrics.NetStats `json:"net"`
 	// Trace summarizes the tracer (absent when tracing is off).
@@ -69,6 +75,8 @@ func (d *Driver) DebugSnapshot() DriverDebug {
 		WireSentBytes:     sent,
 		WireReceivedBytes: received,
 		Members:           rows,
+		Health:            d.ClusterHealth(),
+		Autoscaler:        d.AutoscalerEvents(),
 		Net:               d.NetStats(),
 		Trace:             d.tracer.DebugSnapshot(debugRecentSpans),
 	}

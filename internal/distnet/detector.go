@@ -87,8 +87,15 @@ func (d *Driver) probe(m *member, client *rpc.Client) {
 	if err == nil {
 		rtt := time.Since(start)
 		m.markAlive(rtt)
+		m.noteLoad(&pong)
 		d.rec.ObserveHeartbeatRTT(rtt)
 		return
+	}
+	// A draining worker refuses the probe with its sentinel; flag it so the
+	// scheduler stops offering it work while the missed-beat thresholds
+	// retire it from the live set.
+	if isDrainingError(err) {
+		m.draining.Store(true)
 	}
 	d.rec.AddHeartbeatMiss()
 	if dead, detached := m.noteMissed(d.opts.SuspectAfter, d.opts.DeadAfter); dead {

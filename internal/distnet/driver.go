@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/rpc"
 	"sync"
@@ -53,9 +54,36 @@ type Driver struct {
 	rr      int // round-robin scheduling cursor
 	closed  bool
 
+	// jmu guards jrand, the retry-backoff jitter source (full jitter —
+	// uniform in (0, backoff] — so synchronized retries cannot stampede a
+	// recovering worker; Options.JitterSeed pins it for deterministic tests).
+	jmu   sync.Mutex
+	jrand *rand.Rand
+
+	// ewmaRPC is a rolling mean of successful cuboid RPC durations; an RPC
+	// slower than stragglerMultiple times the mean (after warmup) counts as
+	// a straggler on its member — the health plane's slowness signal.
+	ewmaMu  sync.Mutex
+	ewmaRPC time.Duration
+	ewmaN   int64
+
+	// health is the windowed-score state behind ClusterHealth (health.go);
+	// scaler is the running autoscaler supervisor, if any (autoscaler.go).
+	health   healthState
+	scalerMu sync.Mutex
+	scaler   *scalerRun
+
 	stopDetector chan struct{}
 	detectorDone chan struct{}
 }
+
+// stragglerMultiple and stragglerMinSamples tune straggler detection: after
+// stragglerMinSamples successful RPCs, one slower than stragglerMultiple
+// times the rolling mean is counted against its worker.
+const (
+	stragglerMultiple   = 3
+	stragglerMinSamples = 8
+)
 
 // Options tunes the driver's elasticity machinery. The zero value gives
 // production defaults; tests shrink the intervals.
@@ -81,9 +109,16 @@ type Options struct {
 	// worker can claim them.
 	PerWorkerInflight int
 	// RetryBackoff is the initial inter-attempt backoff (default 2ms),
-	// doubled per attempt and capped at MaxBackoff (default 250ms).
+	// doubled per attempt and capped at MaxBackoff (default 250ms). The
+	// actual sleep is full-jittered: uniform in (0, backoff], so retries
+	// from many concurrent cuboids spread out instead of stampeding a
+	// recovering worker in lockstep.
 	RetryBackoff time.Duration
 	MaxBackoff   time.Duration
+	// JitterSeed pins the backoff jitter source for deterministic tests;
+	// 0 seeds from the clock. Jitter affects only retry timing, never
+	// results: outputs stay byte-identical under any seed.
+	JitterSeed int64
 	// DisableHeartbeat turns the failure detector off (deterministic
 	// tests); dead members are then reconnected only on demand.
 	DisableHeartbeat bool
@@ -198,11 +233,16 @@ func DialOptions(addrs []string, opts Options) (*Driver, error) {
 	if !opts.Encoding.Valid() {
 		return nil, fmt.Errorf("distnet: unknown wire encoding %d", opts.Encoding)
 	}
+	seed := opts.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	d := &Driver{
 		opts:   opts.withDefaults(),
 		wire:   &wireCounter{},
 		rec:    opts.Recorder,
 		tracer: opts.Tracer,
+		jrand:  rand.New(rand.NewSource(seed)),
 	}
 	if d.rec == nil {
 		d.rec = &metrics.Recorder{}
@@ -231,8 +271,10 @@ func DialOptions(addrs []string, opts Options) (*Driver, error) {
 	return d, nil
 }
 
-// Close shuts the detector and every client connection. It is idempotent.
+// Close shuts the autoscaler supervisor (if running), the detector, and
+// every client connection. It is idempotent.
 func (d *Driver) Close() {
+	d.StopAutoscaler()
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -302,12 +344,18 @@ func (d *Driver) call(m *member, method string, args, reply any, timeout time.Du
 	}
 	if errors.Is(err, ErrDeadlineExceeded) {
 		d.rec.AddDeadlineTimeout()
+		m.timeouts.Add(1)
 		d.declareDead(m, client)
 		return fmt.Errorf("%w (%w): %s.%s on %s after %v",
 			ErrDeadlineExceeded, context.DeadlineExceeded, serviceName, method, m.addr, timeout)
 	}
 	var se rpc.ServerError
 	if errors.As(err, &se) {
+		if se.Error() == errWorkerDrainingMsg {
+			// The worker is shutting down gracefully; stop offering it work
+			// (acquireMember skips draining members) until a probe succeeds.
+			m.draining.Store(true)
+		}
 		return err
 	}
 	d.declareDead(m, client)
@@ -355,15 +403,21 @@ func (d *Driver) runJob(ctx context.Context, args *MultiplyArgs, parent obs.Span
 		}
 		args.traceSpan = uint64(asp.ID())
 		var reply MultiplyReply
+		callStart := time.Now()
 		err := d.call(m, "Multiply", args, &reply, d.opts.CallTimeout)
 		m.release()
 		if err != nil && asp.Active() {
 			asp.SetAttr("error", err.Error())
 		}
-		asp.End()
 		if err == nil {
+			if d.noteRPCDuration(m, time.Since(callStart)) && asp.Active() {
+				asp.SetAttr("straggler", "true")
+			}
+			asp.End()
 			return &reply, nil
 		}
+		asp.End()
+		m.retries.Add(1)
 		lastErr = err
 		var se rpc.ServerError
 		if errors.As(err, &se) {
@@ -382,7 +436,7 @@ func (d *Driver) runJob(ctx context.Context, args *MultiplyArgs, parent obs.Span
 		attempt++
 		if attempt < d.opts.JobAttempts {
 			d.rec.AddCuboidRetry()
-			time.Sleep(backoff)
+			d.jitterSleep(backoff)
 			backoff *= 2
 			if backoff > d.opts.MaxBackoff {
 				backoff = d.opts.MaxBackoff
@@ -458,12 +512,16 @@ func (d *Driver) runBatch(ctx context.Context, jobs []*MultiplyArgs, group []int
 			bsp.SetWorker(m.addr)
 		}
 		var reply MultiplyBatchReply
+		callStart := time.Now()
 		err := d.call(m, "MultiplyBatch", batch, &reply, d.opts.CallTimeout)
 		m.release()
 		if err == nil && len(reply.Items) != len(group) {
 			err = fmt.Errorf("distnet: batch reply carried %d items for %d cuboids", len(reply.Items), len(group))
 		}
 		if err == nil {
+			if d.noteRPCDuration(m, time.Since(callStart)) && bsp.Active() {
+				bsp.SetAttr("straggler", "true")
+			}
 			d.rec.AddBatchRPC(len(group))
 			var failed []int
 			sawMiss := false
@@ -494,6 +552,7 @@ func (d *Driver) runBatch(ctx context.Context, jobs []*MultiplyArgs, group []int
 		if bsp.Active() {
 			bsp.SetAttr("error", err.Error())
 		}
+		m.retries.Add(1)
 		var se rpc.ServerError
 		if errors.As(err, &se) && !isTransientServerError(se) {
 			// The worker rejected the batch frame outright; individual
@@ -503,7 +562,7 @@ func (d *Driver) runBatch(ctx context.Context, jobs []*MultiplyArgs, group []int
 		attempt++
 		if attempt < d.opts.JobAttempts {
 			d.rec.AddCuboidRetry()
-			time.Sleep(backoff)
+			d.jitterSleep(backoff)
 			backoff *= 2
 			if backoff > d.opts.MaxBackoff {
 				backoff = d.opts.MaxBackoff
@@ -541,6 +600,46 @@ func (d *Driver) runBatchFallback(ctx context.Context, jobs []*MultiplyArgs, idx
 // resent inline.
 func isTransientServerError(se rpc.ServerError) bool {
 	return se.Error() == errWorkerDrainingMsg || se.Error() == errUnknownDigestMsg
+}
+
+// isDrainingError reports whether err is the draining worker's refusal
+// (matching over the wire, where sentinels arrive as rpc.ServerError text).
+func isDrainingError(err error) bool {
+	var se rpc.ServerError
+	return errors.As(err, &se) && se.Error() == errWorkerDrainingMsg
+}
+
+// jitterSleep sleeps a full-jittered backoff: uniform in (0, b]. Full
+// jitter (rather than equal or decorrelated) maximizes spread, which is
+// what breaks up retry stampedes when many cuboids fail at once.
+func (d *Driver) jitterSleep(b time.Duration) {
+	if b <= 0 {
+		return
+	}
+	d.jmu.Lock()
+	n := d.jrand.Int63n(int64(b)) + 1
+	d.jmu.Unlock()
+	time.Sleep(time.Duration(n))
+}
+
+// noteRPCDuration folds one successful cuboid RPC into the rolling mean and
+// reports (and counts) whether it was a straggler.
+func (d *Driver) noteRPCDuration(m *member, dur time.Duration) bool {
+	d.ewmaMu.Lock()
+	n, mean := d.ewmaN, d.ewmaRPC
+	d.ewmaN++
+	if n == 0 {
+		d.ewmaRPC = dur
+	} else {
+		d.ewmaRPC = (d.ewmaRPC*7 + dur) / 8
+	}
+	d.ewmaMu.Unlock()
+	if n >= stragglerMinSamples && mean > 0 && dur > mean*stragglerMultiple {
+		m.stragglers.Add(1)
+		d.rec.AddStragglerRPC()
+		return true
+	}
+	return false
 }
 
 // multiply runs C = A×B with an explicit (P,Q,R)-cuboid partitioning, each
@@ -736,4 +835,3 @@ func (d *Driver) assignDigests(jobs []*MultiplyArgs) {
 		}
 	}
 }
-

@@ -74,7 +74,9 @@ func (h *Handle) BlockSize() int { return h.blockSize }
 func (h *Handle) Pinned() bool { return h.pinned }
 
 // liveMembers snapshots the schedulable members (connected, Alive or
-// Suspect) in table order.
+// Suspect, not draining) in table order. Draining members are excluded so a
+// session recovery re-snapshots pinned bands onto workers that will still
+// exist when the drain window closes.
 func (d *Driver) liveMembers() []*member {
 	d.mu.Lock()
 	members := append([]*member(nil), d.members...)
@@ -82,7 +84,7 @@ func (d *Driver) liveMembers() []*member {
 	var out []*member
 	for _, m := range members {
 		state, client := m.snapshot()
-		if client != nil && (state == StateAlive || state == StateSuspect) {
+		if client != nil && (state == StateAlive || state == StateSuspect) && !m.draining.Load() {
 			out = append(out, m)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -82,12 +83,29 @@ type member struct {
 	// tracker is forgotten then.
 	tracker sendTracker
 
-	mu      sync.Mutex
-	client  *rpc.Client // nil while disconnected
-	state   MemberState
-	missed  int // consecutive failed heartbeats
-	dialing bool
-	lastRTT time.Duration
+	// Health-plane signals. Atomics so ClusterHealth and the autoscaler
+	// read them without taking the member lock on the RPC hot path. The
+	// lifetime counters are monotonic; the health plane windows them by
+	// keeping base snapshots (see health.go).
+	draining     atomic.Bool  // last refusal was the draining sentinel
+	suspectTrans atomic.Int64 // lifetime Alive/Suspect transitions
+	retries      atomic.Int64 // lifetime failed cuboid attempts retried off this member
+	timeouts     atomic.Int64 // lifetime per-call deadline expiries
+	stragglers   atomic.Int64 // lifetime successful-but-slow cuboid RPCs
+
+	// Load snapshot ferried back on the most recent pong.
+	loadInFlight       atomic.Int64
+	loadStoreBytes     atomic.Int64
+	loadStoreHandles   atomic.Int64
+	loadStoreEvictions atomic.Int64
+
+	mu        sync.Mutex
+	client    *rpc.Client // nil while disconnected
+	state     MemberState
+	missed    int // consecutive failed heartbeats
+	dialing   bool
+	lastRTT   time.Duration
+	deadSince time.Time // when the member last crossed into Dead; zero while live
 }
 
 // newMember creates a disconnected membership entry with the driver's
@@ -108,6 +126,17 @@ type MemberInfo struct {
 	// Missed is the member's consecutive failed-heartbeat count at snapshot
 	// time (what stands between it and the Suspect/Dead thresholds).
 	Missed int
+	// Draining reports that the worker's last refusal was the draining
+	// sentinel: it is shutting down gracefully and receives no new work.
+	Draining bool
+}
+
+// noteLoad folds a pong's load snapshot into the member's health signals.
+func (m *member) noteLoad(pong *PingReply) {
+	m.loadInFlight.Store(pong.InFlight)
+	m.loadStoreBytes.Store(pong.StoreBytes)
+	m.loadStoreHandles.Store(pong.StoreHandles)
+	m.loadStoreEvictions.Store(pong.StoreEvictions)
 }
 
 // snapshot returns the state and client under the member's lock.
@@ -124,8 +153,10 @@ func (m *member) markAlive(rtt time.Duration) {
 		m.state = StateAlive
 		m.missed = 0
 		m.lastRTT = rtt
+		m.deadSince = time.Time{}
 	}
 	m.mu.Unlock()
+	m.draining.Store(false)
 }
 
 // noteMissed records a failed heartbeat and applies the Suspect/Dead
@@ -140,12 +171,14 @@ func (m *member) noteMissed(suspectAfter, deadAfter int) (declaredDead bool, det
 	m.missed++
 	if m.missed >= deadAfter {
 		m.state = StateDead
+		m.deadSince = time.Now()
 		detached = m.client
 		m.client = nil
 		return true, detached
 	}
-	if m.missed >= suspectAfter {
+	if m.missed >= suspectAfter && m.state != StateSuspect {
 		m.state = StateSuspect
+		m.suspectTrans.Add(1)
 	}
 	return false, nil
 }
@@ -159,7 +192,7 @@ func (d *Driver) Members() []MemberInfo {
 	out := make([]MemberInfo, 0, len(members))
 	for _, m := range members {
 		m.mu.Lock()
-		out = append(out, MemberInfo{Addr: m.addr, State: m.state, LastRTT: m.lastRTT, Missed: m.missed})
+		out = append(out, MemberInfo{Addr: m.addr, State: m.state, LastRTT: m.lastRTT, Missed: m.missed, Draining: m.draining.Load()})
 		m.mu.Unlock()
 	}
 	return out
@@ -307,7 +340,10 @@ func (d *Driver) connect(m *member, reconnect bool) error {
 	m.state = StateAlive
 	m.missed = 0
 	m.lastRTT = rtt
+	m.deadSince = time.Time{}
 	m.mu.Unlock()
+	m.draining.Store(false)
+	m.noteLoad(&pong)
 	if reconnect {
 		d.rec.AddReconnect()
 	}
@@ -331,6 +367,12 @@ func (d *Driver) acquireMember() (picked *member, anyLive bool) {
 			m := members[(start+i)%n]
 			state, client := m.snapshot()
 			if client == nil || state != want {
+				continue
+			}
+			// A draining worker refuses new work; scheduling onto it only
+			// burns a retry attempt. The detector marks it dead shortly
+			// (Ping refuses too), so skip it rather than wait on its slots.
+			if m.draining.Load() {
 				continue
 			}
 			anyLive = true
@@ -365,6 +407,32 @@ func (d *Driver) reconnectAny() bool {
 	return false
 }
 
+// retireDead flips members that have stayed Dead for longer than olderThan
+// into StateRemoved so the detector stops redialing them, and returns their
+// addresses. The autoscaler's housekeeping calls this to reap workers that
+// were killed (not drained) and never came back; a worker that recovers
+// before the threshold rejoins normally via the detector's redial.
+func (d *Driver) retireDead(olderThan time.Duration) []string {
+	d.mu.Lock()
+	members := append([]*member(nil), d.members...)
+	d.mu.Unlock()
+	var retired []string
+	now := time.Now()
+	for _, m := range members {
+		m.mu.Lock()
+		if m.state == StateDead && !m.deadSince.IsZero() && now.Sub(m.deadSince) >= olderThan {
+			m.state = StateRemoved
+			retired = append(retired, m.addr)
+		}
+		m.mu.Unlock()
+	}
+	for range retired {
+		d.rec.AddWorkerRetired()
+		d.rec.AddWorkerLeft()
+	}
+	return retired
+}
+
 // declareDead detaches and closes a member's client after a transport
 // failure. Only the exact client the failed call used is detached, so a
 // reconnect that raced in is not torn down.
@@ -375,6 +443,7 @@ func (d *Driver) declareDead(m *member, failed *rpc.Client) {
 		m.client = nil
 		if m.state != StateRemoved {
 			m.state = StateDead
+			m.deadSince = time.Now()
 		}
 		detached = true
 	}

@@ -90,9 +90,20 @@ type MultiplyBatchReply struct {
 // PingArgs and PingReply implement the liveness probe.
 type PingArgs struct{}
 
-// PingReply reports the worker's identity.
+// PingReply reports the worker's identity plus a load snapshot the driver's
+// health plane folds into the per-worker score: RPCs currently executing,
+// and the handle store's occupancy/eviction pressure.
 type PingReply struct {
 	Hostname string
+
+	// InFlight is the number of RPCs the worker is executing right now.
+	InFlight int64
+	// StoreBytes/StoreHandles are the handle store's current occupancy;
+	// StoreEvictions is its lifetime eviction count (monotonic, so the
+	// driver can window deltas).
+	StoreBytes     int64
+	StoreHandles   int64
+	StoreEvictions int64
 }
 
 // serviceName is the registered net/rpc service.

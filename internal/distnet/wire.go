@@ -484,7 +484,27 @@ func (c *clientCodec) ReadResponseBody(body any) error {
 	case *ExecReply:
 		err = decodeExecReply(&rd, v)
 	case *PingReply:
-		v.Hostname, err = rd.str()
+		if v.Hostname, err = rd.str(); err == nil {
+			var u uint64
+			if u, err = rd.uvarint(); err == nil {
+				v.InFlight = int64(u)
+			}
+			if err == nil {
+				if u, err = rd.uvarint(); err == nil {
+					v.StoreBytes = int64(u)
+				}
+			}
+			if err == nil {
+				if u, err = rd.uvarint(); err == nil {
+					v.StoreHandles = int64(u)
+				}
+			}
+			if err == nil {
+				if u, err = rd.uvarint(); err == nil {
+					v.StoreEvictions = int64(u)
+				}
+			}
+		}
 	default:
 		err = fmt.Errorf("distnet: unsupported response body %T", body)
 	}
@@ -617,6 +637,10 @@ func (s *serverCodec) WriteResponse(r *rpc.Response, body any) error {
 			appendExecReply(&w, v)
 		case *PingReply:
 			w.str(v.Hostname)
+			w.uvarint(uint64(v.InFlight))
+			w.uvarint(uint64(v.StoreBytes))
+			w.uvarint(uint64(v.StoreHandles))
+			w.uvarint(uint64(v.StoreEvictions))
 		default:
 			err = fmt.Errorf("distnet: unsupported response body %T", body)
 		}

@@ -9,6 +9,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"distme/internal/bmat"
 	"distme/internal/matrix"
@@ -19,6 +20,18 @@ import (
 // answers with; the driver treats it as transient and reassigns the cuboid.
 const errWorkerDrainingMsg = "distnet: worker draining"
 
+// ErrWorkerDraining matches the refusal a draining worker answers every RPC
+// with (read-only GetBlocks is admitted a little longer — see Shutdown). The
+// driver retries such calls on other members, so callers normally never see
+// it; it surfaces only from direct RPCs against a worker mid-shutdown.
+var ErrWorkerDraining = errors.New(errWorkerDrainingMsg)
+
+// defaultDrainWindow bounds the read-only drain window when Shutdown's ctx
+// carries no deadline: peers may still GetBlocks resident bands off a
+// draining worker for this long, after which every RPC refuses and pinned
+// bands are re-snapshotted elsewhere by session recovery.
+const defaultDrainWindow = 10 * time.Second
+
 // Worker serves cuboid multiplications over net/rpc. One worker process
 // plays the role of one cluster node's executor. A served worker (via
 // Serve/ListenAndServe) owns its listener and connections and supports
@@ -27,6 +40,7 @@ type Worker struct {
 	mu         sync.Mutex
 	multiplies int
 	draining   bool
+	drainUntil time.Time // read-only drain window end; zero = no window
 	listener   net.Listener
 	conns      map[net.Conn]struct{}
 
@@ -74,6 +88,22 @@ func (w *Worker) beginRPC() bool {
 func (w *Worker) endRPC() {
 	w.inflightN.Add(-1)
 	w.inflight.Done()
+}
+
+// beginReadRPC admits a read-only RPC (GetBlocks). Unlike beginRPC it stays
+// open during the drain window — a draining worker's resident bands must be
+// fetchable by peers and sessions until the drain deadline, or every pinned
+// band would need a driver re-snapshot on any graceful scale-down. Past the
+// deadline it refuses like everything else.
+func (w *Worker) beginReadRPC() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.draining && (w.drainUntil.IsZero() || !time.Now().Before(w.drainUntil)) {
+		return false
+	}
+	w.inflight.Add(1)
+	w.inflightN.Add(1)
+	return true
 }
 
 // computeCuboid is the cuboid arithmetic itself: for every (i, j) in the
@@ -201,6 +231,14 @@ func (w *Worker) Ping(_ *PingArgs, reply *PingReply) error {
 		host = "unknown"
 	}
 	reply.Hostname = host
+	// The pong ferries a load snapshot back so the driver's health plane
+	// sees store pressure without extra RPCs. Subtract this Ping itself
+	// from the in-flight count.
+	reply.InFlight = w.inflightN.Load() - 1
+	st := w.getStore().stats()
+	reply.StoreBytes = st.Bytes
+	reply.StoreHandles = int64(st.Handles)
+	reply.StoreEvictions = st.Evictions
 	return nil
 }
 
@@ -232,14 +270,23 @@ func (w *Worker) untrackConn(conn net.Conn) {
 
 // Shutdown gracefully stops a served worker: the listener closes (no new
 // connections), in-flight RPCs drain (bounded by ctx), then every open
-// connection closes. It is idempotent and returns ctx.Err() when the drain
-// deadline expired before in-flight work finished (connections are closed
-// regardless, so the worker is down either way).
+// connection closes. During the drain window — ctx's deadline, or
+// defaultDrainWindow when ctx has none — read-only GetBlocks peer fetches
+// are still admitted so resident bands can migrate off this worker; past
+// the deadline those refuse too and pinned bands are re-snapshotted
+// elsewhere by session recovery. It is idempotent and returns ctx.Err()
+// when the drain deadline expired before in-flight work finished
+// (connections are closed regardless, so the worker is down either way).
 func (w *Worker) Shutdown(ctx context.Context) error {
 	var err error
 	w.shutdownOnce.Do(func() {
 		w.mu.Lock()
 		w.draining = true
+		if dl, ok := ctx.Deadline(); ok {
+			w.drainUntil = dl
+		} else {
+			w.drainUntil = time.Now().Add(defaultDrainWindow)
+		}
 		l := w.listener
 		w.mu.Unlock()
 		if l != nil {

@@ -126,9 +126,11 @@ func (w *Worker) PutBlocks(args *PutArgs, reply *PutReply) error {
 
 // GetBlocks reads a handle's resident blocks, optionally filtered to a
 // block-coordinate box. A missing handle answers with the unknown-handle
-// error, which the driver resolves by lineage rebuild.
+// error, which the driver resolves by lineage rebuild. Reads stay admitted
+// during a shutdown's drain window (beginReadRPC) so peers can copy bands
+// off a draining worker before it goes away.
 func (w *Worker) GetBlocks(args *GetArgs, reply *GetReply) error {
-	if !w.beginRPC() {
+	if !w.beginReadRPC() {
 		return errors.New(errWorkerDrainingMsg)
 	}
 	defer w.endRPC()

@@ -164,6 +164,17 @@ type NetStats struct {
 	// lineage rebuilds after a worker holding resident blocks was lost.
 	DriverBytesAvoided int64 `json:"driver_bytes_avoided"`
 	PipelineRecoveries int64 `json:"pipeline_recoveries"`
+	// ScaleUps/ScaleDowns count autoscaler decisions applied (workers added
+	// to / drained out of the membership by the self-healing loop);
+	// WorkersRetired counts dead members the supervisor reaped from the
+	// table after they stayed unreachable past the retirement threshold.
+	ScaleUps       int64 `json:"scale_ups"`
+	ScaleDowns     int64 `json:"scale_downs"`
+	WorkersRetired int64 `json:"workers_retired"`
+	// StragglerRPCs counts successful cuboid RPCs whose latency exceeded the
+	// straggler multiple of the driver's rolling mean — the health plane's
+	// per-worker slowness signal.
+	StragglerRPCs int64 `json:"straggler_rpcs"`
 }
 
 // HeartbeatRTTAvg is the mean heartbeat round-trip time.
@@ -210,6 +221,10 @@ func (n NetStats) Sub(o NetStats) NetStats {
 		ResidentBytes:       n.ResidentBytes - o.ResidentBytes,
 		DriverBytesAvoided:  n.DriverBytesAvoided - o.DriverBytesAvoided,
 		PipelineRecoveries:  n.PipelineRecoveries - o.PipelineRecoveries,
+		ScaleUps:            n.ScaleUps - o.ScaleUps,
+		ScaleDowns:          n.ScaleDowns - o.ScaleDowns,
+		WorkersRetired:      n.WorkersRetired - o.WorkersRetired,
+		StragglerRPCs:       n.StragglerRPCs - o.StragglerRPCs,
 	}
 }
 
@@ -227,7 +242,9 @@ func (n NetStats) String() string {
 		n.PipelinePuts, FormatBytes(n.PipelinePutBytes), n.PipelineOps,
 		n.PipelineFetches, FormatBytes(n.PipelineFetchBytes),
 		FormatBytes(n.ResidentBytes), FormatBytes(n.DriverBytesAvoided),
-		n.PipelineRecoveries)
+		n.PipelineRecoveries) +
+		fmt.Sprintf(" scale(+%d/-%d retired=%d) stragglers=%d",
+			n.ScaleUps, n.ScaleDowns, n.WorkersRetired, n.StragglerRPCs)
 }
 
 // Recorder accumulates per-step bytes and durations for one job. The zero
@@ -278,6 +295,11 @@ type Recorder struct {
 	residentBytes      atomic.Int64
 	driverBytesAvoided atomic.Int64
 	pipelineRecoveries atomic.Int64
+
+	scaleUps       atomic.Int64
+	scaleDowns     atomic.Int64
+	workersRetired atomic.Int64
+	stragglerRPCs  atomic.Int64
 
 	mu     sync.Mutex
 	spills int64 // bytes written to disk (E.D.C. accounting)
@@ -396,6 +418,21 @@ func (r *Recorder) AddDriverBytesAvoided(n int64) { r.driverBytesAvoided.Add(n) 
 // a worker loss or eviction.
 func (r *Recorder) AddPipelineRecovery() { r.pipelineRecoveries.Add(1) }
 
+// AddScaleUp records one autoscaler scale-up applied (a worker added).
+func (r *Recorder) AddScaleUp() { r.scaleUps.Add(1) }
+
+// AddScaleDown records one autoscaler scale-down applied (a worker drained
+// out of rotation).
+func (r *Recorder) AddScaleDown() { r.scaleDowns.Add(1) }
+
+// AddWorkerRetired records a dead member reaped from the table by the
+// autoscaler's housekeeping.
+func (r *Recorder) AddWorkerRetired() { r.workersRetired.Add(1) }
+
+// AddStragglerRPC records a successful cuboid RPC slower than the straggler
+// multiple of the rolling mean.
+func (r *Recorder) AddStragglerRPC() { r.stragglerRPCs.Add(1) }
+
 // Net returns the current real-network elasticity counters.
 func (r *Recorder) Net() NetStats {
 	return NetStats{
@@ -431,6 +468,10 @@ func (r *Recorder) Net() NetStats {
 		ResidentBytes:       r.residentBytes.Load(),
 		DriverBytesAvoided:  r.driverBytesAvoided.Load(),
 		PipelineRecoveries:  r.pipelineRecoveries.Load(),
+		ScaleUps:            r.scaleUps.Load(),
+		ScaleDowns:          r.scaleDowns.Load(),
+		WorkersRetired:      r.workersRetired.Load(),
+		StragglerRPCs:       r.stragglerRPCs.Load(),
 	}
 }
 
@@ -543,6 +584,10 @@ func (r *Recorder) Reset() {
 	r.residentBytes.Store(0)
 	r.driverBytesAvoided.Store(0)
 	r.pipelineRecoveries.Store(0)
+	r.scaleUps.Store(0)
+	r.scaleDowns.Store(0)
+	r.workersRetired.Store(0)
+	r.stragglerRPCs.Store(0)
 	r.mu.Lock()
 	r.spills = 0
 	r.mu.Unlock()

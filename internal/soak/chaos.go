@@ -1,0 +1,149 @@
+package soak
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// chaosProxy is the soak's network-misbehavior layer, lifted from the
+// distnet chaos test suite into reusable form: a TCP proxy in front of a
+// worker that delays accepts and throttles the byte stream, making the
+// worker behind it a straggler without touching its arithmetic. The kill
+// fault (abrupt listener/conn teardown) lives in distnet.InProcPool.Kill;
+// this proxy supplies the slow-worker half of the chaos schedule.
+type chaosProxy struct {
+	listener net.Listener
+	target   string
+
+	// acceptDelayMax delays each accepted connection's first byte by a
+	// seeded uniform draw in [0, acceptDelayMax); chunkDelay sleeps between
+	// relay chunks in both directions, throttling every RPC on the link.
+	acceptDelayMax time.Duration
+	chunkDelay     time.Duration
+
+	rmu sync.Mutex
+	rng *rand.Rand
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// startChaosProxy listens on a fresh loopback port and relays to target.
+func startChaosProxy(target string, seed int64, acceptDelayMax, chunkDelay time.Duration) (*chaosProxy, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &chaosProxy{
+		listener:       l,
+		target:         target,
+		acceptDelayMax: acceptDelayMax,
+		chunkDelay:     chunkDelay,
+		rng:            rand.New(rand.NewSource(seed)),
+		conns:          map[net.Conn]struct{}{},
+	}
+	go p.acceptLoop()
+	return p, nil
+}
+
+func (p *chaosProxy) addr() string { return p.listener.Addr().String() }
+
+func (p *chaosProxy) acceptLoop() {
+	for {
+		conn, err := p.listener.Accept()
+		if err != nil {
+			return
+		}
+		go p.serve(conn)
+	}
+}
+
+func (p *chaosProxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *chaosProxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *chaosProxy) serve(client net.Conn) {
+	if p.acceptDelayMax > 0 {
+		p.rmu.Lock()
+		d := time.Duration(p.rng.Int63n(int64(p.acceptDelayMax)))
+		p.rmu.Unlock()
+		time.Sleep(d)
+	}
+	upstream, err := net.DialTimeout("tcp", p.target, 2*time.Second)
+	if err != nil {
+		client.Close()
+		return
+	}
+	if !p.track(client) || !p.track(upstream) {
+		client.Close()
+		upstream.Close()
+		return
+	}
+	done := make(chan struct{}, 2)
+	relay := func(dst, src net.Conn) {
+		buf := make([]byte, 16<<10)
+		for {
+			n, rerr := src.Read(buf)
+			if n > 0 {
+				if p.chunkDelay > 0 {
+					time.Sleep(p.chunkDelay)
+				}
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if rerr != nil {
+				break
+			}
+		}
+		done <- struct{}{}
+	}
+	go relay(upstream, client)
+	go relay(client, upstream)
+	<-done
+	client.Close()
+	upstream.Close()
+	<-done
+	p.untrack(client)
+	p.untrack(upstream)
+}
+
+func (p *chaosProxy) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.conns = map[net.Conn]struct{}{}
+	p.mu.Unlock()
+	p.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// drainTo is a tiny io.Copy stand-in kept to make the relay's intent
+// greppable in profiles; unused in the hot path.
+var _ = io.Copy
