@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race fuzz-smoke vet lint-docs bench bench-kernels bench-wire bench-pipeline soak-smoke soak-full api-surface api-check clean
+.PHONY: build test test-race fuzz-smoke vet lint-docs bench bench-kernels bench-wire bench-pull bench-pipeline soak-smoke soak-full api-surface api-check clean
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzRead -fuzztime=10s -run '^$$' ./internal/storage
 	$(GO) test -fuzz=FuzzDecodeBlock -fuzztime=10s -run '^$$' ./internal/codec
 	$(GO) test -fuzz=FuzzDecodeEncodings -fuzztime=10s -run '^$$' ./internal/codec
+	$(GO) test -fuzz=FuzzDecodeManifest -fuzztime=10s -run '^$$' ./internal/codec
 
 vet:
 	$(GO) vet ./...
@@ -54,9 +55,15 @@ bench-kernels:
 	$(GO) run ./cmd/distme-bench -kernels -kernels-out BENCH_kernels.json
 
 # Gob-vs-codec wire benchmarks, refreshing the checked-in trajectory file.
-# Exits nonzero if any decode is not bit-identical to its input.
+# Exits nonzero if any decode is not bit-identical to its input, or if the
+# pull data plane's warm-operand multiply fails its gates: bit-identical to
+# push, and at least 5x fewer driver bytes.
 bench-wire:
 	$(GO) run ./cmd/distme-bench -wire -wire-out BENCH_wire.json
+
+# The push-vs-pull data-plane comparison rides in the wire report's `pull`
+# section; this alias refreshes the same artifact.
+bench-pull: bench-wire
 
 # Self-healing soak: seeded chaos workload under the autoscaler, every
 # result asserted bit-identical to pre-chaos references, p99/leak/scaling

@@ -1,0 +1,164 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Placement manifests are the pull data plane's control message: instead of
+// shipping operand slices, the driver ships one Manifest per operand naming
+// where every block of the requested box lives (owner address) and what its
+// bytes are (content digest, when known). Workers resolve the manifest
+// against their content-addressed cache, fetch what is missing from the
+// listed owners, and fall back to the driver only when a peer cannot serve.
+//
+// The wire form is uvarint-framed and hardened like every other decoder in
+// this package: counts are checked against the bytes actually present
+// before any allocation, and every malformed payload surfaces as
+// ErrBadFormat — never a panic.
+
+// ManifestEntry places one block of an operand: grid key (block row and
+// column in the operand's own block grid), the index of its owner in
+// Manifest.Owners, and optionally its content digest for cache dedup.
+type ManifestEntry struct {
+	KeyI, KeyJ int
+	// Owner indexes Manifest.Owners.
+	Owner int
+	// HasDigest marks Digest as meaningful; blocks below the cacheable
+	// threshold travel digestless.
+	HasDigest bool
+	Digest    Digest
+}
+
+// Manifest places every block of one operand slice: the distributed handle
+// the blocks live under, the owner address table, and one entry per block.
+// Blocks absent from a live handle are structurally-absent sparse blocks
+// and contribute zero.
+type Manifest struct {
+	// Handle is the distributed store id the entries resolve against.
+	Handle uint64
+	// Owners is the address table entries index into.
+	Owners []string
+	// Entries place each block, sorted I-then-J by the encoder.
+	Entries []ManifestEntry
+}
+
+// AppendManifest appends the wire encoding of m to dst: handle uvarint,
+// owner count + length-prefixed addresses, entry count, then per entry
+// keyI/keyJ/owner uvarints, a digest-present flag byte, and the 32 digest
+// bytes when present.
+func AppendManifest(dst []byte, m *Manifest) []byte {
+	dst = binary.AppendUvarint(dst, m.Handle)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Owners)))
+	for _, o := range m.Owners {
+		dst = binary.AppendUvarint(dst, uint64(len(o)))
+		dst = append(dst, o...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.Entries)))
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		dst = binary.AppendUvarint(dst, uint64(e.KeyI))
+		dst = binary.AppendUvarint(dst, uint64(e.KeyJ))
+		dst = binary.AppendUvarint(dst, uint64(e.Owner))
+		if e.HasDigest {
+			dst = append(dst, 1)
+			dst = append(dst, e.Digest[:]...)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// DecodeManifest parses one manifest from the front of data and returns it
+// with the unconsumed remainder. Malformed input — truncation, counts
+// promising more than the bytes present, owner indices outside the table,
+// implausible grid keys — returns ErrBadFormat.
+func DecodeManifest(data []byte) (Manifest, []byte, error) {
+	var m Manifest
+	rd := data
+	uv := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(rd)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated manifest %s", ErrBadFormat, what)
+		}
+		rd = rd[n:]
+		return v, nil
+	}
+	handle, err := uv("handle")
+	if err != nil {
+		return m, nil, err
+	}
+	m.Handle = handle
+	owners, err := uv("owner count")
+	if err != nil {
+		return m, nil, err
+	}
+	// Every owner costs at least its one length byte, so the count is
+	// bounded by the bytes actually present.
+	if owners > uint64(len(rd)) {
+		return m, nil, fmt.Errorf("%w: manifest owner count %d exceeds payload", ErrBadFormat, owners)
+	}
+	m.Owners = make([]string, 0, owners)
+	for i := uint64(0); i < owners; i++ {
+		n, err := uv("owner length")
+		if err != nil {
+			return m, nil, err
+		}
+		if n > uint64(len(rd)) {
+			return m, nil, fmt.Errorf("%w: manifest owner length %d exceeds payload", ErrBadFormat, n)
+		}
+		m.Owners = append(m.Owners, string(rd[:n]))
+		rd = rd[n:]
+	}
+	entries, err := uv("entry count")
+	if err != nil {
+		return m, nil, err
+	}
+	// An entry is at least three uvarint bytes plus its flag byte.
+	if entries > uint64(len(rd))/4 {
+		return m, nil, fmt.Errorf("%w: manifest entry count %d exceeds payload", ErrBadFormat, entries)
+	}
+	m.Entries = make([]ManifestEntry, 0, entries)
+	for i := uint64(0); i < entries; i++ {
+		var e ManifestEntry
+		ki, err := uv("entry key")
+		if err != nil {
+			return m, nil, err
+		}
+		kj, err := uv("entry key")
+		if err != nil {
+			return m, nil, err
+		}
+		if ki > MaxBlockSide || kj > MaxBlockSide {
+			return m, nil, fmt.Errorf("%w: implausible manifest key (%d,%d)", ErrBadFormat, ki, kj)
+		}
+		owner, err := uv("entry owner")
+		if err != nil {
+			return m, nil, err
+		}
+		if owner >= uint64(len(m.Owners)) {
+			return m, nil, fmt.Errorf("%w: manifest owner index %d outside table of %d", ErrBadFormat, owner, len(m.Owners))
+		}
+		if len(rd) < 1 {
+			return m, nil, fmt.Errorf("%w: truncated manifest digest flag", ErrBadFormat)
+		}
+		flag := rd[0]
+		rd = rd[1:]
+		switch flag {
+		case 0:
+		case 1:
+			if len(rd) < len(e.Digest) {
+				return m, nil, fmt.Errorf("%w: truncated manifest digest", ErrBadFormat)
+			}
+			e.HasDigest = true
+			copy(e.Digest[:], rd)
+			rd = rd[len(e.Digest):]
+		default:
+			return m, nil, fmt.Errorf("%w: unknown manifest digest flag %d", ErrBadFormat, flag)
+		}
+		e.KeyI, e.KeyJ, e.Owner = int(ki), int(kj), int(owner)
+		m.Entries = append(m.Entries, e)
+	}
+	return m, rd, nil
+}

@@ -1,0 +1,154 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"distme/internal/matrix"
+)
+
+// goldenManifests returns the fixed fixtures whose wire bytes are pinned in
+// testdata/manifest.golden. Digests come from deterministic blocks so the
+// fixture is reproducible from source.
+func goldenManifests(t *testing.T) []struct {
+	name string
+	m    Manifest
+} {
+	t.Helper()
+	dg := func(vals ...float64) Digest {
+		d, err := DigestOf(matrix.NewDenseData(1, len(vals), vals))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	return []struct {
+		name string
+		m    Manifest
+	}{
+		{"empty", Manifest{Handle: 7}},
+		{"digestless", Manifest{
+			Handle: 1,
+			Owners: []string{"10.0.0.1:4100"},
+			Entries: []ManifestEntry{
+				{KeyI: 0, KeyJ: 0, Owner: 0},
+				{KeyI: 0, KeyJ: 1, Owner: 0},
+			},
+		}},
+		{"mixed", Manifest{
+			Handle: 1 << 40,
+			Owners: []string{"10.0.0.1:4100", "10.0.0.2:4100", "10.0.0.3:4100"},
+			Entries: []ManifestEntry{
+				{KeyI: 0, KeyJ: 0, Owner: 0, HasDigest: true, Digest: dg(1, 2, 3)},
+				{KeyI: 1, KeyJ: 0, Owner: 1},
+				{KeyI: 2, KeyJ: 5, Owner: 2, HasDigest: true, Digest: dg(-4.5)},
+			},
+		}},
+	}
+}
+
+// TestManifestRoundTrip: encode → decode must reproduce the manifest
+// exactly and consume exactly its own bytes, leaving any trailing payload
+// untouched.
+func TestManifestRoundTrip(t *testing.T) {
+	for _, tc := range goldenManifests(t) {
+		enc := AppendManifest(nil, &tc.m)
+		withTail := append(append([]byte(nil), enc...), 0xAB, 0xCD)
+		got, rest, err := DecodeManifest(withTail)
+		if err != nil {
+			t.Fatalf("%s: DecodeManifest: %v", tc.name, err)
+		}
+		if !bytes.Equal(rest, []byte{0xAB, 0xCD}) {
+			t.Fatalf("%s: decode consumed the wrong byte count, rest=%x", tc.name, rest)
+		}
+		want := tc.m
+		if want.Owners == nil {
+			want.Owners = []string{}
+		}
+		if want.Entries == nil {
+			want.Entries = []ManifestEntry{}
+		}
+		if got.Handle != want.Handle || !reflect.DeepEqual(got.Owners, want.Owners) || !reflect.DeepEqual(got.Entries, want.Entries) {
+			t.Fatalf("%s: round trip changed the manifest:\n got %+v\nwant %+v", tc.name, got, want)
+		}
+		// Re-encode must be byte-identical (no lenient parse smuggling).
+		if re := AppendManifest(nil, &got); !bytes.Equal(re, enc) {
+			t.Fatalf("%s: re-encode differs from original bytes", tc.name)
+		}
+	}
+}
+
+// TestManifestGolden pins the manifest wire format byte-for-byte. A diff
+// here means the pull-plane wire format changed; bump deliberately with
+// -update and note the break.
+func TestManifestGolden(t *testing.T) {
+	var sb bytes.Buffer
+	for _, tc := range goldenManifests(t) {
+		enc := AppendManifest(nil, &tc.m)
+		sb.WriteString(tc.name + " " + hex.EncodeToString(enc) + "\n")
+	}
+	path := filepath.Join("testdata", "manifest.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, sb.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(sb.Bytes(), want) {
+		t.Fatalf("manifest wire bytes differ from %s:\n got:\n%s\nwant:\n%s", path, sb.Bytes(), want)
+	}
+}
+
+// TestManifestHostileInputs: every malformed payload must surface as
+// ErrBadFormat — truncations, counts promising more than the payload holds,
+// out-of-table owner indices, unknown flags — never a panic or an
+// allocation unbounded by the input.
+func TestManifestHostileInputs(t *testing.T) {
+	valid := AppendManifest(nil, &Manifest{
+		Handle: 3,
+		Owners: []string{"w1", "w2"},
+		Entries: []ManifestEntry{
+			{KeyI: 1, KeyJ: 2, Owner: 1, HasDigest: true, Digest: Digest{1, 2, 3}},
+		},
+	})
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated handle", []byte{0x80}},
+		{"owner count exceeds payload", []byte{1, 0xFF, 0xFF, 0x03}},
+		{"owner length exceeds payload", []byte{1, 1, 0x20, 'x'}},
+		{"entry count exceeds payload", []byte{1, 0, 0xFF, 0xFF, 0x03}},
+		{"owner index outside table", nil}, // hand-built below
+		{"truncated digest", valid[:len(valid)-1]},
+		{"unknown flag", append(append([]byte(nil), valid[:len(valid)-33]...), 7)},
+	}
+	// Hand-build the owner-index case precisely: one owner, entry owner=5.
+	bad := []byte{3 /*handle*/, 1 /*owners*/, 2, 'w', '1', 1 /*entries*/, 0, 0, 5 /*owner idx*/, 0}
+	cases[5].data = bad
+	for _, tc := range cases {
+		m, _, err := DecodeManifest(tc.data)
+		if err == nil {
+			t.Fatalf("%s: decode accepted %x as %+v", tc.name, tc.data, m)
+		}
+		if !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("%s: error %v does not wrap ErrBadFormat", tc.name, err)
+		}
+	}
+	// Every truncation of a valid manifest must fail cleanly too.
+	for i := 0; i < len(valid); i++ {
+		if _, _, err := DecodeManifest(valid[:i]); err != nil && !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("truncation at %d: error %v does not wrap ErrBadFormat", i, err)
+		}
+	}
+}

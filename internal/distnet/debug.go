@@ -99,6 +99,9 @@ type WorkerDebug struct {
 	// Store is the distributed block store's resident-handle occupancy and
 	// counters (puts, execs, evictions, worker→worker fetches).
 	Store StoreStats `json:"store"`
+	// Pull is the one-sided pull plane's resolution counters: cache dedup
+	// hits, coalesced peer fetches and their payload, failed resolutions.
+	Pull WorkerPullStats `json:"pull"`
 	// Trace summarizes the tracer (absent when tracing is off).
 	Trace *obs.TraceDebug `json:"trace,omitempty"`
 }
@@ -123,6 +126,7 @@ func (w *Worker) DebugSnapshot() WorkerDebug {
 		InFlightRPCs: w.inflightN.Load(),
 		Cache:        w.CacheStats(),
 		Store:        w.StoreStats(),
+		Pull:         w.PullStats(),
 		Trace:        w.tracer.DebugSnapshot(debugRecentSpans),
 	}
 }

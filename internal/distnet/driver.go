@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net"
 	"net/rpc"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -138,6 +139,14 @@ type Options struct {
 	// used. MultiplyAuto prices the encoding's byte ratio into Eq.(4), so
 	// a cheaper encoding can change the chosen partitioning.
 	Encoding codec.Encoding
+	// Transfer selects the data plane for pipeline operator band exchange
+	// (Session.Run): TransferPush gathers peer bands eagerly up front,
+	// TransferPull streams them on demand (prefetch overlapped with compute,
+	// bounded-concurrency transpose fetches), and TransferAuto (the zero
+	// value) prices both per pipeline — pull is chosen exactly when its
+	// Eq.(4) extension, the peer term at full fan-out, is strictly cheaper.
+	// Results are bit-identical across modes.
+	Transfer core.Transfer
 	// BatchBytes, when positive, coalesces cuboids whose encoded block
 	// payloads are under this size into MultiplyBatch RPCs — one round trip
 	// per group instead of one per cuboid on many-tiny-cuboids plans. Items
@@ -232,6 +241,9 @@ func DialOptions(addrs []string, opts Options) (*Driver, error) {
 	}
 	if !opts.Encoding.Valid() {
 		return nil, fmt.Errorf("distnet: unknown wire encoding %d", opts.Encoding)
+	}
+	if !opts.Transfer.Valid() {
+		return nil, fmt.Errorf("distnet: unknown transfer mode %d", opts.Transfer)
 	}
 	seed := opts.JitterSeed
 	if seed == 0 {
@@ -372,6 +384,9 @@ func (d *Driver) call(m *member, method string, args, reply any, timeout time.Du
 // records a child under it, so retries and reassignments are visible as
 // sibling attempts on the timeline.
 func (d *Driver) runJob(ctx context.Context, args *MultiplyArgs, parent obs.Span) (*MultiplyReply, error) {
+	if args.pull {
+		d.rec.AddPullJob()
+	}
 	backoff := d.opts.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt < d.opts.JobAttempts; {
@@ -402,6 +417,11 @@ func (d *Driver) runJob(ctx context.Context, args *MultiplyArgs, parent obs.Span
 			asp.SetCuboid(args.cuboidP, args.cuboidQ, args.cuboidR)
 		}
 		args.traceSpan = uint64(asp.ID())
+		if args.pull {
+			// The assigned worker must know which manifest owner is itself;
+			// ownership is decided at dispatch, not plan time.
+			args.pullSelf = m.addr
+		}
 		var reply MultiplyReply
 		callStart := time.Now()
 		err := d.call(m, "Multiply", args, &reply, d.opts.CallTimeout)
@@ -412,6 +432,9 @@ func (d *Driver) runJob(ctx context.Context, args *MultiplyArgs, parent obs.Span
 		if err == nil {
 			if d.noteRPCDuration(m, time.Since(callStart)) && asp.Active() {
 				asp.SetAttr("straggler", "true")
+			}
+			if args.pull {
+				d.rec.AddPullReply(reply.pullHits, reply.pullFetches, reply.pullPeerBytes)
 			}
 			asp.End()
 			return &reply, nil
@@ -427,6 +450,16 @@ func (d *Driver) runJob(ctx context.Context, args *MultiplyArgs, parent obs.Span
 				// believed it had; the retry ships everything inline.
 				d.rec.AddCacheRefMiss()
 				m.tracker.forget()
+			} else if strings.Contains(se.Error(), errPullPrefix) {
+				// Pull resolution failed on the worker — a peer died
+				// mid-fetch, or a manifest entry points at an evicted band.
+				// The driver is the pull plane's last resort: when it holds
+				// the operand blocks, the retry downgrades to push and ships
+				// them inline.
+				d.rec.AddPullFallback()
+				if args.pull && args.pullInline {
+					args.pull = false
+				}
 			} else if !isTransientServerError(se) {
 				// The worker computed and rejected the request: retrying the
 				// same malformed cuboid elsewhere cannot help.
@@ -443,7 +476,9 @@ func (d *Driver) runJob(ctx context.Context, args *MultiplyArgs, parent obs.Span
 			}
 		}
 	}
-	if !d.opts.DisableLocalFallback {
+	// Local fallback needs the operand blocks driver-side; a pull cuboid
+	// whose blocks the driver never fully held cannot be computed locally.
+	if !d.opts.DisableLocalFallback && (!args.pull || args.pullInline) {
 		d.rec.AddLocalFallback()
 		lsp := d.tracer.Start(parent.ID(), "local-fallback", obs.KindDriver)
 		if lsp.Active() {
@@ -596,10 +631,12 @@ func (d *Driver) runBatchFallback(ctx context.Context, jobs []*MultiplyArgs, idx
 
 // isTransientServerError recognizes application-level errors that still
 // warrant reassignment — a draining worker answers RPCs but refuses work,
-// and a cache miss on a digest reference just means the blocks must be
-// resent inline.
+// a cache miss on a digest reference just means the blocks must be resent
+// inline, and a failed pull resolution (dead peer, evicted band) is cured by
+// downgrading the retry to push.
 func isTransientServerError(se rpc.ServerError) bool {
-	return se.Error() == errWorkerDrainingMsg || se.Error() == errUnknownDigestMsg
+	return se.Error() == errWorkerDrainingMsg || se.Error() == errUnknownDigestMsg ||
+		strings.Contains(se.Error(), errPullPrefix)
 }
 
 // isDrainingError reports whether err is the draining worker's refusal
@@ -737,7 +774,7 @@ func (d *Driver) multiply(ctx context.Context, a, b *bmat.BlockMatrix, params co
 				continue
 			}
 		}
-		if d.opts.BatchBytes > 0 && jobPayloadBytes(args) < d.opts.BatchBytes {
+		if d.opts.BatchBytes > 0 && !args.pull && jobPayloadBytes(args) < d.opts.BatchBytes {
 			small = append(small, idx)
 			continue
 		}

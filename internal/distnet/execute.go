@@ -22,6 +22,17 @@ type MultiplyOptions struct {
 	// partial-C reply under this directory; re-running the same job there
 	// after a driver crash re-ships only the unfinished cuboids.
 	CheckpointDir string
+	// Transfer selects the operand data plane. TransferPush is the classic
+	// mode: the driver ships every cuboid slice. TransferPull seeds each
+	// operand once into a block-store session and ships only placement
+	// manifests; workers fetch the replicated slices from the owning peers,
+	// so the driver moves |A|+|B| instead of Q·|A|+P·|B|. TransferAuto (the
+	// zero value) prices both with Eq.(4) when the optimizer chooses the
+	// partitioning, and keeps push for explicit Params — the established
+	// behavior. Pull requires CheckpointDir to be empty (cuboid checkpoints
+	// ride the push path) and is ignored when only one worker is live.
+	// Results are bit-identical across modes.
+	Transfer core.Transfer
 }
 
 // Execute is the driver's consolidated multiply entry point: C = A×B across
@@ -32,9 +43,24 @@ type MultiplyOptions struct {
 // deprecated wrappers. The returned params are the partitioning actually
 // run. Cancelling ctx abandons unscheduled cuboids and returns its error.
 func (d *Driver) Execute(ctx context.Context, a, b *bmat.BlockMatrix, opts MultiplyOptions) (*bmat.BlockMatrix, core.Params, error) {
+	if !opts.Transfer.Valid() {
+		return nil, core.Params{}, fmt.Errorf("distnet: unknown transfer mode %d", opts.Transfer)
+	}
+	mode := opts.Transfer
+	if opts.CheckpointDir != "" {
+		if mode == core.TransferPull {
+			return nil, core.Params{}, fmt.Errorf("distnet: pull transfer does not checkpoint")
+		}
+		mode = core.TransferPush
+	}
 	var params core.Params
 	if opts.Params != nil {
 		params = *opts.Params
+		if mode == core.TransferAuto {
+			// Explicit partitioning keeps the established push plane unless
+			// pull was asked for by name.
+			mode = core.TransferPush
+		}
 	} else {
 		slots := d.Workers()
 		if slots < 1 {
@@ -45,11 +71,23 @@ func (d *Driver) Execute(ctx context.Context, a, b *bmat.BlockMatrix, opts Multi
 			mem = 1 << 30
 		}
 		wc := core.WireCost{InputRatio: d.opts.Encoding.PlanRatio(), AggRatio: 1}
-		p, err := core.OptimizeWire(core.ShapeOf(a, b), mem, slots, wc)
+		pc := core.PullCost{Workers: slots} // cold operands: the seed is paid
+		var err error
+		switch mode {
+		case core.TransferPush:
+			params, err = core.OptimizeWire(core.ShapeOf(a, b), mem, slots, wc)
+		case core.TransferPull:
+			params, err = core.OptimizePull(core.ShapeOf(a, b), mem, slots, wc, pc)
+		default:
+			params, mode, err = core.OptimizeTransfer(core.ShapeOf(a, b), mem, slots, wc, pc)
+		}
 		if err != nil {
 			return nil, core.Params{}, err
 		}
-		params = p
+	}
+	if mode == core.TransferPull && d.Workers() > 1 {
+		c, err := d.executePull(ctx, a, b, params)
+		return c, params, err
 	}
 	var ckpt *checkpointer
 	if opts.CheckpointDir != "" {
@@ -57,6 +95,29 @@ func (d *Driver) Execute(ctx context.Context, a, b *bmat.BlockMatrix, opts Multi
 	}
 	c, err := d.multiply(ctx, a, b, params, ckpt)
 	return c, params, err
+}
+
+// executePull runs one cold-operand pull multiply: seed each operand once
+// into a throwaway block-store session (the driver's one-copy |A|+|B|
+// contribution), then manifest-multiply over the resident handles, then
+// retire the session. Failures inside fall back per cuboid — a worker that
+// cannot resolve its manifest is re-pushed inline by runJob.
+func (d *Driver) executePull(ctx context.Context, a, b *bmat.BlockMatrix, params core.Params) (*bmat.BlockMatrix, error) {
+	s, err := d.NewSession(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = s.Close(ctx) }()
+	ha, err := s.Put(ctx, a)
+	if err != nil {
+		return nil, err
+	}
+	hb, err := s.Put(ctx, b)
+	if err != nil {
+		return nil, err
+	}
+	c, _, err := s.Multiply(ctx, ha, hb, MultiplyOptions{Params: &params, Transfer: core.TransferPull})
+	return c, err
 }
 
 // Multiply runs C = A×B with an explicit (P,Q,R)-cuboid partitioning.

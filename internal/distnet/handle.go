@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"distme/internal/bmat"
+	"distme/internal/codec"
 	"distme/internal/obs"
 	"distme/internal/shuffle"
 )
@@ -37,6 +38,11 @@ type Session struct {
 	handles    map[uint64]*Handle // live (unfreed) handles
 	closed     bool
 	recoveries int
+
+	// pullExec is the last pipeline pricing's transfer verdict: operators
+	// stream peer bands on demand instead of gathering eagerly. Mode never
+	// affects results, so recovery replays under whatever value is current.
+	pullExec bool
 }
 
 // Handle names a matrix resident in a session's workers, co-partitioned by
@@ -59,6 +65,11 @@ type Handle struct {
 	op     uint8
 	la, lb *Handle
 	scalar float64
+
+	// dig memoizes the src blocks' content digests for pull-mode manifests
+	// (nil values mark blocks that ship without one). Valid because src is
+	// immutable while the handle lives.
+	dig map[bmat.BlockKey]*codec.Digest
 }
 
 // Rows returns the handle's element row count.
@@ -181,7 +192,8 @@ func recoverableHandleErr(err error) bool {
 	if errors.As(err, &se) {
 		msg := se.Error()
 		return msg == errUnknownHandleMsg || msg == errWorkerDrainingMsg ||
-			strings.Contains(msg, errUnknownHandleMsg) || strings.Contains(msg, errPeerFetchPrefix)
+			strings.Contains(msg, errUnknownHandleMsg) || strings.Contains(msg, errPeerFetchPrefix) ||
+			strings.Contains(msg, errPullPrefix)
 	}
 	return false
 }

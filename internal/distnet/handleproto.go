@@ -98,6 +98,11 @@ type ExecArgs struct {
 	BParts       []PartLoc
 	Self         string
 
+	// Pull streams the peer operand bands instead of gathering them all
+	// up front: fetches overlap compute with one-ahead prefetch, in band
+	// order, so results stay bit-identical to the eager gather.
+	Pull bool
+
 	traceSpan uint64
 }
 
@@ -105,4 +110,7 @@ type ExecArgs struct {
 type ExecReply struct {
 	Bytes  int64
 	Blocks int
+	// PeerBytes is the worker→worker traffic this operator's band moved,
+	// folded into the driver's pull counters.
+	PeerBytes int64
 }

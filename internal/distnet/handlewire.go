@@ -226,6 +226,11 @@ func appendExecArgs(w *frameWriter, a *ExecArgs) error {
 	appendPartLocs(w, a.BParts)
 	w.str(a.Self)
 	w.uvarint(a.traceSpan)
+	if a.Pull {
+		w.byte1(1)
+	} else {
+		w.byte1(0)
+	}
 	return nil
 }
 
@@ -266,21 +271,30 @@ func decodeExecArgs(rd *wireReader, a *ExecArgs) error {
 	if a.Self, err = rd.str(); err != nil {
 		return err
 	}
-	a.traceSpan, err = rd.uvarint()
-	return err
+	if a.traceSpan, err = rd.uvarint(); err != nil {
+		return err
+	}
+	pull, err := rd.u8()
+	if err != nil {
+		return err
+	}
+	a.Pull = pull != 0
+	return nil
 }
 
 func appendExecReply(w *frameWriter, r *ExecReply) {
 	w.uvarint(uint64(r.Bytes))
 	w.uvarint(uint64(r.Blocks))
+	w.uvarint(uint64(r.PeerBytes))
 }
 
 func decodeExecReply(rd *wireReader, r *ExecReply) error {
 	b, err1 := rd.uvarint()
 	n, err2 := rd.uvarint()
-	if err1 != nil || err2 != nil {
+	pb, err3 := rd.uvarint()
+	if err1 != nil || err2 != nil || err3 != nil {
 		return fmt.Errorf("%w: exec reply", errWire)
 	}
-	r.Bytes, r.Blocks = int64(b), int(n)
+	r.Bytes, r.Blocks, r.PeerBytes = int64(b), int(n), int64(pb)
 	return nil
 }

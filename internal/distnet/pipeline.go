@@ -121,11 +121,28 @@ func (s *Session) price(p *plan.Program, binds map[string]*Handle, parent obs.Sp
 		return err
 	}
 	mat, res := core.PipelineCost(ops, len(s.workers), fetchBytes)
+	pullRes := core.PipelinePullCost(ops, len(s.workers), fetchBytes)
+	switch s.d.opts.Transfer {
+	case core.TransferPush:
+		s.pullExec = false
+	case core.TransferPull:
+		s.pullExec = true
+	default:
+		// Auto: pull exactly when its fan-out-divided peer term is strictly
+		// cheaper than the eager resident estimate.
+		s.pullExec = pullRes < res
+	}
 	sp := s.d.tracer.Start(parent.ID(), "pipeline.optimize", obs.KindDriver)
 	if sp.Active() {
 		sp.SetAttr("ops", fmt.Sprintf("%d", len(ops)))
 		sp.SetAttr("materialized-bytes", fmt.Sprintf("%d", mat))
 		sp.SetAttr("resident-bytes", fmt.Sprintf("%d", res))
+		sp.SetAttr("pull-bytes", fmt.Sprintf("%d", pullRes))
+		if s.pullExec {
+			sp.SetAttr("transfer", "pull")
+		} else {
+			sp.SetAttr("transfer", "push")
+		}
 	}
 	sp.End()
 	if mat > res {
@@ -254,8 +271,12 @@ func (s *Session) execParts(ctx context.Context, h *Handle) error {
 		bParts = s.partLocs(h.lb)
 		bID = h.lb.id
 	}
+	if s.pullExec {
+		s.d.rec.AddPullJob()
+	}
 	errs := make([]error, len(ps))
 	bytes := make([]int64, len(ps))
+	peer := make([]int64, len(ps))
 	var wg sync.WaitGroup
 	for i, p := range ps {
 		wg.Add(1)
@@ -267,6 +288,7 @@ func (s *Session) execParts(ctx context.Context, h *Handle) error {
 				OutLo: p.lo, OutHi: p.hi,
 				AParts: aParts, BParts: bParts,
 				Self:      p.m.addr,
+				Pull:      s.pullExec,
 				traceSpan: uint64(sp.ID()),
 			}
 			var reply ExecReply
@@ -275,15 +297,20 @@ func (s *Session) execParts(ctx context.Context, h *Handle) error {
 				return
 			}
 			bytes[i] = reply.Bytes
+			peer[i] = reply.PeerBytes
 		}(i, p)
 	}
 	wg.Wait()
-	var total int64
+	var total, peerTotal int64
 	for i := range errs {
 		if errs[i] != nil {
 			return errs[i]
 		}
 		total += bytes[i]
+		peerTotal += peer[i]
+	}
+	if peerTotal > 0 {
+		s.d.rec.AddPullReply(0, 0, peerTotal)
 	}
 	if h.bytes != 0 {
 		s.d.rec.AddResidentBytes(-h.bytes)

@@ -54,11 +54,34 @@ type MultiplyArgs struct {
 	// item's blocks could not be resolved (unknown digest); the worker
 	// reports it in the item's reply slot instead of computing.
 	decodeErr string
+
+	// pull switches this cuboid to the one-sided data plane: ABlocks and
+	// BBlocks stay off the wire, and the worker resolves the placement
+	// manifests instead — cache dedup first, then coalesced fetches from
+	// the peer owners (entries whose owner equals pullSelf, the assigned
+	// worker's own address, read the local store). A failed resolution is
+	// a transient error the driver answers by re-pushing inline — the
+	// driver stays the last-resort data source.
+	pull                 bool
+	aManifest, bManifest *codec.Manifest
+	pullSelf             string
+
+	// pullInline marks a pull cuboid whose retained ABlocks/BBlocks are a
+	// complete inline copy of both operand slices (both handles kept their
+	// Put source driver-side). Only such cuboids may downgrade to an inline
+	// push retry or run the local fallback — a partial inline set would
+	// silently compute against missing blocks. Driver-side only.
+	pullInline bool
 }
 
 // MultiplyReply returns the cuboid's partial C blocks.
 type MultiplyReply struct {
 	CBlocks []BlockRec
+
+	// Pull-resolution accounting, folded into the driver's NetStats:
+	// manifest entries satisfied by the content-addressed cache, peer
+	// fetches issued, and peer bytes moved. Zero on push replies.
+	pullHits, pullFetches, pullPeerBytes int64
 }
 
 // MultiplyBatchArgs ships many small cuboids in one RPC. The driver

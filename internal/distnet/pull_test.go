@@ -1,0 +1,440 @@
+package distnet
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+
+	"distme/internal/bmat"
+	"distme/internal/core"
+	"distme/internal/matrix"
+	"distme/internal/plan"
+)
+
+// The one-sided pull data plane's correctness bar is the chaos suite's:
+// bit-identical to the push path under any fault schedule, with the driver
+// out of the data path on the happy path.
+
+func pullTestOperands(seed int64) (*bmat.BlockMatrix, *bmat.BlockMatrix) {
+	rng := rand.New(rand.NewSource(seed))
+	a := bmat.RandomDense(rng, 32, 24, 4)
+	b := bmat.RandomSparse(rng, 24, 28, 4, 0.5)
+	return a, b
+}
+
+// TestSessionMultiplyPullMatchesPush holds the two transfer modes — and the
+// local reference — to bitwise agreement, and checks pull actually left the
+// driver out of the operand path: driver-sent bytes during the pull multiply
+// must be far below the operands it did not ship.
+func TestSessionMultiplyPullMatchesPush(t *testing.T) {
+	addrs, workers := startWorkers(t, 4)
+	d, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	a, b := pullTestOperands(101)
+	params := core.Params{P: 2, Q: 2, R: 1}
+
+	s := newSession(t, d)
+	ha, err := s.Put(ctx, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := s.Put(ctx, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sentBefore, _ := d.WireBytes()
+	got, gotParams, err := s.Multiply(ctx, ha, hb, MultiplyOptions{Params: &params, Transfer: core.TransferPull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentAfter, _ := d.WireBytes()
+	if gotParams != params {
+		t.Fatalf("params %v != %v", gotParams, params)
+	}
+
+	want, _, err := s.Multiply(ctx, ha, hb, MultiplyOptions{Params: &params, Transfer: core.TransferPush})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, got, want)
+	ref := matrix.Mul(a.ToDense(), b.ToDense()).Dense()
+	if !got.ToDense().EqualApprox(ref, 1e-9) {
+		t.Fatal("pull product differs from local reference")
+	}
+
+	// The pull run ships manifests down and partials up — no operand slice.
+	// Q·|A| would have crossed the driver link in push mode.
+	opBytes := a.StoredBytes() + b.StoredBytes()
+	if pullSent := sentAfter - sentBefore; pullSent > opBytes/2 {
+		t.Fatalf("pull multiply sent %d driver bytes, operands are %d", pullSent, opBytes)
+	}
+
+	ns := d.NetStats()
+	if ns.PullJobs == 0 {
+		t.Fatal("no pull jobs recorded")
+	}
+	if ns.PullPeerBytes == 0 {
+		t.Fatal("no pull peer bytes recorded — workers did not fetch from peers")
+	}
+	if ns.PullFallbacks != 0 {
+		t.Fatalf("failure-free pull run recorded %d fallbacks", ns.PullFallbacks)
+	}
+
+	// Per-link accounting must sum to the aggregates on every worker.
+	for i, w := range workers {
+		st := w.StoreStats()
+		var fetches, bytes int64
+		for _, l := range st.PeerLinks {
+			fetches += l.Fetches
+			bytes += l.Bytes
+		}
+		if fetches != st.PeerFetches || bytes != st.PeerFetchBytes {
+			t.Fatalf("worker %d per-link sums %d/%d != aggregates %d/%d",
+				i, fetches, bytes, st.PeerFetches, st.PeerFetchBytes)
+		}
+	}
+}
+
+// TestSessionMultiplyPullDedup runs the same pull multiply twice in one
+// session: the second run's manifests must resolve from the workers'
+// content-addressed caches instead of re-fetching.
+func TestSessionMultiplyPullDedup(t *testing.T) {
+	addrs, _ := startWorkers(t, 3)
+	d, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	// Blocks must clear minCacheableBytes (256) to enter the digest
+	// machinery: 8×8 fp64 is 512 bytes, 4×4 would be 128 and skip it.
+	rng := rand.New(rand.NewSource(102))
+	a := bmat.RandomDense(rng, 32, 24, 8)
+	b := bmat.RandomDense(rng, 24, 32, 8)
+	params := core.Params{P: 3, Q: 1, R: 1}
+
+	s := newSession(t, d)
+	ha, err := s.Put(ctx, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := s.Put(ctx, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := MultiplyOptions{Params: &params, Transfer: core.TransferPull}
+	first, _, err := s.Multiply(ctx, ha, hb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsAfterFirst := d.NetStats().PullCacheHits
+	second, _, err := s.Multiply(ctx, ha, hb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, second, first)
+	if hits := d.NetStats().PullCacheHits; hits <= hitsAfterFirst {
+		t.Fatalf("second pull multiply added no cache hits (%d -> %d)", hitsAfterFirst, hits)
+	}
+}
+
+// TestPullPeerKilledFallsBack kills one band owner, then pull-multiplies:
+// workers that cannot reach the dead peer report the failed resolution, the
+// driver downgrades those cuboids to inline push, and the product stays
+// bit-identical to a failure-free run.
+func TestPullPeerKilledFallsBack(t *testing.T) {
+	ctx := context.Background()
+	a, b := pullTestOperands(103)
+	params := core.Params{P: 2, Q: 2, R: 1}
+
+	// Failure-free reference.
+	cleanAddrs, _ := startWorkers(t, 3)
+	cd, err := Dial(cleanAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cd.Close()
+	cs := newSession(t, cd)
+	cha, err := cs.Put(ctx, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chb, err := cs.Put(ctx, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := cs.Multiply(ctx, cha, chb, MultiplyOptions{Params: &params, Transfer: core.TransferPull})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrs, workers := startWorkers(t, 3)
+	opts := fastOpts()
+	opts.DisableHeartbeat = true // death surfaces through the calls themselves
+	d, err := DialOptions(addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	s := newSession(t, d)
+	ha, err := s.Put(ctx, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := s.Put(ctx, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killWorker(workers[0])
+
+	got, _, err := s.Multiply(ctx, ha, hb, MultiplyOptions{Params: &params, Transfer: core.TransferPull})
+	if err != nil {
+		t.Fatalf("pull multiply did not survive peer kill: %v", err)
+	}
+	bitIdentical(t, got, want)
+	if d.NetStats().PullFallbacks == 0 {
+		t.Fatal("no pull fallback recorded despite a dead band owner")
+	}
+}
+
+// TestPullEvictedHandleRebuilds pull-multiplies a pipeline-produced handle
+// (no driver-side source, so no inline downgrade exists) whose bands were
+// evicted: the session must rebuild it from lineage and the product must
+// stay bit-identical.
+func TestPullEvictedHandleRebuilds(t *testing.T) {
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		if _, err := ServeOptions(l, WorkerOptions{StoreBytes: 6 << 10}); err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, l.Addr().String())
+	}
+	d, err := DialOptions(addrs, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	s := newSession(t, d)
+
+	rng := rand.New(rand.NewSource(104))
+	am := bmat.RandomDense(rng, 16, 16, 4)
+	bm := bmat.RandomDense(rng, 16, 12, 4)
+	ha, err := s.Put(ctx, am)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A derived handle: 2·A has lineage but no driver-side blocks, so a
+	// failed manifest resolution cannot downgrade to an inline push.
+	h2, err := s.Run(ctx, plan.Times(2, plan.V("a")), map[string]*Handle{"a": ha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flood the bounded stores so h2's bands (and ha's) are evicted...
+	var flood []*Handle
+	for i := 0; i < 8; i++ {
+		h, err := s.Put(ctx, bmat.RandomDense(rng, 16, 16, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		flood = append(flood, h)
+	}
+	// ...while B, put last, stays resident.
+	hb, err := s.Put(ctx, bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	params := core.Params{P: 2, Q: 1, R: 1}
+	got, _, err := s.Multiply(ctx, h2, hb, MultiplyOptions{Params: &params, Transfer: core.TransferPull})
+	if err != nil {
+		t.Fatalf("pull multiply over evicted handle: %v", err)
+	}
+	ref := matrix.Mul(matrix.Scale(2, am.ToDense()), bm.ToDense()).Dense()
+	if !got.ToDense().EqualApprox(ref, 1e-9) {
+		t.Fatal("rebuilt pull product differs from reference")
+	}
+	if s.Recoveries() == 0 {
+		t.Fatal("no lineage recovery recorded despite evicted manifests")
+	}
+	for _, h := range flood {
+		_ = s.Free(ctx, h)
+	}
+}
+
+// TestPullAddWorkerMidJob adds a fresh worker while pull cuboids are being
+// scheduled: the newcomer holds none of the operand bands, so every cuboid
+// it claims resolves purely from peers — and the product stays bit-identical.
+func TestPullAddWorkerMidJob(t *testing.T) {
+	ctx := context.Background()
+	a, b := pullTestOperands(105)
+	params := core.Params{P: 4, Q: 1, R: 1}
+
+	addrs, _ := startWorkers(t, 2)
+	freshAddrs, _ := startWorkers(t, 1)
+	d, err := DialOptions(addrs, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	s := newSession(t, d)
+	ha, err := s.Put(ctx, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := s.Put(ctx, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, _, err := s.Multiply(ctx, ha, hb, MultiplyOptions{Params: &params, Transfer: core.TransferPull})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- d.AddWorker(freshAddrs[0]) }()
+	got, _, err := s.Multiply(ctx, ha, hb, MultiplyOptions{Params: &params, Transfer: core.TransferPull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, got, want)
+
+	// With the newcomer settled in the pool, a third run may assign cuboids
+	// to it; it owns nothing, so resolution is all-peer — still identical.
+	again, _, err := s.Multiply(ctx, ha, hb, MultiplyOptions{Params: &params, Transfer: core.TransferPull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, again, want)
+}
+
+// TestSessionMultiplyAutoPicksPull checks the Eq.(4) arbitration end to end:
+// with warm operands the seed term drops and pull's fan-out-divided peer
+// term undercuts push, so TransferAuto must run pull — visible in the
+// counters — and still agree with an explicit push run bit for bit.
+func TestSessionMultiplyAutoPicksPull(t *testing.T) {
+	addrs, _ := startWorkers(t, 4)
+	d, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	a, b := pullTestOperands(106)
+
+	s := newSession(t, d)
+	ha, err := s.Put(ctx, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := s.Put(ctx, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, params, err := s.Multiply(ctx, ha, hb, MultiplyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NetStats().PullJobs == 0 {
+		t.Fatal("auto transfer with warm operands did not pick pull")
+	}
+	want, _, err := s.Multiply(ctx, ha, hb, MultiplyOptions{Params: &params, Transfer: core.TransferPush})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, got, want)
+}
+
+// TestExecuteTransferPull covers the cold-operand Execute path: the driver
+// seeds each operand once into a throwaway session and manifest-multiplies,
+// with the result bit-identical to classic push.
+func TestExecuteTransferPull(t *testing.T) {
+	addrs, _ := startWorkers(t, 4)
+	d, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	a, b := pullTestOperands(107)
+
+	want, params, err := d.Execute(ctx, a, b, MultiplyOptions{Transfer: core.TransferPush})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotParams, err := d.Execute(ctx, a, b, MultiplyOptions{Params: &params, Transfer: core.TransferPull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotParams != params {
+		t.Fatalf("params %v != %v", gotParams, params)
+	}
+	bitIdentical(t, got, want)
+
+	// The optimizer path (no explicit params) with auto transfer must also
+	// agree with the reference arithmetic whatever mode it picks.
+	auto, _, err := d.Execute(ctx, a, b, MultiplyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := matrix.Mul(a.ToDense(), b.ToDense()).Dense()
+	if !auto.ToDense().EqualApprox(ref, 1e-9) {
+		t.Fatal("auto Execute differs from local reference")
+	}
+}
+
+// TestPipelinePullMatchesPush runs the multi-operator pipeline under both
+// Options.Transfer planes: streamed pull execution must be bit-identical to
+// the eager gather, and must account its worker→worker traffic.
+func TestPipelinePullMatchesPush(t *testing.T) {
+	ctx := context.Background()
+	expr := pipelineTestExpr()
+	inputs := pipelineTestInputs(108)
+
+	run := func(transfer core.Transfer) (*bmat.BlockMatrix, *Driver) {
+		addrs, _ := startWorkers(t, 3)
+		opts := Options{Transfer: transfer}
+		d, err := DialOptions(addrs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(d.Close)
+		s := newSession(t, d)
+		out, err := s.Run(ctx, expr, putAll(t, s, inputs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Fetch(ctx, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, d
+	}
+
+	pushRes, _ := run(core.TransferPush)
+	pullRes, pullD := run(core.TransferPull)
+	bitIdentical(t, pullRes, pushRes)
+	ns := pullD.NetStats()
+	if ns.PullJobs == 0 {
+		t.Fatal("pull pipeline recorded no pull jobs")
+	}
+	if ns.PullPeerBytes == 0 {
+		t.Fatal("pull pipeline recorded no peer bytes")
+	}
+}

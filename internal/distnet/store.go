@@ -2,6 +2,7 @@ package distnet
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 
 	"distme/internal/bmat"
@@ -34,6 +35,17 @@ type StoreStats struct {
 	// PeerFetchBytes is the payload they carried.
 	PeerFetches    int64 `json:"peer_fetches"`
 	PeerFetchBytes int64 `json:"peer_fetch_bytes"`
+	// PeerLinks breaks the aggregate peer-fetch counters down per remote
+	// address, sorted by address; the per-link sums equal the aggregates.
+	PeerLinks []PeerLinkStats `json:"peer_links,omitempty"`
+}
+
+// PeerLinkStats is one worker→worker link's fetch traffic, as seen by the
+// fetching side.
+type PeerLinkStats struct {
+	Addr    string `json:"addr"`
+	Fetches int64  `json:"fetches"`
+	Bytes   int64  `json:"bytes"`
 }
 
 // storeEntry is one handle's resident band: the block-row slice of a matrix
@@ -60,6 +72,12 @@ type handleStore struct {
 	byID     map[uint64]*storeEntry
 
 	puts, execs, evictions, peerFetches, peerFetchBytes int64
+	peerLinks                                           map[string]*peerLink
+}
+
+// peerLink accumulates one remote address's fetch traffic.
+type peerLink struct {
+	fetches, bytes int64
 }
 
 // newHandleStore sizes a store; capBytes 0 takes the default, negative means
@@ -212,10 +230,22 @@ func (s *handleStore) evictLocked() {
 	}
 }
 
-func (s *handleStore) addPeerFetch(bytes int64) {
+// addPeerFetch records one worker→worker fetch of bytes payload from addr,
+// both in the aggregate counters and on the per-link row.
+func (s *handleStore) addPeerFetch(addr string, bytes int64) {
 	s.mu.Lock()
 	s.peerFetches++
 	s.peerFetchBytes += bytes
+	if s.peerLinks == nil {
+		s.peerLinks = map[string]*peerLink{}
+	}
+	l, ok := s.peerLinks[addr]
+	if !ok {
+		l = &peerLink{}
+		s.peerLinks[addr] = l
+	}
+	l.fetches++
+	l.bytes += bytes
 	s.mu.Unlock()
 }
 
@@ -240,6 +270,13 @@ func (s *handleStore) stats() StoreStats {
 		if e.pins > 0 {
 			st.Pinned++
 		}
+	}
+	if len(s.peerLinks) > 0 {
+		st.PeerLinks = make([]PeerLinkStats, 0, len(s.peerLinks))
+		for addr, l := range s.peerLinks {
+			st.PeerLinks = append(st.PeerLinks, PeerLinkStats{Addr: addr, Fetches: l.fetches, Bytes: l.bytes})
+		}
+		sort.Slice(st.PeerLinks, func(i, j int) bool { return st.PeerLinks[i].Addr < st.PeerLinks[j].Addr })
 	}
 	return st
 }

@@ -369,6 +369,17 @@ func (c *clientCodec) appendMultiplyArgs(w *frameWriter, a *MultiplyArgs) error 
 	for _, v := range [3]int{a.cuboidP, a.cuboidQ, a.cuboidR} {
 		w.uvarint(uint64(v))
 	}
+	if a.pull {
+		// Pull mode ships the placement manifests instead of the operand
+		// blocks — the assigned worker resolves them against its cache, its
+		// peers, and (for entries it owns itself) its local store.
+		w.byte1(1)
+		w.str(a.pullSelf)
+		w.arena = codec.AppendManifest(w.arena, a.aManifest)
+		w.arena = codec.AppendManifest(w.arena, a.bManifest)
+		return nil
+	}
+	w.byte1(0)
 	if err := c.appendBlockRecs(w, a.ABlocks, a.cacheEpoch, a.encoding); err != nil {
 		return err
 	}
@@ -686,6 +697,29 @@ func decodeMultiplyArgs(rd *wireReader, a *MultiplyArgs, cache *blockCache, leni
 		}
 		*p = int(v)
 	}
+	mode, err := rd.u8()
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case 1:
+		// Pull body: self address plus the two placement manifests. A
+		// malformed manifest is structural corruption — a hard error in both
+		// modes, same as a torn block payload.
+		a.pull = true
+		if a.pullSelf, err = rd.str(); err != nil {
+			return err
+		}
+		if a.aManifest, err = decodeWireManifest(rd); err != nil {
+			return err
+		}
+		a.bManifest, err = decodeWireManifest(rd)
+		return err
+	case 0:
+		// push body: inline/ref operand blocks follow
+	default:
+		return fmt.Errorf("%w: unknown multiply transfer mode %d", errWire, mode)
+	}
 	var miss string
 	if a.ABlocks, miss, err = decodeBlockRecs(rd, cache, epoch, lenient); err != nil {
 		return err
@@ -801,7 +835,23 @@ func decodeInlineBlock(rd *wireReader) (matrix.Block, int64, error) {
 	return blk, int64(n), nil
 }
 
+// decodeWireManifest bridges codec.DecodeManifest into the frame cursor,
+// advancing it past exactly the bytes the manifest consumed.
+func decodeWireManifest(rd *wireReader) (*codec.Manifest, error) {
+	m, rest, err := codec.DecodeManifest(rd.buf[rd.off:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errWire, err)
+	}
+	rd.off = len(rd.buf) - len(rest)
+	return &m, nil
+}
+
 func appendMultiplyReply(w *frameWriter, r *MultiplyReply) error {
+	// Pull-resolution counters travel ahead of the C blocks (all zero on
+	// push replies, so push traffic costs three bytes).
+	w.uvarint(uint64(r.pullHits))
+	w.uvarint(uint64(r.pullFetches))
+	w.uvarint(uint64(r.pullPeerBytes))
 	w.uvarint(uint64(len(r.CBlocks)))
 	for i := range r.CBlocks {
 		rec := &r.CBlocks[i]
@@ -817,6 +867,13 @@ func appendMultiplyReply(w *frameWriter, r *MultiplyReply) error {
 }
 
 func decodeMultiplyReply(rd *wireReader, r *MultiplyReply) error {
+	hits, err1 := rd.uvarint()
+	fetches, err2 := rd.uvarint()
+	peerBytes, err3 := rd.uvarint()
+	if err1 != nil || err2 != nil || err3 != nil {
+		return fmt.Errorf("%w: pull counters", errWire)
+	}
+	r.pullHits, r.pullFetches, r.pullPeerBytes = int64(hits), int64(fetches), int64(peerBytes)
 	n, err := rd.uvarint()
 	if err != nil {
 		return err

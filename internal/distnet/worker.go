@@ -62,6 +62,14 @@ type Worker struct {
 	tracer    *obs.Tracer
 	inflightN atomic.Int64
 
+	// Pull-plane gauges: manifest entries the cache satisfied, coalesced
+	// peer fetches issued (and their payload), and failed resolutions (the
+	// driver then re-pushes inline). Snapshotted by PullStats.
+	pullHits      atomic.Int64
+	pullFetches   atomic.Int64
+	pullPeerBytes atomic.Int64
+	pullErrors    atomic.Int64
+
 	inflight     sync.WaitGroup
 	shutdownOnce sync.Once
 	down         chan struct{} // closed when Shutdown completes
@@ -152,6 +160,11 @@ func (w *Worker) Multiply(args *MultiplyArgs, reply *MultiplyReply) error {
 		return errors.New(errWorkerDrainingMsg)
 	}
 	defer w.endRPC()
+	if args.pull {
+		if err := w.preparePull(args, reply); err != nil {
+			return err
+		}
+	}
 	sp := w.tracer.Start(obs.SpanID(args.traceSpan), "worker.compute", obs.KindWorker)
 	if sp.Active() {
 		sp.SetCuboid(args.cuboidP, args.cuboidQ, args.cuboidR)
@@ -191,6 +204,15 @@ func (w *Worker) MultiplyBatch(args *MultiplyBatchArgs, reply *MultiplyBatchRepl
 		if item.decodeErr != "" {
 			reply.Items[i].Err = item.decodeErr
 			continue
+		}
+		if item.pull {
+			// Pull items resolve independently, like they fail: a dead peer
+			// marks only this item, and the driver re-pushes it inline.
+			var rep MultiplyReply
+			if err := w.preparePull(item, &rep); err != nil {
+				reply.Items[i].Err = err.Error()
+				continue
+			}
 		}
 		sp := w.tracer.Start(obs.SpanID(item.traceSpan), "worker.compute", obs.KindWorker)
 		if sp.Active() {

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/rpc"
 	"sort"
+	"sync"
 	"time"
 
 	"distme/internal/bmat"
@@ -83,15 +84,27 @@ func (w *Worker) closePeers() {
 	}
 }
 
-// peerGet fetches blocks of one handle band from a peer worker.
-func (w *Worker) peerGet(addr string, args *GetArgs) ([]BlockRec, error) {
+// peerGet fetches blocks of one handle band from a peer worker, recording a
+// peer.fetch span under parent (0 when untraced) and the per-link traffic.
+func (w *Worker) peerGet(parent obs.SpanID, addr string, args *GetArgs) ([]BlockRec, error) {
+	sp := w.tracer.Start(parent, "peer.fetch", obs.KindWorker)
+	if sp.Active() {
+		sp.SetAttr("peer", addr)
+	}
+	defer sp.End()
 	client, err := w.peerClient(addr)
 	if err != nil {
+		if sp.Active() {
+			sp.SetAttr("error", err.Error())
+		}
 		return nil, fmt.Errorf("%s %s: %w", errPeerFetchPrefix, addr, err)
 	}
 	var reply GetReply
 	if err := rpcCall(client, "GetBlocks", args, &reply, peerCallTimeout); err != nil {
 		w.dropPeer(addr, client)
+		if sp.Active() {
+			sp.SetAttr("error", err.Error())
+		}
 		return nil, fmt.Errorf("%s %s: %w", errPeerFetchPrefix, addr, err)
 	}
 	var bytes int64
@@ -100,7 +113,10 @@ func (w *Worker) peerGet(addr string, args *GetArgs) ([]BlockRec, error) {
 			bytes += r.Block.SizeBytes()
 		}
 	}
-	w.getStore().addPeerFetch(bytes)
+	if sp.Active() {
+		sp.SetAttr("bytes", fmt.Sprintf("%d", bytes))
+	}
+	w.getStore().addPeerFetch(addr, bytes)
 	return reply.Blocks, nil
 }
 
@@ -202,7 +218,7 @@ func (w *Worker) ExecOp(args *ExecArgs, reply *ExecReply) error {
 		sp.SetAttr("op", fmt.Sprintf("%d", args.Op))
 		sp.SetAttr("out", fmt.Sprintf("%d", args.Out))
 	}
-	out, err := w.execOp(args)
+	out, peerBytes, err := w.execOp(args)
 	if err != nil {
 		if sp.Active() {
 			sp.SetAttr("error", err.Error())
@@ -212,6 +228,7 @@ func (w *Worker) ExecOp(args *ExecArgs, reply *ExecReply) error {
 	}
 	reply.Bytes = w.getStore().set(args.Out, args.Epoch, false, out, false)
 	reply.Blocks = len(out)
+	reply.PeerBytes = peerBytes
 	if sp.Active() {
 		sp.SetAttr("blocks", fmt.Sprintf("%d", len(out)))
 	}
@@ -230,7 +247,7 @@ func (w *Worker) localBand(id uint64) (map[bmat.BlockKey]matrix.Block, error) {
 
 // gatherAll assembles a whole handle from its parts: local bands read the
 // store, remote bands fetch worker→worker.
-func (w *Worker) gatherAll(id uint64, parts []PartLoc, self string) (map[bmat.BlockKey]matrix.Block, error) {
+func (w *Worker) gatherAll(parent obs.SpanID, id uint64, parts []PartLoc, self string) (map[bmat.BlockKey]matrix.Block, error) {
 	all := map[bmat.BlockKey]matrix.Block{}
 	for _, p := range parts {
 		if p.Addr == self {
@@ -243,7 +260,7 @@ func (w *Worker) gatherAll(id uint64, parts []PartLoc, self string) (map[bmat.Bl
 			}
 			continue
 		}
-		recs, err := w.peerGet(p.Addr, &GetArgs{Handle: id, All: true})
+		recs, err := w.peerGet(parent, p.Addr, &GetArgs{Handle: id, All: true})
 		if err != nil {
 			return nil, err
 		}
@@ -254,7 +271,10 @@ func (w *Worker) gatherAll(id uint64, parts []PartLoc, self string) (map[bmat.Bl
 	return all, nil
 }
 
-func (w *Worker) execOp(args *ExecArgs) (map[bmat.BlockKey]matrix.Block, error) {
+// execOp dispatches one pipeline operator, additionally reporting the
+// worker→worker payload bytes the operator moved (pull mode only; eager
+// gathers report zero and are accounted in the store's aggregate instead).
+func (w *Worker) execOp(args *ExecArgs) (map[bmat.BlockKey]matrix.Block, int64, error) {
 	switch args.Op {
 	case execMul:
 		return w.execMul(args)
@@ -263,31 +283,35 @@ func (w *Worker) execOp(args *ExecArgs) (map[bmat.BlockKey]matrix.Block, error) 
 	case execScale:
 		a, err := w.localBand(args.A)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		out := make(map[bmat.BlockKey]matrix.Block, len(a))
 		for k, blk := range a {
 			out[k] = matrix.Scale(args.Scalar, blk)
 		}
-		return out, nil
+		return out, 0, nil
 	case execAdd, execSub, execHadamard, execDivElem:
-		return w.execZip(args)
+		out, err := w.execZip(args)
+		return out, 0, err
 	default:
-		return nil, fmt.Errorf("distnet: unknown pipeline op %d", args.Op)
+		return nil, 0, fmt.Errorf("distnet: unknown pipeline op %d", args.Op)
 	}
 }
 
 // execMul computes this worker's C band: C rows are co-partitioned with A
 // rows, so the A band is local while B is assembled whole (the (W−1)/W
 // worker→worker movement Eq.(4)'s pipeline extension prices).
-func (w *Worker) execMul(args *ExecArgs) (map[bmat.BlockKey]matrix.Block, error) {
+func (w *Worker) execMul(args *ExecArgs) (map[bmat.BlockKey]matrix.Block, int64, error) {
 	aBlocks, err := w.localBand(args.A)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	bBlocks, err := w.gatherAll(args.B, args.BParts, args.Self)
+	if args.Pull {
+		return w.execMulPull(args, aBlocks)
+	}
+	bBlocks, err := w.gatherAll(obs.SpanID(args.traceSpan), args.B, args.BParts, args.Self)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// Sorted j and ascending k keep the accumulation order identical to
 	// computeCuboid's regardless of which worker runs the band.
@@ -318,12 +342,104 @@ func (w *Worker) execMul(args *ExecArgs) (map[bmat.BlockKey]matrix.Block, error)
 			}
 		}
 	}
-	return out, nil
+	return out, 0, nil
+}
+
+// execMulPull streams the B operand band by band instead of gathering it
+// whole: while one band multiplies, the next prefetches (one ahead). Bands
+// are disjoint ascending-k row ranges, so the per-(i,j) accumulation order —
+// and therefore every fp64 bit — matches the gathered path exactly.
+func (w *Worker) execMulPull(args *ExecArgs, aBlocks map[bmat.BlockKey]matrix.Block) (map[bmat.BlockKey]matrix.Block, int64, error) {
+	parent := obs.SpanID(args.traceSpan)
+	parts := append([]PartLoc(nil), args.BParts...)
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Lo < parts[j].Lo })
+	type bandResult struct {
+		blocks map[bmat.BlockKey]matrix.Block
+		bytes  int64
+		err    error
+	}
+	fetch := func(p PartLoc) chan bandResult {
+		ch := make(chan bandResult, 1)
+		go func() {
+			if p.Addr == args.Self {
+				local, err := w.localBand(args.B)
+				ch <- bandResult{blocks: local, err: err}
+				return
+			}
+			recs, err := w.peerGet(parent, p.Addr, &GetArgs{Handle: args.B, All: true})
+			if err != nil {
+				ch <- bandResult{err: err}
+				return
+			}
+			blocks := make(map[bmat.BlockKey]matrix.Block, len(recs))
+			var bytes int64
+			for _, r := range recs {
+				blocks[r.Key] = r.Block
+				if r.Block != nil {
+					bytes += r.Block.SizeBytes()
+				}
+			}
+			ch <- bandResult{blocks: blocks, bytes: bytes}
+		}()
+		return ch
+	}
+	var peerBytes int64
+	acc := map[bmat.BlockKey]*matrix.Dense{}
+	var next chan bandResult
+	if len(parts) > 0 {
+		next = fetch(parts[0])
+	}
+	for pi := range parts {
+		cur := <-next
+		if pi+1 < len(parts) {
+			next = fetch(parts[pi+1])
+		}
+		if cur.err != nil {
+			return nil, 0, cur.err
+		}
+		peerBytes += cur.bytes
+		// Within a band: sorted j, ascending k — band order is ascending k
+		// ranges, so the concatenation is the gathered path's global order.
+		ksByJ := map[int][]int{}
+		for k := range cur.blocks {
+			ksByJ[k.J] = append(ksByJ[k.J], k.I)
+		}
+		js := make([]int, 0, len(ksByJ))
+		for j, ks := range ksByJ {
+			sort.Ints(ks)
+			js = append(js, j)
+		}
+		sort.Ints(js)
+		for i := args.OutLo; i < args.OutHi; i++ {
+			for _, j := range js {
+				a := acc[bmat.BlockKey{I: i, J: j}]
+				for _, k := range ksByJ[j] {
+					ab := aBlocks[bmat.BlockKey{I: i, J: k}]
+					bb := cur.blocks[bmat.BlockKey{I: k, J: j}]
+					if ab == nil || bb == nil {
+						continue
+					}
+					a = matrix.MulAdd(a, ab, bb)
+				}
+				if a != nil {
+					acc[bmat.BlockKey{I: i, J: j}] = a
+				}
+			}
+		}
+	}
+	out := make(map[bmat.BlockKey]matrix.Block, len(acc))
+	for k, a := range acc {
+		out[k] = a
+	}
+	return out, peerBytes, nil
 }
 
 // execTranspose builds the output band rows [OutLo, OutHi) — the operand's
-// column slice — fetching exactly that slice from each peer band.
-func (w *Worker) execTranspose(args *ExecArgs) (map[bmat.BlockKey]matrix.Block, error) {
+// column slice — fetching exactly that slice from each peer band. In pull
+// mode the peer slices fetch concurrently (emit order is irrelevant: keys
+// are distinct and each block transposes independently).
+func (w *Worker) execTranspose(args *ExecArgs) (map[bmat.BlockKey]matrix.Block, int64, error) {
+	parent := obs.SpanID(args.traceSpan)
 	out := map[bmat.BlockKey]matrix.Block{}
 	emit := func(k bmat.BlockKey, blk matrix.Block) {
 		if k.J < args.OutLo || k.J >= args.OutHi || blk == nil {
@@ -331,30 +447,70 @@ func (w *Worker) execTranspose(args *ExecArgs) (map[bmat.BlockKey]matrix.Block, 
 		}
 		out[bmat.BlockKey{I: k.J, J: k.I}] = matrix.Transpose(blk)
 	}
-	for _, p := range args.AParts {
+	sliceArgs := func(p PartLoc) *GetArgs {
+		return &GetArgs{
+			Handle: args.A,
+			ILo:    p.Lo, IHi: p.Hi,
+			JLo: args.OutLo, JHi: args.OutHi,
+		}
+	}
+	var fetched map[int][]BlockRec
+	if args.Pull {
+		fetched = make(map[int][]BlockRec, len(args.AParts))
+		errs := make([]error, len(args.AParts))
+		sem := make(chan struct{}, pullFetchConcurrency)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for pi, p := range args.AParts {
+			if p.Addr == args.Self {
+				continue
+			}
+			wg.Add(1)
+			go func(pi int, p PartLoc) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				recs, err := w.peerGet(parent, p.Addr, sliceArgs(p))
+				mu.Lock()
+				fetched[pi], errs[pi] = recs, err
+				mu.Unlock()
+			}(pi, p)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	var peerBytes int64
+	for pi, p := range args.AParts {
 		if p.Addr == args.Self {
 			local, err := w.localBand(args.A)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			for k, b := range local {
 				emit(k, b)
 			}
 			continue
 		}
-		recs, err := w.peerGet(p.Addr, &GetArgs{
-			Handle: args.A,
-			ILo:    p.Lo, IHi: p.Hi,
-			JLo: args.OutLo, JHi: args.OutHi,
-		})
-		if err != nil {
-			return nil, err
+		recs, ok := fetched[pi]
+		if !ok {
+			var err error
+			recs, err = w.peerGet(parent, p.Addr, sliceArgs(p))
+			if err != nil {
+				return nil, 0, err
+			}
 		}
 		for _, r := range recs {
+			if args.Pull && r.Block != nil {
+				peerBytes += r.Block.SizeBytes()
+			}
 			emit(r.Key, r.Block)
 		}
 	}
-	return out, nil
+	return out, peerBytes, nil
 }
 
 // execZip runs one element-wise operator over the union of the local A and B

@@ -175,6 +175,18 @@ type NetStats struct {
 	// straggler multiple of the driver's rolling mean — the health plane's
 	// per-worker slowness signal.
 	StragglerRPCs int64 `json:"straggler_rpcs"`
+	// PullJobs counts cuboids dispatched in pull mode (manifest-only
+	// requests; the worker demand-fetches the operand slices). PullCacheHits
+	// counts manifest entries satisfied by the worker's content-addressed
+	// cache without any fetch; PullPeerFetches/PullPeerBytes count the
+	// coalesced worker→worker fetches pull resolution issued and the payload
+	// they moved; PullFallbacks counts pull cuboids the driver downgraded to
+	// inline push after a failed resolution.
+	PullJobs        int64 `json:"pull_jobs"`
+	PullCacheHits   int64 `json:"pull_cache_hits"`
+	PullPeerFetches int64 `json:"pull_peer_fetches"`
+	PullPeerBytes   int64 `json:"pull_peer_bytes"`
+	PullFallbacks   int64 `json:"pull_fallbacks"`
 }
 
 // HeartbeatRTTAvg is the mean heartbeat round-trip time.
@@ -225,6 +237,11 @@ func (n NetStats) Sub(o NetStats) NetStats {
 		ScaleDowns:          n.ScaleDowns - o.ScaleDowns,
 		WorkersRetired:      n.WorkersRetired - o.WorkersRetired,
 		StragglerRPCs:       n.StragglerRPCs - o.StragglerRPCs,
+		PullJobs:            n.PullJobs - o.PullJobs,
+		PullCacheHits:       n.PullCacheHits - o.PullCacheHits,
+		PullPeerFetches:     n.PullPeerFetches - o.PullPeerFetches,
+		PullPeerBytes:       n.PullPeerBytes - o.PullPeerBytes,
+		PullFallbacks:       n.PullFallbacks - o.PullFallbacks,
 	}
 }
 
@@ -243,8 +260,9 @@ func (n NetStats) String() string {
 		n.PipelineFetches, FormatBytes(n.PipelineFetchBytes),
 		FormatBytes(n.ResidentBytes), FormatBytes(n.DriverBytesAvoided),
 		n.PipelineRecoveries) +
-		fmt.Sprintf(" scale(+%d/-%d retired=%d) stragglers=%d",
-			n.ScaleUps, n.ScaleDowns, n.WorkersRetired, n.StragglerRPCs)
+		fmt.Sprintf(" scale(+%d/-%d retired=%d) stragglers=%d pull(jobs=%d hits=%d fetches=%d/%s fallbacks=%d)",
+			n.ScaleUps, n.ScaleDowns, n.WorkersRetired, n.StragglerRPCs,
+			n.PullJobs, n.PullCacheHits, n.PullPeerFetches, FormatBytes(n.PullPeerBytes), n.PullFallbacks)
 }
 
 // Recorder accumulates per-step bytes and durations for one job. The zero
@@ -300,6 +318,12 @@ type Recorder struct {
 	scaleDowns     atomic.Int64
 	workersRetired atomic.Int64
 	stragglerRPCs  atomic.Int64
+
+	pullJobs        atomic.Int64
+	pullCacheHits   atomic.Int64
+	pullPeerFetches atomic.Int64
+	pullPeerBytes   atomic.Int64
+	pullFallbacks   atomic.Int64
 
 	mu     sync.Mutex
 	spills int64 // bytes written to disk (E.D.C. accounting)
@@ -433,6 +457,23 @@ func (r *Recorder) AddWorkerRetired() { r.workersRetired.Add(1) }
 // multiple of the rolling mean.
 func (r *Recorder) AddStragglerRPC() { r.stragglerRPCs.Add(1) }
 
+// AddPullJob records one cuboid dispatched in pull mode (manifests on the
+// wire instead of operand blocks).
+func (r *Recorder) AddPullJob() { r.pullJobs.Add(1) }
+
+// AddPullReply folds one pull reply's resolution counters in: manifest
+// entries the worker's cache satisfied, peer fetches it issued, and the
+// peer bytes they moved.
+func (r *Recorder) AddPullReply(hits, fetches, bytes int64) {
+	r.pullCacheHits.Add(hits)
+	r.pullPeerFetches.Add(fetches)
+	r.pullPeerBytes.Add(bytes)
+}
+
+// AddPullFallback records one pull cuboid downgraded to an inline push after
+// a failed manifest resolution.
+func (r *Recorder) AddPullFallback() { r.pullFallbacks.Add(1) }
+
 // Net returns the current real-network elasticity counters.
 func (r *Recorder) Net() NetStats {
 	return NetStats{
@@ -472,6 +513,11 @@ func (r *Recorder) Net() NetStats {
 		ScaleDowns:          r.scaleDowns.Load(),
 		WorkersRetired:      r.workersRetired.Load(),
 		StragglerRPCs:       r.stragglerRPCs.Load(),
+		PullJobs:            r.pullJobs.Load(),
+		PullCacheHits:       r.pullCacheHits.Load(),
+		PullPeerFetches:     r.pullPeerFetches.Load(),
+		PullPeerBytes:       r.pullPeerBytes.Load(),
+		PullFallbacks:       r.pullFallbacks.Load(),
 	}
 }
 
@@ -588,6 +634,11 @@ func (r *Recorder) Reset() {
 	r.scaleDowns.Store(0)
 	r.workersRetired.Store(0)
 	r.stragglerRPCs.Store(0)
+	r.pullJobs.Store(0)
+	r.pullCacheHits.Store(0)
+	r.pullPeerFetches.Store(0)
+	r.pullPeerBytes.Store(0)
+	r.pullFallbacks.Store(0)
 	r.mu.Lock()
 	r.spills = 0
 	r.mu.Unlock()

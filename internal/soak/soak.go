@@ -1,6 +1,7 @@
 // Package soak is the long-horizon chaos harness for the self-healing
 // cluster: a seeded, deterministic mixed workload (classic cuboid
-// multiplies, batched tiny jobs, GNMF and PageRank pipelines) running
+// multiplies, pull-plane multiplies, batched tiny jobs, GNMF and PageRank
+// pipelines) running
 // against an autoscaled in-process pool while the harness kills workers and
 // throttles links on a schedule. Every job's result is compared bit-for-bit
 // against a reference computed on the clean cluster before chaos begins —
@@ -164,14 +165,18 @@ func buildWorkload(seed int64) *workload {
 	return w
 }
 
-// jobKinds and their mix weights (mul 40%, tiny-batch 30%, gnmf 15%,
-// pagerank 15%).
+// jobKinds and their mix weights (mul 30%, tiny-batch 25%, pull-mul 15%,
+// gnmf 15%, pagerank 15%). pull-mul runs the same multiply as mul through
+// the one-sided pull plane and compares against the push-computed
+// reference, so the soak also holds the two data planes to bit-identity
+// under every kill and throttle in the schedule.
 var jobKinds = []struct {
 	name   string
 	weight int
 }{
-	{"mul", 40},
-	{"tiny-batch", 30},
+	{"mul", 30},
+	{"tiny-batch", 25},
+	{"pull-mul", 15},
 	{"gnmf", 15},
 	{"pagerank", 15},
 }
@@ -344,6 +349,17 @@ func (h *harness) runJob(kind string) (mismatch bool, err error) {
 			return false, err
 		}
 		return !bitEqual(got, w.batRef), nil
+	case "pull-mul":
+		got, _, err := h.d.Execute(ctx, w.mulA, w.mulB, distnet.MultiplyOptions{
+			Params:   &w.mulParams,
+			Transfer: core.TransferPull,
+		})
+		if err != nil {
+			return false, err
+		}
+		// Same reference as "mul": the pull plane must agree with push
+		// bit for bit, chaos or not.
+		return !bitEqual(got, w.mulRef), nil
 	case "gnmf":
 		sess, err := h.d.NewSession(ctx)
 		if err != nil {

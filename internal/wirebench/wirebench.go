@@ -14,6 +14,7 @@ package wirebench
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
@@ -97,6 +98,23 @@ type BatchResult struct {
 	ThroughputX float64 `json:"throughput_speedup"`
 }
 
+// PullResult is the push-vs-pull data-plane comparison over warm operands:
+// the same multiply on the same four loopback workers, once with the driver
+// shipping every cuboid slice and once shipping only placement manifests.
+// Driver bytes are the first (cold-tracker) run's socket delta; wall clock
+// is the best of three. The products must be bit-identical, and the pull
+// run must move at least 5× fewer driver bytes, or the whole bench fails.
+type PullResult struct {
+	Params          string  `json:"params"`
+	Workers         int     `json:"workers"`
+	PushDriverBytes int64   `json:"push_driver_bytes"`
+	PullDriverBytes int64   `json:"pull_driver_bytes"`
+	PullPeerBytes   int64   `json:"pull_peer_bytes"`
+	PushWallMs      float64 `json:"push_wall_ms"`
+	PullWallMs      float64 `json:"pull_wall_ms"`
+	DriverByteX     float64 `json:"driver_byte_reduction"`
+}
+
 // Report is the full wire benchmark run.
 type Report struct {
 	Date       string           `json:"date"`
@@ -110,6 +128,7 @@ type Report struct {
 	Writev     []WritevResult   `json:"writev"`
 	Encodings  []EncodingResult `json:"encodings"`
 	Batch      BatchResult      `json:"batch"`
+	Pull       PullResult       `json:"pull"`
 }
 
 // benchBlocks is the shape menagerie: the dense entries are the ones the
@@ -598,6 +617,103 @@ func batchResult() (BatchResult, error) {
 	return res, nil
 }
 
+// pullResult measures the warm-operand push-vs-pull comparison: a fresh
+// four-worker cluster per mode, operands Put once into a session (resident
+// on the workers), then the same explicit-params multiply through each data
+// plane. The byte delta of the first multiply is the driver's data-path
+// cost — push re-ships every cuboid slice, pull ships manifests and lets
+// the workers fetch slices from each other.
+func pullResult() (PullResult, error) {
+	rng := rand.New(rand.NewSource(8085))
+	a := bmat.RandomDense(rng, 256, 192, 32)
+	b := bmat.RandomDense(rng, 192, 256, 32)
+	params := core.Params{P: 2, Q: 2, R: 1}
+	const workers = 4
+	res := PullResult{Params: params.String(), Workers: workers}
+	ctx := context.Background()
+
+	run := func(mode core.Transfer) (driverBytes, peerBytes int64, wall time.Duration, c *bmat.BlockMatrix, err error) {
+		addrs := make([]string, 0, workers)
+		for i := 0; i < workers; i++ {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return 0, 0, 0, nil, err
+			}
+			defer l.Close()
+			if _, err := distnet.Serve(l); err != nil {
+				return 0, 0, 0, nil, err
+			}
+			addrs = append(addrs, l.Addr().String())
+		}
+		d, err := distnet.Dial(addrs)
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		defer d.Close()
+		s, err := d.NewSession(ctx)
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		defer s.Close(ctx)
+		ha, err := s.Put(ctx, a)
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		hb, err := s.Put(ctx, b)
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		sent0, _ := d.WireBytes()
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			c, _, err = s.Multiply(ctx, ha, hb, distnet.MultiplyOptions{Params: &params, Transfer: mode})
+			el := time.Since(start)
+			if err != nil {
+				return 0, 0, 0, nil, err
+			}
+			if i == 0 {
+				sent1, _ := d.WireBytes()
+				driverBytes = sent1 - sent0
+			}
+			if wall == 0 || el < wall {
+				wall = el
+			}
+		}
+		return driverBytes, d.NetStats().PullPeerBytes, wall, c, nil
+	}
+
+	pushBytes, _, pushWall, pushC, err := run(core.TransferPush)
+	if err != nil {
+		return res, err
+	}
+	pullBytes, peerBytes, pullWall, pullC, err := run(core.TransferPull)
+	if err != nil {
+		return res, err
+	}
+	pd, ld := pushC.ToDense(), pullC.ToDense()
+	if len(pd.Data) != len(ld.Data) {
+		return res, fmt.Errorf("wirebench: pull product shape differs from push")
+	}
+	for i := range pd.Data {
+		if math.Float64bits(pd.Data[i]) != math.Float64bits(ld.Data[i]) {
+			return res, fmt.Errorf("wirebench: pull product differs from push at element %d", i)
+		}
+	}
+	res.PushDriverBytes = pushBytes
+	res.PullDriverBytes = pullBytes
+	res.PullPeerBytes = peerBytes
+	res.PushWallMs = float64(pushWall.Microseconds()) / 1e3
+	res.PullWallMs = float64(pullWall.Microseconds()) / 1e3
+	if pullBytes > 0 {
+		res.DriverByteX = float64(pushBytes) / float64(pullBytes)
+	}
+	if pullBytes*5 >= pushBytes {
+		return res, fmt.Errorf("wirebench: pull moved %d driver bytes against push's %d — less than the required 5x reduction",
+			pullBytes, pushBytes)
+	}
+	return res, nil
+}
+
 // Run executes the full wire benchmark. Any decode that is not
 // bit-identical to its input — gob or codec, block or whole product —
 // returns an error, which distme-bench turns into a nonzero exit.
@@ -685,6 +801,20 @@ func RunTraced(tr *obs.Tracer) (*Report, error) {
 	}
 	bsp.End()
 	r.Batch = bres
+
+	psp := tr.Start(root.ID(), "pull", obs.KindBench)
+	pres, err := pullResult()
+	if err != nil {
+		endBenchErr(psp, err)
+		return nil, err
+	}
+	if psp.Active() {
+		psp.SetAttr("push-driver", fmt.Sprintf("%d B", pres.PushDriverBytes))
+		psp.SetAttr("pull-driver", fmt.Sprintf("%d B", pres.PullDriverBytes))
+		psp.SetAttr("reduction", fmt.Sprintf("%.1fx", pres.DriverByteX))
+	}
+	psp.End()
+	r.Pull = pres
 	return r, nil
 }
 
@@ -735,5 +865,10 @@ func (r *Report) Fprint(w io.Writer) {
 	if r.Batch.Items > 0 {
 		fmt.Fprintf(w, "batched small multiplies %s: %d items, unbatched %.1f ms, batched %.1f ms over %d RPCs (%.2fx)\n",
 			r.Batch.Params, r.Batch.Items, r.Batch.UnbatchedMs, r.Batch.BatchedMs, r.Batch.BatchRPCs, r.Batch.ThroughputX)
+	}
+	if r.Pull.Workers > 0 {
+		fmt.Fprintf(w, "pull plane %s over %d workers: driver push %d B vs pull %d B (%.1fx fewer), peers moved %d B; wall push %.1f ms vs pull %.1f ms\n",
+			r.Pull.Params, r.Pull.Workers, r.Pull.PushDriverBytes, r.Pull.PullDriverBytes,
+			r.Pull.DriverByteX, r.Pull.PullPeerBytes, r.Pull.PushWallMs, r.Pull.PullWallMs)
 	}
 }
