@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race fuzz-smoke vet lint-docs bench bench-kernels bench-wire bench-pull bench-pipeline soak-smoke soak-full api-surface api-check clean
+.PHONY: build test test-race fuzz-smoke vet lint-docs bench bench-kernels bench-wire bench-pull bench-pipeline soak-smoke soak-full serve-smoke serve-full api-surface api-check clean
 
 build:
 	$(GO) build ./...
@@ -10,10 +10,11 @@ test:
 
 # The parallel hot path (threaded kernels, sharded aggregation, buffer
 # pool), the elastic scheduler (retries, speculation, fault injection), the
-# real-network layer (failure detector, chaos suite, shuffle), and the wire
-# codec's pooled buffers must stay race-detector-clean.
+# real-network layer (failure detector, chaos suite, shuffle), the wire
+# codec's pooled buffers, and the multi-tenant serving plane must stay
+# race-detector-clean.
 test-race:
-	$(GO) test -race ./internal/matrix ./internal/core ./internal/cluster ./internal/engine ./internal/distnet ./internal/shuffle ./internal/codec
+	$(GO) test -race ./internal/matrix ./internal/core ./internal/cluster ./internal/engine ./internal/distnet ./internal/shuffle ./internal/codec ./internal/serve
 
 # Ten-second fuzz smokes: hostile bytes against the storage reader and the
 # wire block decoder must come back as typed errors, never a panic or a
@@ -75,6 +76,18 @@ soak-smoke:
 
 soak-full:
 	$(GO) run ./cmd/distme-bench -soak -soak-profile full -soak-out BENCH_soak.json
+
+# Multi-tenant serving-plane load test: open-loop mixed-shape jobs through
+# internal/serve, refreshing the checked-in trajectory file. Exits nonzero
+# if the sustain rung misses its throughput floor or p99 SLO, overload
+# fails to reject (or deadlocks), the light tenant's contended p99 breaches
+# its fairness bound, or goroutines leak across teardown. The smoke profile
+# fits a CI slot (under 30s); full is the nightly run.
+serve-smoke:
+	$(GO) run ./cmd/distme-bench -serve -serve-profile smoke -serve-out BENCH_serve.json
+
+serve-full:
+	$(GO) run ./cmd/distme-bench -serve -serve-profile full -serve-out BENCH_serve.json
 
 # Full benchmark sweep (paper tables/figures + kernels + end-to-end).
 bench:

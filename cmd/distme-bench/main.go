@@ -15,6 +15,8 @@
 //	distme-bench -pipeline -pipeline-out BENCH_pipeline.json
 //	distme-bench -soak                # self-healing soak/chaos run (smoke profile)
 //	distme-bench -soak -soak-profile full -soak-out BENCH_soak.json
+//	distme-bench -serve               # multi-tenant serving-plane load test (smoke profile)
+//	distme-bench -serve -serve-profile full -serve-out BENCH_serve.json
 //	distme-bench -kernels -trace-out trace.json   # bench timeline for chrome://tracing
 //
 // Paper-scale rows are produced by the cost-model plane at the testbed
@@ -32,6 +34,7 @@ import (
 	"distme/internal/kernbench"
 	"distme/internal/obs"
 	"distme/internal/pipebench"
+	"distme/internal/servebench"
 	"distme/internal/soak"
 	"distme/internal/wirebench"
 )
@@ -70,7 +73,10 @@ func main() {
 	soakRun := flag.Bool("soak", false, "run the self-healing soak: seeded chaos workload under the autoscaler, bit-identical results enforced")
 	soakProfile := flag.String("soak-profile", "smoke", "with -soak, the profile: smoke (CI, under 90s) or full (nightly)")
 	soakOut := flag.String("soak-out", "", "with -soak, also write the report as JSON to this path")
-	traceOut := flag.String("trace-out", "", "with -kernels, -wire, or -soak, write a Chrome trace_event timeline of the bench run to this path")
+	serveRun := flag.Bool("serve", false, "run the serving-plane load test: open-loop mixed-shape jobs against the multi-tenant server, SLO and fairness gates enforced")
+	serveProfile := flag.String("serve-profile", "smoke", "with -serve, the profile: smoke (CI, under 30s) or full (nightly)")
+	serveOut := flag.String("serve-out", "", "with -serve, also write the report as JSON to this path")
+	traceOut := flag.String("trace-out", "", "with -kernels, -wire, -soak, or -serve, write a Chrome trace_event timeline of the bench run to this path")
 	flag.Parse()
 
 	if *list {
@@ -141,6 +147,36 @@ func main() {
 		writeBenchTrace(tr, *traceOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "distme-bench: soak: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *serveRun {
+		var profile servebench.Profile
+		switch *serveProfile {
+		case "smoke":
+			profile = servebench.Smoke()
+		case "full":
+			profile = servebench.Full()
+		default:
+			fmt.Fprintf(os.Stderr, "distme-bench: unknown serve profile %q (want smoke or full)\n", *serveProfile)
+			os.Exit(2)
+		}
+		tr := benchTracer(*traceOut)
+		report, err := servebench.Run(profile, tr)
+		if report != nil {
+			report.Fprint(os.Stdout)
+			if *serveOut != "" {
+				if werr := report.WriteJSON(*serveOut); werr != nil {
+					fmt.Fprintf(os.Stderr, "distme-bench: %v\n", werr)
+					os.Exit(1)
+				}
+			}
+		}
+		writeBenchTrace(tr, *traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "distme-bench: serve: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -38,6 +38,7 @@ type snippet struct {
 var knownImports = map[string]string{
 	"distme":  "distme",
 	"distnet": "distme/internal/distnet",
+	"serve":   "distme/internal/serve",
 	"obs":     "distme/internal/obs",
 	"metrics": "distme/internal/metrics",
 	"plan":    "distme/internal/plan",

@@ -18,7 +18,9 @@
 //	rng := rand.New(rand.NewSource(1))
 //	a := distme.RandomDense(rng, 1024, 1024, 64)
 //	b := distme.RandomDense(rng, 1024, 1024, 64)
-//	c, report, err := eng.MultiplyOpt(a, b, distme.MulOptions{})
+//	c, report, err := eng.Run(context.Background(),
+//		distme.PlanMul(distme.PlanVar("a"), distme.PlanVar("b")),
+//		map[string]*distme.Matrix{"a": a, "b": b})
 //	fmt.Println(report.Params, report.Comm)
 //
 // The cluster, its task-memory discipline (which reproduces the paper's

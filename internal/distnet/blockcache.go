@@ -11,12 +11,20 @@ import (
 // DefaultCacheBytes is the worker block cache's default capacity.
 const DefaultCacheBytes int64 = 256 << 20
 
+// DefaultCacheEpochWindow is how many job epochs a cached block survives
+// without being referenced. One multiply bumps the driver's epoch once, so
+// under a serial workload the window behaves like "keep blocks for the last
+// N jobs"; under a concurrent serving workload it is what lets many
+// in-flight jobs share one content-addressed cache instead of purging each
+// other on every epoch bump.
+const DefaultCacheEpochWindow = 32
+
 // CacheStats is a snapshot of one worker's block-cache counters.
 type CacheStats struct {
 	// Insertions counts blocks added to the cache (first inline arrival).
 	Insertions int64 `json:"insertions"`
 	// Hits counts digest references resolved from the cache; Misses counts
-	// references that failed (wrong epoch, evicted, or never received) and
+	// references that failed (aged out, evicted, or never received) and
 	// were answered with the unknown-digest error so the driver resends.
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
@@ -28,19 +36,22 @@ type CacheStats struct {
 }
 
 // blockCache is the worker-side content-addressed block store: a bounded
-// LRU keyed by block digest, scoped to the driver's current job epoch.
-// Correctness is carried entirely by the content addressing — a digest hit
-// can only ever return the exact bytes the driver hashed — so the epoch is
-// purely a lifecycle bound: when a new job's first block arrives, the
-// previous job's entries are purged, which is what keeps RemoveWorker/
-// AddWorker churn from leaking cache entries across jobs.
+// LRU keyed by block digest. Correctness is carried entirely by the content
+// addressing — a digest hit can only ever return the exact bytes the driver
+// hashed — so the job epoch is purely a lifecycle bound. Each entry
+// remembers the newest epoch that touched it, and entries whose epoch falls
+// more than epochWindow behind the newest epoch seen are purged. That keeps
+// residency bounded across job churn (the original single-epoch guarantee,
+// relaxed to a window) while letting concurrent jobs — which each carry a
+// distinct epoch — share warm blocks instead of purging each other.
 type blockCache struct {
-	mu       sync.Mutex
-	capBytes int64
-	bytes    int64
-	epoch    uint64
-	ll       *list.List // front = most recently used
-	byDigest map[codec.Digest]*list.Element
+	mu          sync.Mutex
+	capBytes    int64
+	bytes       int64
+	epoch       uint64 // newest epoch observed
+	epochWindow uint64
+	ll          *list.List // front = most recently used
+	byDigest    map[codec.Digest]*list.Element
 
 	insertions, hits, misses, evictions int64
 }
@@ -49,49 +60,57 @@ type cacheEntry struct {
 	dig    codec.Digest
 	blk    matrix.Block
 	weight int64
+	epoch  uint64 // newest epoch that inserted or referenced this entry
 }
 
 // newBlockCache sizes a cache; capBytes 0 takes the default, negative
 // disables caching entirely (returns nil; lookups then miss and inserts
 // drop, which the wire protocol's resend path already tolerates).
-func newBlockCache(capBytes int64) *blockCache {
+// epochWindow 0 takes DefaultCacheEpochWindow.
+func newBlockCache(capBytes int64, epochWindow int) *blockCache {
 	if capBytes == 0 {
 		capBytes = DefaultCacheBytes
 	}
 	if capBytes < 0 {
 		return nil
 	}
+	if epochWindow <= 0 {
+		epochWindow = DefaultCacheEpochWindow
+	}
 	return &blockCache{
-		capBytes: capBytes,
-		ll:       list.New(),
-		byDigest: map[codec.Digest]*list.Element{},
+		capBytes:    capBytes,
+		epochWindow: uint64(epochWindow),
+		ll:          list.New(),
+		byDigest:    map[codec.Digest]*list.Element{},
 	}
 }
 
 // insert stores a decoded block under its digest for the given epoch. An
-// insert from a newer epoch retires every older entry first; an insert from
-// an older epoch (a straggler job racing a newer one) is not cached at all
-// — its references will miss and the driver falls back to inline sends.
+// insert from a newer epoch first ages out entries that have fallen outside
+// the epoch window; a duplicate insert refreshes the entry's epoch so hot
+// blocks shared by many jobs stay resident.
 func (c *blockCache) insert(epoch uint64, dg codec.Digest, blk matrix.Block, weight int64) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if epoch < c.epoch {
-		return
-	}
 	if epoch > c.epoch {
-		c.purgeLocked()
 		c.epoch = epoch
+		c.expireLocked()
 	}
-	if _, ok := c.byDigest[dg]; ok {
+	if el, ok := c.byDigest[dg]; ok {
+		e := el.Value.(*cacheEntry)
+		if epoch > e.epoch {
+			e.epoch = epoch
+		}
+		c.ll.MoveToFront(el)
 		return
 	}
 	if weight > c.capBytes {
 		return // larger than the whole cache: not worth displacing everything
 	}
-	c.byDigest[dg] = c.ll.PushFront(&cacheEntry{dig: dg, blk: blk, weight: weight})
+	c.byDigest[dg] = c.ll.PushFront(&cacheEntry{dig: dg, blk: blk, weight: weight, epoch: epoch})
 	c.bytes += weight
 	c.insertions++
 	for c.bytes > c.capBytes {
@@ -107,31 +126,55 @@ func (c *blockCache) insert(epoch uint64, dg codec.Digest, blk matrix.Block, wei
 	}
 }
 
-// lookup resolves a digest reference for the given epoch.
+// lookup resolves a digest reference. The digest alone carries correctness,
+// so a hit is valid regardless of which epoch inserted the entry; the hit
+// refreshes the entry's epoch, keeping blocks shared across concurrent jobs
+// inside the lifecycle window.
 func (c *blockCache) lookup(epoch uint64, dg codec.Digest) (matrix.Block, bool) {
 	if c == nil {
 		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if epoch != c.epoch {
-		c.misses++
-		return nil, false
+	if epoch > c.epoch {
+		c.epoch = epoch
+		c.expireLocked()
 	}
 	el, ok := c.byDigest[dg]
 	if !ok {
 		c.misses++
 		return nil, false
 	}
+	e := el.Value.(*cacheEntry)
+	if epoch > e.epoch {
+		e.epoch = epoch
+	}
 	c.ll.MoveToFront(el)
 	c.hits++
-	return el.Value.(*cacheEntry).blk, true
+	return e.blk, true
 }
 
-func (c *blockCache) purgeLocked() {
-	c.ll.Init()
-	c.byDigest = map[codec.Digest]*list.Element{}
-	c.bytes = 0
+// expireLocked drops entries whose last-touch epoch has fallen outside the
+// window. Concurrent jobs interleave epochs, so LRU position does not
+// strictly order last-touch epochs and the scan walks the whole list; it
+// only runs when the newest-epoch watermark advances (once per job), and
+// residency is already byte-bounded, so the walk stays cheap.
+func (c *blockCache) expireLocked() {
+	if c.epoch <= c.epochWindow {
+		return
+	}
+	floor := c.epoch - c.epochWindow
+	for el := c.ll.Back(); el != nil; {
+		prev := el.Prev()
+		e := el.Value.(*cacheEntry)
+		if e.epoch < floor {
+			c.ll.Remove(el)
+			delete(c.byDigest, e.dig)
+			c.bytes -= e.weight
+			c.evictions++
+		}
+		el = prev
+	}
 }
 
 // stats snapshots the counters.

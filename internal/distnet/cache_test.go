@@ -188,19 +188,34 @@ func TestWorkerRestartMidJobMissesCleanly(t *testing.T) {
 // TestMembershipChurnDoesNotLeakCacheEntries hammers RemoveWorker/AddWorker
 // between multiplies against one long-lived worker process: every job runs
 // in a fresh epoch, so the worker's cache residency must stay bounded by
-// one job's distinct blocks instead of accumulating across jobs.
+// the epoch window's worth of distinct blocks instead of accumulating
+// without bound across jobs. The window is pinned small (2 epochs) so a
+// handful of rounds is enough to cross it and observe expiry.
 func TestMembershipChurnDoesNotLeakCacheEntries(t *testing.T) {
-	addr, w := startCacheWorker(t, 0)
+	const epochWindow = 2
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	w, err := ServeOptions(l, WorkerOptions{CacheEpochWindow: epochWindow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
 	d, err := DialOptions([]string{addr}, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer d.Close()
 
-	// 16 distinct A blocks + 16 distinct B blocks per job.
+	// 16 distinct A blocks + 16 distinct B blocks per job. Entries from the
+	// last epochWindow+1 epochs may be resident at once (the newest epoch
+	// plus the window behind it); anything older must have expired.
 	const distinctPerJob = 32
+	const maxResident = distinctPerJob * (epochWindow + 1)
 	params := core.Params{P: 2, Q: 2, R: 2}
-	for round := 0; round < 3; round++ {
+	for round := 0; round < epochWindow+3; round++ {
 		a, b := cacheTestMatrices(int64(7100 + round))
 		got, err := d.Multiply(a, b, params)
 		if err != nil {
@@ -211,9 +226,9 @@ func TestMembershipChurnDoesNotLeakCacheEntries(t *testing.T) {
 			t.Fatalf("round %d product wrong", round)
 		}
 		stats := w.CacheStats()
-		if stats.Entries > distinctPerJob {
+		if stats.Entries > maxResident {
 			t.Fatalf("round %d: cache leaked across epochs: %d entries resident, want <= %d (stats %+v)",
-				round, stats.Entries, distinctPerJob, stats)
+				round, stats.Entries, maxResident, stats)
 		}
 		// Churn the membership between jobs; the worker process (and its
 		// cache) stays up, but the driver gets a fresh member + tracker.
@@ -225,6 +240,9 @@ func TestMembershipChurnDoesNotLeakCacheEntries(t *testing.T) {
 		}
 	}
 	stats := w.CacheStats()
+	if stats.Evictions == 0 {
+		t.Fatalf("no entry ever aged out of the epoch window: %+v", stats)
+	}
 	if stats.Insertions < 2*distinctPerJob {
 		t.Fatalf("later jobs should have re-inserted their blocks: %+v", stats)
 	}

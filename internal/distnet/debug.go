@@ -31,10 +31,12 @@ type MemberDebug struct {
 type DriverDebug struct {
 	Kind string    `json:"kind"` // always "driver"
 	Time time.Time `json:"time"`
-	// JobEpoch is the current multiply-job epoch (scopes block-cache digest
-	// references on the wire).
+	// JobEpoch is the current multiply-job epoch (the lifecycle watermark
+	// for block-cache digest references on the wire).
 	JobEpoch uint64 `json:"job_epoch"`
+	// ActiveJobs counts multiply jobs currently inside the driver;
 	// InFlightCuboids counts cuboids dispatched but not yet aggregated.
+	ActiveJobs      int64 `json:"active_jobs"`
 	InFlightCuboids int64 `json:"inflight_cuboids"`
 	// WireSentBytes / WireReceivedBytes are real socket traffic since Dial.
 	WireSentBytes     int64 `json:"wire_sent_bytes"`
@@ -49,6 +51,9 @@ type DriverDebug struct {
 	Autoscaler []ScaleEvent `json:"autoscaler,omitempty"`
 	// Net is the driver's elasticity and wire-codec counter block.
 	Net metrics.NetStats `json:"net"`
+	// Serve is the serving plane's snapshot (queues, tenants, admission
+	// counters), present when a server registered via SetServeDebug.
+	Serve any `json:"serve,omitempty"`
 	// Trace summarizes the tracer (absent when tracing is off).
 	Trace *obs.TraceDebug `json:"trace,omitempty"`
 }
@@ -57,6 +62,13 @@ type DriverDebug struct {
 // It is safe to call concurrently with multiplies.
 func (d *Driver) DebugSnapshot() DriverDebug {
 	sent, received := d.WireBytes()
+	d.serveMu.Lock()
+	serveFn := d.serveDebug
+	d.serveMu.Unlock()
+	var serve any
+	if serveFn != nil {
+		serve = serveFn()
+	}
 	members := d.Members()
 	rows := make([]MemberDebug, len(members))
 	for i, m := range members {
@@ -71,6 +83,7 @@ func (d *Driver) DebugSnapshot() DriverDebug {
 		Kind:              "driver",
 		Time:              time.Now(),
 		JobEpoch:          d.epoch.Load(),
+		ActiveJobs:        d.activeJobs.Load(),
 		InFlightCuboids:   d.inflight.Load(),
 		WireSentBytes:     sent,
 		WireReceivedBytes: received,
@@ -78,6 +91,7 @@ func (d *Driver) DebugSnapshot() DriverDebug {
 		Health:            d.ClusterHealth(),
 		Autoscaler:        d.AutoscalerEvents(),
 		Net:               d.NetStats(),
+		Serve:             serve,
 		Trace:             d.tracer.DebugSnapshot(debugRecentSpans),
 	}
 }

@@ -50,6 +50,15 @@ type Driver struct {
 	// by the debug endpoint.
 	inflight atomic.Int64
 
+	// activeJobs counts multiply jobs currently inside the driver —
+	// the serving plane's concurrency gauge.
+	activeJobs atomic.Int64
+
+	// serveDebug, when registered via SetServeDebug, contributes the
+	// serving plane's block to DebugSnapshot.
+	serveMu    sync.Mutex
+	serveDebug func() any
+
 	mu      sync.Mutex
 	members []*member
 	rr      int // round-robin scheduling cursor
@@ -340,6 +349,26 @@ func (d *Driver) DebugAddr() string {
 	return d.dbg.Addr()
 }
 
+// ActiveJobs reports how many multiply jobs are currently executing inside
+// the driver — the concurrency gauge the serving plane's admission
+// controller reads alongside ClusterHealth.
+func (d *Driver) ActiveJobs() int64 { return d.activeJobs.Load() }
+
+// PerWorkerInflight reports the per-worker concurrent-RPC bound the driver
+// schedules under (Options.PerWorkerInflight after defaults) — one factor of
+// the serving plane's cuboid-wave capacity estimate.
+func (d *Driver) PerWorkerInflight() int { return d.opts.PerWorkerInflight }
+
+// SetServeDebug registers a provider whose value is embedded as the "serve"
+// block of the driver's /debug/distme snapshot — the serving plane installs
+// its queue/tenant snapshot here so one endpoint shows the whole stack.
+// A nil provider removes the block.
+func (d *Driver) SetServeDebug(fn func() any) {
+	d.serveMu.Lock()
+	d.serveDebug = fn
+	d.serveMu.Unlock()
+}
+
 // call performs one RPC on a member under the deadline, applying the
 // failure state machine: transport errors and timeouts declare the member
 // dead (its connection is unusable either way) so the scheduler excludes it
@@ -469,6 +498,7 @@ func (d *Driver) runJob(ctx context.Context, args *MultiplyArgs, parent obs.Span
 		attempt++
 		if attempt < d.opts.JobAttempts {
 			d.rec.AddCuboidRetry()
+			args.meter.noteRetry()
 			d.jitterSleep(backoff)
 			backoff *= 2
 			if backoff > d.opts.MaxBackoff {
@@ -480,6 +510,7 @@ func (d *Driver) runJob(ctx context.Context, args *MultiplyArgs, parent obs.Span
 	// whose blocks the driver never fully held cannot be computed locally.
 	if !d.opts.DisableLocalFallback && (!args.pull || args.pullInline) {
 		d.rec.AddLocalFallback()
+		args.meter.noteLocalFallback()
 		lsp := d.tracer.Start(parent.ID(), "local-fallback", obs.KindDriver)
 		if lsp.Active() {
 			lsp.SetCuboid(args.cuboidP, args.cuboidQ, args.cuboidR)
@@ -597,6 +628,7 @@ func (d *Driver) runBatch(ctx context.Context, jobs []*MultiplyArgs, group []int
 		attempt++
 		if attempt < d.opts.JobAttempts {
 			d.rec.AddCuboidRetry()
+			jobs[group[0]].meter.noteRetry()
 			d.jitterSleep(backoff)
 			backoff *= 2
 			if backoff > d.opts.MaxBackoff {
@@ -704,6 +736,10 @@ func (d *Driver) multiply(ctx context.Context, a, b *bmat.BlockMatrix, params co
 		return nil, fmt.Errorf("distnet: params %v outside grid %dx%dx%d", params, s.I, s.J, s.K)
 	}
 
+	d.activeJobs.Add(1)
+	defer d.activeJobs.Add(-1)
+	meter := jobMeterFrom(ctx)
+
 	root := d.tracer.Start(0, "distnet.multiply", obs.KindDriver)
 	if root.Active() {
 		root.SetAttr("params", fmt.Sprintf("%v", params))
@@ -725,6 +761,7 @@ func (d *Driver) multiply(ctx context.Context, a, b *bmat.BlockMatrix, params co
 					ILo: ilo, IHi: ihi, JLo: jlo, JHi: jhi, KLo: klo, KHi: khi,
 					cuboidP: p, cuboidQ: q, cuboidR: r,
 					encoding: d.opts.Encoding,
+					meter:    meter,
 				}
 				for i := ilo; i < ihi; i++ {
 					for k := klo; k < khi; k++ {
@@ -761,6 +798,7 @@ func (d *Driver) multiply(ctx context.Context, a, b *bmat.BlockMatrix, params co
 	var wg sync.WaitGroup
 	commit := func(idx int, reply *MultiplyReply) {
 		replies[idx] = reply
+		meter.noteCommit(reply)
 		if ckpt != nil {
 			ckpt.store(idx, reply, a.Rows, b.Cols, a.BlockSize)
 		}
@@ -774,6 +812,7 @@ func (d *Driver) multiply(ctx context.Context, a, b *bmat.BlockMatrix, params co
 				continue
 			}
 		}
+		meter.noteDispatch(jobPayloadBytes(args))
 		if d.opts.BatchBytes > 0 && !args.pull && jobPayloadBytes(args) < d.opts.BatchBytes {
 			small = append(small, idx)
 			continue

@@ -265,7 +265,7 @@ func TestFragmentedFrameReads(t *testing.T) {
 	body := dribbled[rd.off:]
 	brd := wireReader{buf: body}
 	var dec MultiplyArgs
-	if err := decodeMultiplyArgs(&brd, &dec, newBlockCache(-1), false); err != nil {
+	if err := decodeMultiplyArgs(&brd, &dec, newBlockCache(-1, 0), false); err != nil {
 		t.Fatal(err)
 	}
 	if brd.off != len(body) {
@@ -290,7 +290,7 @@ func TestFragmentedFrameReads(t *testing.T) {
 	for cut := 0; cut < len(body); cut++ {
 		var a MultiplyArgs
 		trd := wireReader{buf: body[:cut]}
-		if err := decodeMultiplyArgs(&trd, &a, newBlockCache(-1), false); err == nil {
+		if err := decodeMultiplyArgs(&trd, &a, newBlockCache(-1, 0), false); err == nil {
 			t.Fatalf("body truncated at %d/%d bytes decoded", cut, len(body))
 		}
 	}
@@ -340,17 +340,31 @@ func TestSendTrackerConcurrentEpochs(t *testing.T) {
 	var dg codec.Digest
 	dg[0] = 0xAB
 	tr.forget()
-	if tr.seen(1, dg) {
+	base := tr.epoch + 1
+	if tr.seen(base, dg) {
 		t.Fatal("fresh digest reported as already sent")
 	}
-	if !tr.seen(1, dg) {
+	if !tr.seen(base, dg) {
 		t.Fatal("repeat digest not deduplicated")
 	}
-	if tr.seen(2, dg) {
-		t.Fatal("epoch bump did not reset the sent set")
+	// Dedup persists across epochs inside the lifecycle window — that is
+	// what lets concurrent jobs share tracker state...
+	if !tr.seen(base+1, dg) {
+		t.Fatal("epoch bump inside the window dropped the sent set")
+	}
+	// ...and ages out beyond it, mirroring the worker cache's expiry. The
+	// repeat at base+1 refreshed the entry to the then-newest epoch, so
+	// jumping a full window past that must expire it.
+	var other codec.Digest
+	other[0] = 0xCD
+	if tr.seen(base+1+DefaultCacheEpochWindow+1, other) {
+		t.Fatal("fresh digest reported as already sent after window jump")
+	}
+	if tr.seen(base+1+DefaultCacheEpochWindow+1, dg) {
+		t.Fatal("entry outside the epoch window was not aged out")
 	}
 	tr.forget()
-	if tr.seen(2, dg) {
+	if tr.seen(base+1+DefaultCacheEpochWindow+1, dg) {
 		t.Fatal("forget did not clear the sent set")
 	}
 }

@@ -122,7 +122,8 @@ func (d *Driver) executePull(ctx context.Context, a, b *bmat.BlockMatrix, params
 
 // Multiply runs C = A×B with an explicit (P,Q,R)-cuboid partitioning.
 //
-// Deprecated: Use Execute with MultiplyOptions.Params.
+// Deprecated: Use [Driver.Execute] with MultiplyOptions.Params for one-shot
+// operands, or [Session.Multiply] when the operands are resident handles.
 func (d *Driver) Multiply(a, b *bmat.BlockMatrix, params core.Params) (*bmat.BlockMatrix, error) {
 	c, _, err := d.Execute(context.Background(), a, b, MultiplyOptions{Params: &params})
 	return c, err
@@ -131,14 +132,16 @@ func (d *Driver) Multiply(a, b *bmat.BlockMatrix, params core.Params) (*bmat.Blo
 // MultiplyAuto optimizes (P,Q,R) for the given per-worker memory budget,
 // then multiplies.
 //
-// Deprecated: Use Execute with MultiplyOptions.WorkerMemBytes.
+// Deprecated: Use [Driver.Execute] with MultiplyOptions.WorkerMemBytes for
+// one-shot operands, or [Session.Multiply] when the operands are resident
+// handles.
 func (d *Driver) MultiplyAuto(a, b *bmat.BlockMatrix, workerMemBytes int64) (*bmat.BlockMatrix, core.Params, error) {
 	return d.Execute(context.Background(), a, b, MultiplyOptions{WorkerMemBytes: workerMemBytes})
 }
 
 // ResumeMultiply is Multiply with per-cuboid checkpointing rooted at dir.
 //
-// Deprecated: Use Execute with MultiplyOptions.CheckpointDir.
+// Deprecated: Use [Driver.Execute] with MultiplyOptions.CheckpointDir.
 func (d *Driver) ResumeMultiply(dir string, a, b *bmat.BlockMatrix, params core.Params) (*bmat.BlockMatrix, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("distnet: ResumeMultiply: empty checkpoint dir")

@@ -1,0 +1,100 @@
+package distnet
+
+import (
+	"context"
+	"sync/atomic"
+
+	"distme/internal/codec"
+)
+
+// JobMeter attributes one logical job's traffic and elasticity events to its
+// owner. The serving plane attaches a meter to the context it passes into
+// Execute (or Session.Multiply); everything the multiply dispatches — every
+// cuboid payload, reply, retry, and fallback — is then charged to that meter
+// as well as to the driver's global NetStats, giving per-tenant byte and
+// compute accounting without a recorder per job.
+//
+// Request/reply bytes are encoded block-payload bytes (the Eq.(4) quantity),
+// not raw socket frames: digest references and batch framing change what
+// crosses the socket, but the payload measure is stable across cache state,
+// which is what quota enforcement wants.
+type JobMeter struct {
+	cuboids, requestBytes, replyBytes, retries, localFallbacks atomic.Int64
+}
+
+// JobMeterStats is a point-in-time snapshot of a JobMeter.
+type JobMeterStats struct {
+	// Cuboids counts committed cuboid results.
+	Cuboids int64 `json:"cuboids"`
+	// RequestBytes / ReplyBytes are encoded block-payload bytes dispatched
+	// and received for this job.
+	RequestBytes int64 `json:"request_bytes"`
+	ReplyBytes   int64 `json:"reply_bytes"`
+	// Retries counts cuboid scheduling retries; LocalFallbacks counts
+	// cuboids the driver computed itself after the pool failed them.
+	Retries        int64 `json:"retries"`
+	LocalFallbacks int64 `json:"local_fallbacks"`
+}
+
+// Stats snapshots the meter.
+func (m *JobMeter) Stats() JobMeterStats {
+	if m == nil {
+		return JobMeterStats{}
+	}
+	return JobMeterStats{
+		Cuboids:        m.cuboids.Load(),
+		RequestBytes:   m.requestBytes.Load(),
+		ReplyBytes:     m.replyBytes.Load(),
+		Retries:        m.retries.Load(),
+		LocalFallbacks: m.localFallbacks.Load(),
+	}
+}
+
+type jobMeterKey struct{}
+
+// WithJobMeter returns a context whose multiplies charge their cuboid
+// traffic to m. Passing nil m returns ctx unchanged.
+func WithJobMeter(ctx context.Context, m *JobMeter) context.Context {
+	if m == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, jobMeterKey{}, m)
+}
+
+// jobMeterFrom extracts the meter attached by WithJobMeter, or nil.
+func jobMeterFrom(ctx context.Context) *JobMeter {
+	m, _ := ctx.Value(jobMeterKey{}).(*JobMeter)
+	return m
+}
+
+// noteDispatch charges one cuboid request's payload.
+func (m *JobMeter) noteDispatch(bytes int64) {
+	if m != nil {
+		m.requestBytes.Add(bytes)
+	}
+}
+
+// noteCommit charges one committed reply.
+func (m *JobMeter) noteCommit(reply *MultiplyReply) {
+	if m == nil {
+		return
+	}
+	var n int64
+	for i := range reply.CBlocks {
+		n += codec.EncodedBytes(reply.CBlocks[i].Block)
+	}
+	m.replyBytes.Add(n)
+	m.cuboids.Add(1)
+}
+
+func (m *JobMeter) noteRetry() {
+	if m != nil {
+		m.retries.Add(1)
+	}
+}
+
+func (m *JobMeter) noteLocalFallback() {
+	if m != nil {
+		m.localFallbacks.Add(1)
+	}
+}

@@ -55,6 +55,10 @@ type MultiplyArgs struct {
 	// reports it in the item's reply slot instead of computing.
 	decodeErr string
 
+	// meter, when set, receives per-job traffic attribution for this
+	// cuboid (WithJobMeter). Driver-side only; never on the wire.
+	meter *JobMeter
+
 	// pull switches this cuboid to the one-sided data plane: ABlocks and
 	// BBlocks stay off the wire, and the worker resolves the placement
 	// manifests instead — cache dedup first, then coalesced fetches from

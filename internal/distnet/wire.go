@@ -236,32 +236,49 @@ func appendString(dst []byte, s string) []byte {
 }
 
 // sendTracker remembers which block digests a member has already received
-// in the current job epoch, so the driver can replace repeats with
-// references. Marking happens at encode time ("commit at send"): requests
-// on one connection are written and read in order, so a later request's
-// reference can only be decoded after the earlier inline copy was. The
-// tracker is deliberately NOT cleared on reconnect — a restarted worker
-// answers the first stale reference with the unknown-digest error, runJob
-// calls forget(), and the retry ships the blocks inline.
+// recently, so the driver can replace repeats with references. Marking
+// happens at encode time ("commit at send"): requests on one connection are
+// written and read in order, so a later request's reference can only be
+// decoded after the earlier inline copy was. Entries age out when their
+// last-sent epoch falls more than the worker cache's lifecycle window
+// behind the newest epoch seen — mirroring blockCache's expiry, so the
+// driver stops assuming residency around the time the worker drops it.
+// Concurrent jobs carry distinct epochs; tracking per digest (not per
+// epoch) lets them share dedup state. The tracker is deliberately NOT
+// cleared on reconnect — a restarted worker answers the first stale
+// reference with the unknown-digest error, runJob calls forget(), and the
+// retry ships the blocks inline. A too-optimistic guess always degrades to
+// that same clean resend path.
 type sendTracker struct {
 	mu    sync.Mutex
-	epoch uint64
-	sent  map[codec.Digest]struct{}
+	epoch uint64 // newest epoch observed
+	sent  map[codec.Digest]uint64
 }
 
-// seen reports whether dg was already sent this epoch, marking it sent
-// otherwise. An epoch change resets the set.
+// seen reports whether dg was already sent within the lifecycle window,
+// marking it sent at this epoch otherwise.
 func (t *sendTracker) seen(epoch uint64, dg codec.Digest) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.epoch != epoch || t.sent == nil {
+	if t.sent == nil {
+		t.sent = map[codec.Digest]uint64{}
+	}
+	if epoch > t.epoch {
 		t.epoch = epoch
-		t.sent = map[codec.Digest]struct{}{}
+		if t.epoch > DefaultCacheEpochWindow {
+			floor := t.epoch - DefaultCacheEpochWindow
+			for d, e := range t.sent {
+				if e < floor {
+					delete(t.sent, d)
+				}
+			}
+		}
 	}
 	if _, ok := t.sent[dg]; ok {
+		t.sent[dg] = t.epoch // refresh: worker-side hit refreshes too
 		return true
 	}
-	t.sent[dg] = struct{}{}
+	t.sent[dg] = epoch
 	return false
 }
 
@@ -553,7 +570,7 @@ type serverCodec struct {
 // workers built on rpc.NewServer (tests, tools). Production workers share
 // one cache across connections via Serve.
 func NewServerCodec(conn io.ReadWriteCloser) rpc.ServerCodec {
-	return newServerCodec(conn, newBlockCache(0), nil)
+	return newServerCodec(conn, newBlockCache(0, 0), nil)
 }
 
 func newServerCodec(conn io.ReadWriteCloser, cache *blockCache, tracer *obs.Tracer) rpc.ServerCodec {

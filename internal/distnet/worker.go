@@ -355,6 +355,11 @@ type WorkerOptions struct {
 	// DefaultCacheBytes, negative disables caching (every digest reference
 	// then misses and the driver falls back to inline sends).
 	CacheBytes int64
+	// CacheEpochWindow bounds how many job epochs an unreferenced cached
+	// block survives: 0 takes DefaultCacheEpochWindow. Smaller windows
+	// tighten residency across job churn; larger windows keep warm operands
+	// resident for longer under concurrent serving traffic.
+	CacheEpochWindow int
 	// StoreBytes bounds the handle store's unpinned residency: 0 takes
 	// DefaultStoreBytes, negative means unbounded. Evicted handles are
 	// rebuilt from lineage by the driver on next use.
@@ -377,7 +382,7 @@ func ServeOptions(l net.Listener, opts WorkerOptions) (*Worker, error) {
 	w := &Worker{
 		listener: l,
 		conns:    map[net.Conn]struct{}{},
-		cache:    newBlockCache(opts.CacheBytes),
+		cache:    newBlockCache(opts.CacheBytes, opts.CacheEpochWindow),
 		store:    newHandleStore(opts.StoreBytes),
 		tracer:   opts.Tracer,
 		down:     make(chan struct{}),

@@ -200,7 +200,7 @@ type Report struct {
 
 // Multiply computes A×B with the engine's default method.
 //
-// Deprecated: Use Run with a plan.Mul expression.
+// Deprecated: Use [Engine.Run] with a plan.Mul expression.
 func (e *Engine) Multiply(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
 	c, _, err := e.MultiplyOpt(a, b, MulOptions{Method: e.cfg.DefaultMethod})
 	return c, err
@@ -209,7 +209,7 @@ func (e *Engine) Multiply(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
 // MultiplyOpt computes A×B with explicit options and returns the execution
 // report alongside the product.
 //
-// Deprecated: Use Run with WithMulOptions.
+// Deprecated: Use [Engine.Run] with WithMulOptions.
 func (e *Engine) MultiplyOpt(a, b *bmat.BlockMatrix, opts MulOptions) (*bmat.BlockMatrix, *Report, error) {
 	return e.MultiplyCtx(context.Background(), a, b, opts)
 }
@@ -219,7 +219,7 @@ func (e *Engine) MultiplyOpt(a, b *bmat.BlockMatrix, opts MulOptions) (*bmat.Blo
 // attempts — and returns an error matching errors.Is(err, ErrCancelled)
 // that wraps ctx.Err(). A nil ctx behaves like context.Background().
 //
-// Deprecated: Use Run with WithMulOptions.
+// Deprecated: Use [Engine.Run] with WithMulOptions.
 func (e *Engine) MultiplyCtx(ctx context.Context, a, b *bmat.BlockMatrix, opts MulOptions) (*bmat.BlockMatrix, *Report, error) {
 	return e.mulTraced(ctx, a, b, opts)
 }

@@ -120,42 +120,48 @@ func (e *Engine) ScaleCtx(ctx context.Context, s float64, a *bmat.BlockMatrix) (
 
 // Transpose computes Aᵀ.
 //
-// Deprecated: Use TransposeCtx.
+// Deprecated: Use [Engine.TransposeCtx], or fold the op into one
+// [Engine.Run] expression.
 func (e *Engine) Transpose(a *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
 	return e.TransposeCtx(context.Background(), a)
 }
 
 // Add computes A+B.
 //
-// Deprecated: Use AddCtx.
+// Deprecated: Use [Engine.AddCtx], or fold the op into one [Engine.Run]
+// expression.
 func (e *Engine) Add(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
 	return e.AddCtx(context.Background(), a, b)
 }
 
 // Sub computes A−B.
 //
-// Deprecated: Use SubCtx.
+// Deprecated: Use [Engine.SubCtx], or fold the op into one [Engine.Run]
+// expression.
 func (e *Engine) Sub(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
 	return e.SubCtx(context.Background(), a, b)
 }
 
 // Hadamard computes A∘B.
 //
-// Deprecated: Use HadamardCtx.
+// Deprecated: Use [Engine.HadamardCtx], or fold the op into one
+// [Engine.Run] expression.
 func (e *Engine) Hadamard(a, b *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
 	return e.HadamardCtx(context.Background(), a, b)
 }
 
 // DivElem computes A⊘B with an epsilon guard.
 //
-// Deprecated: Use DivElemCtx.
+// Deprecated: Use [Engine.DivElemCtx], or fold the op into one
+// [Engine.Run] expression.
 func (e *Engine) DivElem(a, b *bmat.BlockMatrix, eps float64) (*bmat.BlockMatrix, error) {
 	return e.DivElemCtx(context.Background(), a, b, eps)
 }
 
 // Scale computes s·A.
 //
-// Deprecated: Use ScaleCtx.
+// Deprecated: Use [Engine.ScaleCtx], or fold the op into one [Engine.Run]
+// expression.
 func (e *Engine) Scale(s float64, a *bmat.BlockMatrix) (*bmat.BlockMatrix, error) {
 	return e.ScaleCtx(context.Background(), s, a)
 }

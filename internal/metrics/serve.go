@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Per-tenant serving-plane accounting. NetStats counts what the driver's
+// wire machinery did in aggregate; TenantStats splits the serving plane's
+// view of that traffic by tenant — admission decisions, quota charges, and
+// the per-job byte/compute attribution the driver reports back through its
+// job meters. A ServeRecorder is the mutable accumulator the server owns.
+
+// TenantStats is one tenant's serving-plane counter block.
+type TenantStats struct {
+	Tenant string `json:"tenant"`
+
+	// Admission outcomes. Submitted = Admitted + the three Rejected rows.
+	Submitted          int64 `json:"submitted"`
+	Admitted           int64 `json:"admitted"`
+	RejectedQueueFull  int64 `json:"rejected_queue_full"`
+	RejectedQuota      int64 `json:"rejected_quota"`
+	RejectedInfeasible int64 `json:"rejected_infeasible"`
+
+	// Terminal outcomes of admitted jobs.
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+
+	// PlannedBytes accumulates each admitted job's Eq.(4) communication
+	// estimate — the quantity byte quotas are charged in. PlannedFlops
+	// accumulates the 2·m·k·n multiply-add estimate behind compute quotas.
+	PlannedBytes int64 `json:"planned_bytes"`
+	PlannedFlops int64 `json:"planned_flops"`
+
+	// MeasuredRequestBytes / MeasuredReplyBytes are the driver's per-job
+	// meter totals for completed jobs: encoded block payload dispatched and
+	// received. Retries and LocalFallbacks aggregate the same meters.
+	MeasuredRequestBytes int64 `json:"measured_request_bytes"`
+	MeasuredReplyBytes   int64 `json:"measured_reply_bytes"`
+	Retries              int64 `json:"retries"`
+	LocalFallbacks       int64 `json:"local_fallbacks"`
+
+	// QueueWaitNanos / RunNanos accumulate time jobs spent queued and
+	// running, over completed jobs.
+	QueueWaitNanos int64 `json:"queue_wait_nanos"`
+	RunNanos       int64 `json:"run_nanos"`
+}
+
+// ServeRecorder accumulates TenantStats per tenant. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type ServeRecorder struct {
+	mu      sync.Mutex
+	tenants map[string]*TenantStats
+}
+
+func (r *ServeRecorder) tenant(name string) *TenantStats {
+	if r.tenants == nil {
+		r.tenants = map[string]*TenantStats{}
+	}
+	t, ok := r.tenants[name]
+	if !ok {
+		t = &TenantStats{Tenant: name}
+		r.tenants[name] = t
+	}
+	return t
+}
+
+// OnSubmitted counts one submit attempt (before its admission verdict).
+func (r *ServeRecorder) OnSubmitted(tenant string) {
+	r.mu.Lock()
+	r.tenant(tenant).Submitted++
+	r.mu.Unlock()
+}
+
+// OnAdmitted counts one admitted job and charges its planned cost.
+func (r *ServeRecorder) OnAdmitted(tenant string, plannedBytes, plannedFlops int64) {
+	r.mu.Lock()
+	t := r.tenant(tenant)
+	t.Admitted++
+	t.PlannedBytes += plannedBytes
+	t.PlannedFlops += plannedFlops
+	r.mu.Unlock()
+}
+
+// Rejection reasons for OnRejected.
+const (
+	RejectQueueFull  = "queue_full"
+	RejectQuota      = "quota"
+	RejectInfeasible = "infeasible"
+)
+
+// OnRejected counts one rejected submit under its reason.
+func (r *ServeRecorder) OnRejected(tenant, reason string) {
+	r.mu.Lock()
+	t := r.tenant(tenant)
+	switch reason {
+	case RejectQueueFull:
+		t.RejectedQueueFull++
+	case RejectQuota:
+		t.RejectedQuota++
+	default:
+		t.RejectedInfeasible++
+	}
+	r.mu.Unlock()
+}
+
+// OnCompleted counts one successful job with its wait/run times and the
+// driver meter's measured traffic.
+func (r *ServeRecorder) OnCompleted(tenant string, wait, run time.Duration, requestBytes, replyBytes, retries, localFallbacks int64) {
+	r.mu.Lock()
+	t := r.tenant(tenant)
+	t.Completed++
+	t.QueueWaitNanos += wait.Nanoseconds()
+	t.RunNanos += run.Nanoseconds()
+	t.MeasuredRequestBytes += requestBytes
+	t.MeasuredReplyBytes += replyBytes
+	t.Retries += retries
+	t.LocalFallbacks += localFallbacks
+	r.mu.Unlock()
+}
+
+// OnFailed counts one admitted job that ended in error.
+func (r *ServeRecorder) OnFailed(tenant string) {
+	r.mu.Lock()
+	r.tenant(tenant).Failed++
+	r.mu.Unlock()
+}
+
+// OnCancelled counts one admitted job cancelled before completion.
+func (r *ServeRecorder) OnCancelled(tenant string) {
+	r.mu.Lock()
+	r.tenant(tenant).Cancelled++
+	r.mu.Unlock()
+}
+
+// Tenants snapshots every tenant's counters, sorted by tenant name.
+func (r *ServeRecorder) Tenants() []TenantStats {
+	r.mu.Lock()
+	out := make([]TenantStats, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		out = append(out, *t)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// String renders one line per tenant, for logs.
+func (r *ServeRecorder) String() string {
+	var b strings.Builder
+	for _, t := range r.Tenants() {
+		fmt.Fprintf(&b, "%s: submitted=%d admitted=%d completed=%d failed=%d cancelled=%d rejected(queue=%d quota=%d infeasible=%d) planned=%dB measured=%d/%dB\n",
+			t.Tenant, t.Submitted, t.Admitted, t.Completed, t.Failed, t.Cancelled,
+			t.RejectedQueueFull, t.RejectedQuota, t.RejectedInfeasible,
+			t.PlannedBytes, t.MeasuredRequestBytes, t.MeasuredReplyBytes)
+	}
+	return b.String()
+}

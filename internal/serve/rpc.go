@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"strings"
+	"sync"
+	"time"
+
+	"distme/internal/bmat"
+	"distme/internal/storage"
+)
+
+// The wire API: net/rpc over gob for the control frames, with operand and
+// result matrices carried as internal/storage's chunked checksummed binary
+// format inside []byte fields. Typed rejections cross the socket as
+// rpc.ServerError text; Client maps them back to the package sentinels (and
+// re-parses QueueFullError's retry-after hint), so callers branch with
+// errors.Is on either side of the wire.
+
+// wireServiceName is the registered net/rpc service.
+const wireServiceName = "DistMEServe"
+
+// maxResultWait bounds one server-side Result wait so a single RPC never
+// parks forever; clients poll in maxResultWait windows.
+const maxResultWait = 2 * time.Second
+
+// RPC is the exported net/rpc receiver wrapping a Server.
+type RPC struct{ s *Server }
+
+// WireSubmitArgs is Submit over the wire; A and B are storage-encoded.
+type WireSubmitArgs struct {
+	Tenant   string
+	Priority int
+	A, B     []byte
+}
+
+// WireSubmitReply returns the job ID.
+type WireSubmitReply struct{ ID uint64 }
+
+// Submit decodes the operands and admits the job.
+func (r *RPC) Submit(args *WireSubmitArgs, reply *WireSubmitReply) error {
+	a, err := storage.Read(bytes.NewReader(args.A))
+	if err != nil {
+		return fmt.Errorf("%w: operand A: %v", ErrUnschedulable, err)
+	}
+	b, err := storage.Read(bytes.NewReader(args.B))
+	if err != nil {
+		return fmt.Errorf("%w: operand B: %v", ErrUnschedulable, err)
+	}
+	id, err := r.s.Submit(SubmitRequest{Tenant: args.Tenant, Priority: args.Priority, A: a, B: b})
+	if err != nil {
+		return err
+	}
+	reply.ID = uint64(id)
+	return nil
+}
+
+// WireStatusArgs names a job.
+type WireStatusArgs struct{ ID uint64 }
+
+// WireStatusReply carries its snapshot.
+type WireStatusReply struct{ Status JobStatus }
+
+// Status snapshots a job.
+func (r *RPC) Status(args *WireStatusArgs, reply *WireStatusReply) error {
+	st, err := r.s.Status(JobID(args.ID))
+	if err != nil {
+		return err
+	}
+	reply.Status = st
+	return nil
+}
+
+// WireResultArgs asks for a job's result, waiting server-side up to
+// WaitMillis (clamped to a bound) for it to finish.
+type WireResultArgs struct {
+	ID         uint64
+	WaitMillis int64
+}
+
+// WireResultReply reports Done=false when the wait expired first; when
+// Done, C holds the storage-encoded product for successful jobs and Status
+// carries the terminal state (failures arrive as RPC errors instead).
+type WireResultReply struct {
+	Done   bool
+	Status JobStatus
+	C      []byte
+}
+
+// Result waits (bounded) for the job and returns its product.
+func (r *RPC) Result(args *WireResultArgs, reply *WireResultReply) error {
+	wait := time.Duration(args.WaitMillis) * time.Millisecond
+	if wait <= 0 || wait > maxResultWait {
+		wait = maxResultWait
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	c, st, err := r.s.Result(ctx, JobID(args.ID))
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			// Not finished inside the window: report progress, not an error.
+			if st, serr := r.s.Status(JobID(args.ID)); serr == nil {
+				reply.Status = st
+			}
+			return nil
+		}
+		return err
+	}
+	reply.Done = true
+	reply.Status = st
+	if c != nil {
+		var buf bytes.Buffer
+		if err := storage.Write(&buf, c); err != nil {
+			return fmt.Errorf("serve: encode result: %w", err)
+		}
+		reply.C = buf.Bytes()
+	}
+	return nil
+}
+
+// WireCancelArgs names a job; WireCancelReply is empty.
+type WireCancelArgs struct{ ID uint64 }
+type WireCancelReply struct{}
+
+// Cancel stops a job.
+func (r *RPC) Cancel(args *WireCancelArgs, reply *WireCancelReply) error {
+	return r.s.Cancel(JobID(args.ID))
+}
+
+// Listener serves the wire API on a net.Listener until closed.
+type Listener struct {
+	l    net.Listener
+	mu   sync.Mutex
+	conn map[net.Conn]struct{}
+	done chan struct{}
+}
+
+// ServeListener exposes the server's wire API on l. The returned Listener's
+// Close stops accepting and drops open connections; the Server itself stays
+// up.
+func ServeListener(s *Server, l net.Listener) (*Listener, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(wireServiceName, &RPC{s: s}); err != nil {
+		return nil, fmt.Errorf("serve: register: %w", err)
+	}
+	sl := &Listener{l: l, conn: map[net.Conn]struct{}{}, done: make(chan struct{})}
+	go func() {
+		defer close(sl.done)
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			sl.mu.Lock()
+			sl.conn[conn] = struct{}{}
+			sl.mu.Unlock()
+			go func(conn net.Conn) {
+				srv.ServeConn(conn)
+				sl.mu.Lock()
+				delete(sl.conn, conn)
+				sl.mu.Unlock()
+				conn.Close()
+			}(conn)
+		}
+	}()
+	return sl, nil
+}
+
+// Addr is the listener's bound address.
+func (sl *Listener) Addr() string { return sl.l.Addr().String() }
+
+// Close stops accepting and closes open connections.
+func (sl *Listener) Close() {
+	sl.l.Close()
+	<-sl.done
+	sl.mu.Lock()
+	for c := range sl.conn {
+		c.Close()
+	}
+	sl.conn = map[net.Conn]struct{}{}
+	sl.mu.Unlock()
+}
+
+// Client is the caller side of the wire API.
+type Client struct{ c *rpc.Client }
+
+// Dial connects to a serving endpoint.
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	return &Client{c: c}, nil
+}
+
+// Close drops the connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// Submit ships both operands and returns the admitted job's ID. Rejections
+// come back as the package's typed errors (errors.Is works across the wire).
+func (c *Client) Submit(tenant string, priority int, a, b *bmat.BlockMatrix) (JobID, error) {
+	var bufA, bufB bytes.Buffer
+	if err := storage.Write(&bufA, a); err != nil {
+		return 0, fmt.Errorf("serve: encode A: %w", err)
+	}
+	if err := storage.Write(&bufB, b); err != nil {
+		return 0, fmt.Errorf("serve: encode B: %w", err)
+	}
+	args := &WireSubmitArgs{Tenant: tenant, Priority: priority, A: bufA.Bytes(), B: bufB.Bytes()}
+	var reply WireSubmitReply
+	if err := c.c.Call(wireServiceName+".Submit", args, &reply); err != nil {
+		return 0, mapWireError(err)
+	}
+	return JobID(reply.ID), nil
+}
+
+// Status snapshots a job.
+func (c *Client) Status(id JobID) (JobStatus, error) {
+	var reply WireStatusReply
+	if err := c.c.Call(wireServiceName+".Status", &WireStatusArgs{ID: uint64(id)}, &reply); err != nil {
+		return JobStatus{}, mapWireError(err)
+	}
+	return reply.Status, nil
+}
+
+// Result blocks until the job finishes (or ctx ends), polling bounded
+// server-side waits, and decodes the product.
+func (c *Client) Result(ctx context.Context, id JobID) (*bmat.BlockMatrix, JobStatus, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, JobStatus{}, err
+		}
+		var reply WireResultReply
+		err := c.c.Call(wireServiceName+".Result",
+			&WireResultArgs{ID: uint64(id), WaitMillis: maxResultWait.Milliseconds()}, &reply)
+		if err != nil {
+			return nil, reply.Status, mapWireError(err)
+		}
+		if !reply.Done {
+			continue
+		}
+		if len(reply.C) == 0 {
+			return nil, reply.Status, nil
+		}
+		m, err := storage.Read(bytes.NewReader(reply.C))
+		if err != nil {
+			return nil, reply.Status, fmt.Errorf("serve: decode result: %w", err)
+		}
+		return m, reply.Status, nil
+	}
+}
+
+// Cancel stops a job.
+func (c *Client) Cancel(id JobID) error {
+	var reply WireCancelReply
+	if err := c.c.Call(wireServiceName+".Cancel", &WireCancelArgs{ID: uint64(id)}, &reply); err != nil {
+		return mapWireError(err)
+	}
+	return nil
+}
+
+// mapWireError re-types rpc.ServerError text back into the package
+// sentinels, re-parsing QueueFullError's retry-after hint, so wire callers
+// branch exactly like in-process ones.
+func mapWireError(err error) error {
+	var se rpc.ServerError
+	if !errors.As(err, &se) {
+		return err
+	}
+	msg := se.Error()
+	switch {
+	case strings.HasPrefix(msg, ErrQueueFull.Error()):
+		qf := &QueueFullError{RetryAfter: 5 * time.Millisecond}
+		if i := strings.Index(msg, `tenant "`); i >= 0 {
+			rest := msg[i+len(`tenant "`):]
+			if j := strings.IndexByte(rest, '"'); j >= 0 {
+				qf.Tenant = rest[:j]
+			}
+		}
+		if i := strings.Index(msg, "retry after "); i >= 0 {
+			rest := strings.TrimSuffix(msg[i+len("retry after "):], ")")
+			if d, perr := time.ParseDuration(rest); perr == nil {
+				qf.RetryAfter = d
+			}
+		}
+		return qf
+	case strings.HasPrefix(msg, ErrQuotaExceeded.Error()):
+		return fmt.Errorf("%w%s", ErrQuotaExceeded, strings.TrimPrefix(msg, ErrQuotaExceeded.Error()))
+	case strings.HasPrefix(msg, ErrUnschedulable.Error()):
+		return fmt.Errorf("%w%s", ErrUnschedulable, strings.TrimPrefix(msg, ErrUnschedulable.Error()))
+	case strings.HasPrefix(msg, ErrUnknownTenant.Error()):
+		return fmt.Errorf("%w%s", ErrUnknownTenant, strings.TrimPrefix(msg, ErrUnknownTenant.Error()))
+	case strings.HasPrefix(msg, ErrUnknownJob.Error()):
+		return fmt.Errorf("%w%s", ErrUnknownJob, strings.TrimPrefix(msg, ErrUnknownJob.Error()))
+	case strings.HasPrefix(msg, ErrServerClosed.Error()):
+		return ErrServerClosed
+	}
+	return err
+}

@@ -1,0 +1,194 @@
+package servebench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// Histo is a latency distribution summary in nanoseconds.
+type Histo struct {
+	Count    int   `json:"count"`
+	P50Nanos int64 `json:"p50_ns"`
+	P90Nanos int64 `json:"p90_ns"`
+	P99Nanos int64 `json:"p99_ns"`
+	MaxNanos int64 `json:"max_ns"`
+}
+
+func histoOf(ds []time.Duration) Histo {
+	if len(ds) == 0 {
+		return Histo{}
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(s)))
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i].Nanoseconds()
+	}
+	return Histo{
+		Count:    len(s),
+		P50Nanos: at(0.50),
+		P90Nanos: at(0.90),
+		P99Nanos: at(0.99),
+		MaxNanos: s[len(s)-1].Nanoseconds(),
+	}
+}
+
+func (h Histo) String() string {
+	if h.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d p50=%s p90=%s p99=%s max=%s",
+		h.Count,
+		time.Duration(h.P50Nanos),
+		time.Duration(h.P90Nanos),
+		time.Duration(h.P99Nanos),
+		time.Duration(h.MaxNanos))
+}
+
+// RungStats is one offered-load level of the ladder phase.
+type RungStats struct {
+	OfferedPerSec int `json:"offered_per_sec"`
+	Submitted     int `json:"submitted"`
+	Rejected      int `json:"rejected"`
+	Failed        int `json:"failed"`
+	Completed     int `json:"completed"`
+	// AchievedPerSec is completions over the rung's wall clock (submission
+	// window plus drain).
+	AchievedPerSec float64 `json:"achieved_per_sec"`
+	Latency        Histo   `json:"latency"`
+	// SLOAttainment is the fraction of completed jobs inside the SLO.
+	SLOAttainment float64 `json:"slo_attainment"`
+}
+
+// OverloadStats is the overload phase's outcome.
+type OverloadStats struct {
+	OfferedPerSec int   `json:"offered_per_sec"`
+	Submitted     int   `json:"submitted"`
+	Rejected      int   `json:"rejected"`
+	Failed        int   `json:"failed"`
+	Completed     int   `json:"completed"`
+	Latency       Histo `json:"latency"`
+	// Deadlocked reports the fatal outcome: the phase failed to settle
+	// inside its generous bound.
+	Deadlocked bool `json:"deadlocked"`
+	// ResponsiveAfter reports whether a probe job submitted after the storm
+	// completed normally.
+	ResponsiveAfter bool `json:"responsive_after"`
+}
+
+// FairnessStats compares the light tenant's solo and contended latency.
+type FairnessStats struct {
+	SoloLatency   Histo `json:"solo_latency"`
+	SharedLatency Histo `json:"shared_latency"`
+	// FactorX is shared p99 over solo p99 — the fairness gate's metric.
+	FactorX        float64 `json:"factor_x"`
+	HeavySubmitted int     `json:"heavy_submitted"`
+	HeavyRejected  int     `json:"heavy_rejected"`
+	HeavyLatency   Histo   `json:"heavy_latency"`
+}
+
+// Report is the full servebench output, written to BENCH_serve.json.
+type Report struct {
+	Profile  string        `json:"profile"`
+	Seed     int64         `json:"seed"`
+	SLONanos int64         `json:"slo_ns"`
+	Rungs    []RungStats   `json:"rungs"`
+	Overload OverloadStats `json:"overload"`
+	Fairness FairnessStats `json:"fairness"`
+	// Goroutine census at Run start and after teardown settle.
+	GoroutinesStart int `json:"goroutines_start"`
+	GoroutinesEnd   int `json:"goroutines_end"`
+	// Passed is the overall verdict; Failures lists every violated gate.
+	Passed   bool     `json:"passed"`
+	Failures []string `json:"failures,omitempty"`
+}
+
+// check applies the acceptance gates and fills Failures.
+func (r *Report) check(p Profile) {
+	fail := func(format string, args ...any) {
+		r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+	}
+	for _, rung := range r.Rungs {
+		if rung.Failed > 0 {
+			fail("rung %d/s: %d job(s) failed", rung.OfferedPerSec, rung.Failed)
+		}
+		if rung.OfferedPerSec != p.SustainRate {
+			continue
+		}
+		floor := float64(p.SustainRate) * p.SustainFraction
+		if rung.AchievedPerSec < floor {
+			fail("rung %d/s: achieved %.0f jobs/s, need at least %.0f",
+				rung.OfferedPerSec, rung.AchievedPerSec, floor)
+		}
+		if rung.Latency.P99Nanos > r.SLONanos {
+			fail("rung %d/s: p99 %s breaches the %s SLO",
+				rung.OfferedPerSec, time.Duration(rung.Latency.P99Nanos), time.Duration(r.SLONanos))
+		}
+	}
+	if r.Overload.Deadlocked {
+		fail("overload: did not settle — the serving plane deadlocked instead of rejecting")
+	} else {
+		if r.Overload.Rejected == 0 {
+			fail("overload: %d jobs/s into a %d-deep queue produced no rejections — admission control is not engaging",
+				p.OverloadRate, p.OverloadQueue)
+		}
+		if r.Overload.Failed > 0 {
+			fail("overload: %d admitted job(s) failed", r.Overload.Failed)
+		}
+		if !r.Overload.ResponsiveAfter {
+			fail("overload: probe job after the storm did not complete")
+		}
+	}
+	if r.Fairness.SharedLatency.Count == 0 {
+		fail("fairness: light tenant completed no jobs under contention")
+	} else if r.Fairness.FactorX > p.FairnessFactor {
+		fail("fairness: light tenant p99 %s is %.2fx its solo %s, over the %.1fx bound",
+			time.Duration(r.Fairness.SharedLatency.P99Nanos), r.Fairness.FactorX,
+			time.Duration(r.Fairness.SoloLatency.P99Nanos), p.FairnessFactor)
+	}
+	if r.GoroutinesEnd > r.GoroutinesStart+4 {
+		fail("goroutine leak: %d at start, %d after teardown settle", r.GoroutinesStart, r.GoroutinesEnd)
+	}
+}
+
+// WriteJSON writes the report to a file.
+func (r *Report) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Fprint renders the report for a terminal.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "serve %s (seed %d): ", r.Profile, r.Seed)
+	if r.Passed {
+		fmt.Fprintln(w, "PASS")
+	} else {
+		fmt.Fprintln(w, "FAIL")
+	}
+	for _, rung := range r.Rungs {
+		fmt.Fprintf(w, "  %4d jobs/s offered: achieved %.0f/s, SLO attainment %.3f, rejected %d\n",
+			rung.OfferedPerSec, rung.AchievedPerSec, rung.SLOAttainment, rung.Rejected)
+		fmt.Fprintf(w, "       latency %s\n", rung.Latency)
+	}
+	ov := r.Overload
+	fmt.Fprintf(w, "  overload %d/s: %d submitted, %d rejected, %d completed, deadlocked=%v responsive=%v\n",
+		ov.OfferedPerSec, ov.Submitted, ov.Rejected, ov.Completed, ov.Deadlocked, ov.ResponsiveAfter)
+	f := r.Fairness
+	fmt.Fprintf(w, "  fairness: light solo %s\n", f.SoloLatency)
+	fmt.Fprintf(w, "            light shared %s (%.2fx, heavy submitted %d)\n",
+		f.SharedLatency, f.FactorX, f.HeavySubmitted)
+	fmt.Fprintf(w, "  goroutines %d -> %d\n", r.GoroutinesStart, r.GoroutinesEnd)
+	for _, fl := range r.Failures {
+		fmt.Fprintf(w, "  FAIL: %s\n", fl)
+	}
+}

@@ -1,0 +1,372 @@
+// Package servebench drives the multi-tenant serving plane (internal/serve)
+// with an open-loop mixed-shape workload and writes BENCH_serve.json.
+//
+// Three phases, each against an in-process cluster:
+//
+//   - Ladder: several offered-load rungs (jobs/sec). Submission is open
+//     loop — arrivals do not wait for completions — so queueing delay shows
+//     up in the latency distribution instead of throttling the generator.
+//     Each rung records p50/p99 latency, achieved throughput, and SLO
+//     attainment.
+//   - Overload: an offered rate far past capacity into a small queue. The
+//     gate is backpressure, not heroics: submissions must come back as
+//     typed rejections, every admitted job must finish, and the server must
+//     stay responsive — overload may never deadlock the serving plane.
+//   - Fairness: a heavy tenant floods the queue while a light tenant
+//     trickles. Weighted fair sharing must keep the light tenant's p99
+//     within FairnessFactor of its solo baseline (measured first, same
+//     machinery, empty cluster).
+//
+// A goroutine census brackets the run; the serving plane must settle back
+// to its starting footprint after Close.
+package servebench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"distme/internal/distnet"
+	"distme/internal/obs"
+	"distme/internal/serve"
+	"distme/internal/workload"
+)
+
+// Profile is one servebench configuration.
+type Profile struct {
+	Name string
+	Seed int64
+	// Workers is the in-process pool size.
+	Workers int
+	// Rates is the offered-load ladder in jobs/sec; RungDuration how long
+	// each rung submits.
+	Rates        []int
+	RungDuration time.Duration
+	// SustainRate is the rung that must achieve SustainFraction of its
+	// offered rate with p99 under SLO — the headline gate.
+	SustainRate     int
+	SustainFraction float64
+	// SLO is the per-job latency objective (submit to done).
+	SLO time.Duration
+	// OverloadRate/OverloadDuration drive the overload phase into a queue
+	// bounded at OverloadQueue.
+	OverloadRate     int
+	OverloadDuration time.Duration
+	OverloadQueue    int
+	// FairnessRate is the light tenant's trickle (jobs/sec); the heavy
+	// tenant floods at FairnessFloodRate. FairnessFactor bounds the light
+	// tenant's shared p99 against its solo baseline.
+	FairnessRate      int
+	FairnessFloodRate int
+	FairnessDuration  time.Duration
+	FairnessFactor    float64
+}
+
+// Smoke is the CI profile: under ~30s wall clock.
+func Smoke() Profile {
+	return Profile{
+		Name:              "smoke",
+		Seed:              1,
+		Workers:           4,
+		Rates:             []int{200, 500, 800},
+		RungDuration:      2 * time.Second,
+		SustainRate:       500,
+		SustainFraction:   0.95,
+		SLO:               250 * time.Millisecond,
+		OverloadRate:      4000,
+		OverloadDuration:  1500 * time.Millisecond,
+		OverloadQueue:     64,
+		FairnessRate:      80,
+		FairnessFloodRate: 1200,
+		FairnessDuration:  4 * time.Second,
+		FairnessFactor:    2.0,
+	}
+}
+
+// Full is the nightly profile: longer rungs and a deeper ladder.
+func Full() Profile {
+	p := Smoke()
+	p.Name = "full"
+	p.Rates = []int{200, 500, 800, 1200}
+	p.RungDuration = 10 * time.Second
+	p.OverloadDuration = 5 * time.Second
+	p.FairnessDuration = 10 * time.Second
+	return p
+}
+
+// cluster is the bench's in-process serving stack.
+type cluster struct {
+	pool *distnet.InProcPool
+	d    *distnet.Driver
+}
+
+func startCluster(p Profile, tr *obs.Tracer) (*cluster, error) {
+	pool := &distnet.InProcPool{}
+	addrs := make([]string, 0, p.Workers)
+	for i := 0; i < p.Workers; i++ {
+		a, err := pool.Grow(context.Background())
+		if err != nil {
+			pool.Close(context.Background())
+			return nil, err
+		}
+		addrs = append(addrs, a)
+	}
+	d, err := distnet.DialOptions(addrs, distnet.Options{
+		JitterSeed: p.Seed,
+		Tracer:     tr,
+	})
+	if err != nil {
+		pool.Close(context.Background())
+		return nil, err
+	}
+	return &cluster{pool: pool, d: d}, nil
+}
+
+func (c *cluster) close() {
+	c.d.Close()
+	c.pool.Close(context.Background())
+}
+
+// openLoop submits mix jobs at ratePerSec for d, never waiting for
+// completions, and returns per-job latencies of completed jobs plus
+// admission counts. Completions are awaited before returning.
+func openLoop(s *serve.Server, mix *workload.ServeMix, tenant string, ratePerSec int, d time.Duration, idx0 int) (lats []time.Duration, submitted, rejected, failed int) {
+	interval := time.Second / time.Duration(ratePerSec)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; ; i++ {
+		next := start.Add(time.Duration(i) * interval)
+		if next.Sub(start) >= d {
+			break
+		}
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		job := mix.Job(idx0 + i)
+		submitted++
+		t0 := time.Now()
+		id, err := s.Submit(serve.SubmitRequest{Tenant: tenant, A: job.A, B: job.B})
+		if err != nil {
+			rejected++
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, st, err := s.Result(context.Background(), id)
+			lat := time.Since(t0)
+			mu.Lock()
+			if err != nil || st.State != serve.StateDone {
+				failed++
+			} else {
+				lats = append(lats, lat)
+			}
+			mu.Unlock()
+			s.Forget(id)
+		}()
+	}
+	wg.Wait()
+	return lats, submitted, rejected, failed
+}
+
+// settleGoroutines polls until the goroutine count drops to at most
+// start+4 or the deadline passes, returning the final census.
+func settleGoroutines(start int, deadline time.Duration) int {
+	t0 := time.Now()
+	for {
+		n := runtime.NumGoroutine()
+		if n <= start+4 || time.Since(t0) > deadline {
+			return n
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Run executes the profile and applies its gates.
+func Run(p Profile, tr *obs.Tracer) (*Report, error) {
+	r := &Report{
+		Profile:         p.Name,
+		Seed:            p.Seed,
+		SLONanos:        p.SLO.Nanoseconds(),
+		GoroutinesStart: runtime.NumGoroutine(),
+	}
+	mix := workload.NewServeMix(p.Seed, 8, 2)
+
+	// Phase 1: the offered-load ladder.
+	c, err := startCluster(p, tr)
+	if err != nil {
+		return nil, err
+	}
+	s, err := serve.New(c.d, serve.Config{Tracer: tr})
+	if err != nil {
+		c.close()
+		return nil, err
+	}
+	idx := 0
+	for _, rate := range p.Rates {
+		sp := tr.Start(0, fmt.Sprintf("servebench.rung.%d", rate), obs.KindBench)
+		t0 := time.Now()
+		lats, submitted, rejected, failed := openLoop(s, mix, "", rate, p.RungDuration, idx)
+		wall := time.Since(t0)
+		sp.End()
+		idx += submitted
+		h := histoOf(lats)
+		within := 0
+		for _, l := range lats {
+			if l <= p.SLO {
+				within++
+			}
+		}
+		attain := 0.0
+		if len(lats) > 0 {
+			attain = float64(within) / float64(len(lats))
+		}
+		r.Rungs = append(r.Rungs, RungStats{
+			OfferedPerSec:  rate,
+			Submitted:      submitted,
+			Rejected:       rejected,
+			Failed:         failed,
+			Completed:      len(lats),
+			AchievedPerSec: float64(len(lats)) / wall.Seconds(),
+			Latency:        h,
+			SLOAttainment:  attain,
+		})
+	}
+	s.Close()
+	c.close()
+
+	// Phase 2: overload into a small queue — typed rejections, no deadlock.
+	c, err = startCluster(p, tr)
+	if err != nil {
+		return nil, err
+	}
+	s, err = serve.New(c.d, serve.Config{MaxQueuedJobs: p.OverloadQueue, Tracer: tr})
+	if err != nil {
+		c.close()
+		return nil, err
+	}
+	sp := tr.Start(0, "servebench.overload", obs.KindBench)
+	done := make(chan struct{})
+	var ov OverloadStats
+	go func() {
+		defer close(done)
+		lats, submitted, rejected, failed := openLoop(s, mix, "", p.OverloadRate, p.OverloadDuration, 0)
+		ov = OverloadStats{
+			OfferedPerSec: p.OverloadRate,
+			Submitted:     submitted,
+			Rejected:      rejected,
+			Failed:        failed,
+			Completed:     len(lats),
+			Latency:       histoOf(lats),
+		}
+	}()
+	// The deadlock gate: the whole overload phase (submission + drain of
+	// everything admitted) must finish well inside a generous bound.
+	overloadBound := p.OverloadDuration + 60*time.Second
+	select {
+	case <-done:
+	case <-time.After(overloadBound):
+		ov.Deadlocked = true
+	}
+	sp.End()
+	if !ov.Deadlocked {
+		// Still responsive after the storm?
+		probe := mix.Job(0)
+		id, err := s.Submit(serve.SubmitRequest{A: probe.A, B: probe.B})
+		if err == nil {
+			_, st, rerr := s.Result(context.Background(), id)
+			ov.ResponsiveAfter = rerr == nil && st.State == serve.StateDone
+		}
+	}
+	r.Overload = ov
+	s.Close()
+	c.close()
+
+	// Phase 3: fairness. Solo baseline first, then shared with a flood.
+	c, err = startCluster(p, tr)
+	if err != nil {
+		return nil, err
+	}
+	// Dispatch parallelism is pinned well under the worker count so a
+	// dispatched light job lands on an effectively private worker: fair
+	// sharing decides dispatch order, and a narrow dispatch window keeps
+	// that decision from being washed out by task-level interleaving with
+	// the flood on shared workers.
+	fairConc := p.Workers / 2
+	if fairConc < 2 {
+		fairConc = 2
+	}
+	// Fair share's currency is planned bytes, and the light tenant's jobs
+	// are ~8x the flood's per-job bytes: with equal weights every light
+	// dispatch would park its virtual clock ~8 heavy dispatches in the
+	// future. Weighting the latency-sensitive tenant to its byte profile is
+	// exactly the operator knob documented in docs/SERVING.md.
+	tenants := []serve.Tenant{{Name: "light", Weight: 8}, {Name: "heavy"}}
+	s, err = serve.New(c.d, serve.Config{
+		Tenants:           tenants,
+		MaxQueuedJobs:     4096,
+		MaxConcurrentJobs: fairConc,
+		Tracer:            tr,
+	})
+	if err != nil {
+		c.close()
+		return nil, err
+	}
+	// The light tenant runs meaningfully-sized jobs (several ms of work):
+	// the fairness gate measures whether the flood starves it, and should
+	// not be dominated by the fixed sub-millisecond dispatch overhead that
+	// any queued system adds.
+	lightMix := workload.NewServeMixShapes(p.Seed+1, 8, 2, []workload.ServeShape{
+		{Family: workload.General, N: 128},
+	})
+	sp = tr.Start(0, "servebench.fairness", obs.KindBench)
+	soloLats, _, _, _ := openLoop(s, lightMix, "light", p.FairnessRate, p.FairnessDuration, 0)
+	var fl, hv struct {
+		lats []time.Duration
+		sub  int
+		rej  int
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		hv.lats, hv.sub, hv.rej, _ = openLoop(s, mix, "heavy", p.FairnessFloodRate, p.FairnessDuration, 1_000_000)
+	}()
+	go func() {
+		defer wg.Done()
+		// Give the flood a head start so the light tenant contends with a
+		// standing backlog for its whole window.
+		time.Sleep(p.FairnessDuration / 10)
+		d := p.FairnessDuration - p.FairnessDuration/5
+		fl.lats, fl.sub, fl.rej, _ = openLoop(s, lightMix, "light", p.FairnessRate, d, 0)
+	}()
+	wg.Wait()
+	sp.End()
+	solo := histoOf(soloLats)
+	shared := histoOf(fl.lats)
+	factor := 0.0
+	if solo.P99Nanos > 0 {
+		factor = float64(shared.P99Nanos) / float64(solo.P99Nanos)
+	}
+	r.Fairness = FairnessStats{
+		SoloLatency:    solo,
+		SharedLatency:  shared,
+		FactorX:        factor,
+		HeavySubmitted: hv.sub,
+		HeavyRejected:  hv.rej,
+		HeavyLatency:   histoOf(hv.lats),
+	}
+	s.Close()
+	c.close()
+
+	r.GoroutinesEnd = settleGoroutines(r.GoroutinesStart, 10*time.Second)
+	r.check(p)
+	r.Passed = len(r.Failures) == 0
+	if !r.Passed {
+		return r, fmt.Errorf("servebench: %d gate(s) failed", len(r.Failures))
+	}
+	return r, nil
+}
